@@ -1,0 +1,78 @@
+"""A1 — Ablation: classical bandits (UCB, Thompson) vs Hyperband / BOHB / RS.
+
+Section 4.1.5 of the paper selects Hyperband and BOHB as the bandit-based
+searchers because they are the bandit algorithms used for HPO in practice,
+and notes that Thompson sampling and UCB address the classical multi-armed
+bandit problem instead.  Section 5 then finds that the fidelity-trading
+bandits do not beat random search for Auto-FP.
+
+This ablation completes that picture: it runs random search, the two
+fidelity-trading bandits and the two classical bandits (factored over
+pipeline length and per-position preprocessors) under the same evaluation
+budget.  Expected shape: every searcher finds a pipeline at least as good as
+the no-preprocessing baseline on these FP-sensitive datasets, and the
+classical bandits land in the same accuracy band as random search rather
+than dominating it — reinforcing the paper's "RS is a strong baseline"
+finding.
+"""
+
+from __future__ import annotations
+
+from repro import AutoFPProblem, make_search_algorithm
+from repro.datasets import load_dataset
+
+DATASETS = ("forex", "wine")
+ALGORITHMS = ("rs", "hyperband", "bohb", "ucb", "thompson")
+MAX_TRIALS = 25
+
+
+def _run_experiment() -> list[dict]:
+    rows = []
+    for dataset in DATASETS:
+        X, y = load_dataset(dataset, scale=0.7)
+        problem = AutoFPProblem.from_arrays(
+            X, y, model="lr", random_state=0, name=f"{dataset}/lr"
+        )
+        baseline = problem.baseline_accuracy()
+        for name in ALGORITHMS:
+            result = make_search_algorithm(name, random_state=0).search(
+                problem, max_trials=MAX_TRIALS
+            )
+            rows.append({
+                "dataset": dataset,
+                "algorithm": name,
+                "baseline": baseline,
+                "best_accuracy": result.best_accuracy,
+                "n_trials": len(result),
+            })
+    return rows
+
+
+def test_ablation_classical_bandits(once, artifact):
+    rows = once(_run_experiment)
+
+    lines = [
+        "Ablation — classical bandits (UCB / Thompson) vs Hyperband / BOHB / RS",
+        f"budget: {MAX_TRIALS} evaluations, downstream model LR",
+        "",
+        f"{'dataset':<10} {'algorithm':<12} {'no-FP':>8} {'best FP':>9} {'trials':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['algorithm']:<12} {row['baseline']:>8.4f} "
+            f"{row['best_accuracy']:>9.4f} {row['n_trials']:>7d}"
+        )
+    artifact("ablation_classical_bandits", "\n".join(lines))
+
+    by_key = {(r["dataset"], r["algorithm"]): r for r in rows}
+    for dataset in DATASETS:
+        baseline = by_key[(dataset, "rs")]["baseline"]
+        rs_best = by_key[(dataset, "rs")]["best_accuracy"]
+        for algorithm in ALGORITHMS:
+            row = by_key[(dataset, algorithm)]
+            # Every searcher recovers at least the no-preprocessing accuracy.
+            assert row["best_accuracy"] >= baseline - 1e-9
+        for algorithm in ("ucb", "thompson"):
+            # Classical bandits stay within a few points of random search —
+            # they do not dominate it, mirroring the paper's bandit finding.
+            assert by_key[(dataset, algorithm)]["best_accuracy"] >= rs_best - 0.05

@@ -1,0 +1,57 @@
+"""E9 — Figure 10 (and Figure 29): Auto-FP in an AutoML context, default space.
+
+The paper compares Auto-FP (PBT over the seven-preprocessor space) against
+the FP module of TPOT (GP over five preprocessors) and against the HPO
+module (hyperparameter tuning of the downstream model, no preprocessing),
+all under the same budget.  Findings: Auto-FP beats TPOT-FP on most
+datasets, and is comparable to — often better than — HPO for the
+scale-sensitive models (LR, MLP).
+
+This harness runs the three contenders on the Figure 10 dataset list with
+the LR and MLP models.  Expected shape: Auto-FP wins or ties against
+TPOT-FP on at least half of the (dataset, model) pairs, and beats the no-FP
+baseline everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.automl import compare_automl_context, summarize_comparisons
+from repro.datasets import load_dataset
+from repro.experiments import format_comparison_table
+
+DATASETS = ("forex", "heart", "jasmine", "pd", "thyroid", "wine")
+MODELS = ("lr", "mlp")
+MAX_TRIALS = 20
+
+
+def _run_experiment() -> list:
+    comparisons = []
+    for dataset in DATASETS:
+        X, y = load_dataset(dataset, scale=0.7)
+        for model in MODELS:
+            comparisons.append(
+                compare_automl_context(
+                    X, y, model, dataset_name=dataset,
+                    max_trials=MAX_TRIALS, random_state=0,
+                )
+            )
+    return comparisons
+
+
+def test_fig10_automl_context_default_space(once, artifact):
+    comparisons = once(_run_experiment)
+    summary = summarize_comparisons(comparisons)
+
+    artifact(
+        "figure10_automl_default_space",
+        format_comparison_table(comparisons)
+        + "\n\n"
+        + f"Auto-FP >= TPOT-FP: {summary['auto_fp_beats_tpot']}/{summary['n']}\n"
+        + f"Auto-FP >= HPO:     {summary['auto_fp_beats_hpo']}/{summary['n']}\n"
+        + f"Auto-FP >= no-FP:   {summary['auto_fp_beats_baseline']}/{summary['n']}",
+    )
+
+    # Shape checks mirroring Section 7.1 / 7.2.
+    assert summary["auto_fp_beats_baseline"] == summary["n"]
+    assert summary["auto_fp_beats_tpot"] >= summary["n"] // 2
+    assert summary["auto_fp_beats_hpo"] >= summary["n"] // 2

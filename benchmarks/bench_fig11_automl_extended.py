@@ -1,0 +1,55 @@
+"""E10 — Figure 11 (and Figure 30): Auto-FP in an AutoML context, extended space.
+
+Same protocol as Figure 10, but Auto-FP searches the parameter-extended
+low-cardinality space of Table 6 (31 One-step preprocessors) instead of the
+default seven.  The paper's conclusion — Auto-FP outperforms TPOT-FP and is
+comparable to HPO — carries over to the wider search space.
+
+Expected shape: Auto-FP beats the no-FP baseline everywhere and wins or
+ties against TPOT-FP on at least half of the (dataset, model) pairs.
+"""
+
+from __future__ import annotations
+
+from repro.automl import compare_automl_context, summarize_comparisons
+from repro.datasets import load_dataset
+from repro.experiments import format_comparison_table
+from repro.extensions import low_cardinality_space
+
+DATASETS = ("forex", "heart", "jasmine", "pd", "thyroid", "wine")
+MODELS = ("lr", "mlp")
+MAX_TRIALS = 20
+
+
+def _run_experiment() -> list:
+    comparisons = []
+    extended = low_cardinality_space()
+    for dataset in DATASETS:
+        X, y = load_dataset(dataset, scale=0.7)
+        for model in MODELS:
+            comparisons.append(
+                compare_automl_context(
+                    X, y, model, dataset_name=dataset,
+                    max_trials=MAX_TRIALS, random_state=0,
+                    extended_space=extended,
+                )
+            )
+    return comparisons
+
+
+def test_fig11_automl_context_extended_space(once, artifact):
+    comparisons = once(_run_experiment)
+    summary = summarize_comparisons(comparisons)
+
+    artifact(
+        "figure11_automl_extended_space",
+        format_comparison_table(comparisons)
+        + "\n\n"
+        + f"Auto-FP >= TPOT-FP: {summary['auto_fp_beats_tpot']}/{summary['n']}\n"
+        + f"Auto-FP >= HPO:     {summary['auto_fp_beats_hpo']}/{summary['n']}\n"
+        + f"Auto-FP >= no-FP:   {summary['auto_fp_beats_baseline']}/{summary['n']}",
+    )
+
+    assert summary["auto_fp_beats_baseline"] >= summary["n"] - 1
+    assert summary["auto_fp_beats_tpot"] >= summary["n"] // 2
+    assert summary["auto_fp_beats_hpo"] >= summary["n"] // 2

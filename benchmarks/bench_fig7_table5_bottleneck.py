@@ -1,0 +1,71 @@
+"""E6 — Figure 7 and Table 5: where does the search time go?
+
+The paper breaks every search run into "Pick" (choosing the next pipeline),
+"Prep" (applying the preprocessors) and "Train" (fitting and scoring the
+downstream model), and reports the percentages per algorithm / dataset /
+model (Figure 7, Figures 20-22) plus a per-scenario dominant-bottleneck
+classification (Table 5).  Headline finding: training dominates in most
+cases, preprocessing second, picking is usually negligible — except for the
+surrogate-heavy algorithms whose pick time is visible.
+
+This harness runs a representative algorithm subset on the Figure 7 dataset
+list with the LR and XGB models and prints the breakdown and the Table 5
+classification.  Expected shape: "train" or "prep" dominates every scenario;
+"pick" never dominates for random search.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_result, bottleneck_table
+from repro.core import AutoFPProblem
+from repro.datasets import get_dataset_info, load_dataset
+from repro.experiments import format_breakdown_table, format_table
+from repro.search import make_search_algorithm
+
+DATASETS = ("australian", "forex", "gesture", "wine", "madeline")
+MODELS = ("lr", "xgb")
+ALGORITHMS = ("rs", "anneal", "tpe", "smac", "tevo_h", "pbt", "pmne", "plne")
+MAX_TRIALS = 12
+
+
+def _run_experiment() -> list:
+    reports = []
+    for dataset in DATASETS:
+        X, y = load_dataset(dataset, scale=0.7)
+        for model in MODELS:
+            problem = AutoFPProblem.from_arrays(
+                X, y, model=model, random_state=0, name=f"{dataset}/{model}"
+            )
+            for algorithm in ALGORITHMS:
+                result = make_search_algorithm(algorithm, random_state=0).search(
+                    problem, max_trials=MAX_TRIALS
+                )
+                reports.append(analyze_result(result, dataset=dataset, model=model))
+    return reports
+
+
+def test_fig7_table5_bottleneck(once, artifact):
+    reports = once(_run_experiment)
+
+    artifact("figure7_overhead_breakdown", format_breakdown_table(reports))
+
+    infos = {name: get_dataset_info(name) for name in DATASETS}
+    table = bottleneck_table(reports, infos)
+    rows = [
+        [group, model, algorithm, bottleneck]
+        for (group, model), algorithms in sorted(table.items())
+        for algorithm, bottleneck in sorted(algorithms.items())
+    ]
+    artifact("table5_bottleneck_classification",
+             format_table(["dataset_group", "model", "algorithm", "bottleneck"], rows))
+
+    # Shape checks.
+    dominated_by_eval = sum(r.bottleneck in ("train", "prep") for r in reports)
+    assert dominated_by_eval / len(reports) > 0.6, "evaluation should dominate most runs"
+    rs_reports = [r for r in reports if r.algorithm == "rs"]
+    assert all(r.bottleneck != "pick" for r in rs_reports)
+    # Model evaluation ("train") is the single most common bottleneck.
+    from collections import Counter
+
+    counts = Counter(r.bottleneck for r in reports)
+    assert counts["train"] >= counts["pick"]

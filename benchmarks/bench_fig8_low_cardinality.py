@@ -1,0 +1,75 @@
+"""E7 — Figure 8 (and Figures 23-25): One-step vs Two-step, low cardinality.
+
+Section 6 extends Auto-FP with parameter search.  On the low-cardinality
+space of Table 6 the paper finds that One-step (treating every
+parameterisation as its own preprocessor, 31 candidates) beats Two-step
+(resampling parameter values between short pipeline searches) in most cases
+because Two-step explores too few parameter configurations per budget.
+
+This harness runs both strategies with PBT on several datasets over a grid
+of budgets and prints the accuracy trajectories.  Expected shape: averaged
+over datasets at the largest budget, One-step is at least as good as
+Two-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AutoFPProblem
+from repro.datasets import load_dataset
+from repro.experiments import format_series
+from repro.extensions import OneStepSearch, TwoStepSearch, low_cardinality_space
+from repro.search import PBT
+
+DATASETS = ("australian", "madeline", "heart")
+BUDGETS = (10, 20, 35)
+TRIALS_PER_ROUND = 6
+
+
+def _run_strategies(dataset: str) -> dict:
+    X, y = load_dataset(dataset)
+    problem = AutoFPProblem.from_arrays(X, y, model="lr", random_state=0, name=dataset)
+    parameter_space = low_cardinality_space()
+    one_curve, two_curve = [], []
+    for budget in BUDGETS:
+        one = OneStepSearch(PBT(random_state=0), parameter_space).search(
+            problem, max_trials=budget
+        )
+        two = TwoStepSearch(
+            lambda seed: PBT(random_state=seed), parameter_space,
+            trials_per_round=TRIALS_PER_ROUND, random_state=0,
+        ).search(problem, max_trials=budget)
+        one_curve.append(one.best_accuracy)
+        two_curve.append(two.best_accuracy)
+    return {
+        "dataset": dataset,
+        "baseline": problem.baseline_accuracy(),
+        "one_step": one_curve,
+        "two_step": two_curve,
+    }
+
+
+def _run_experiment() -> list[dict]:
+    return [_run_strategies(dataset) for dataset in DATASETS]
+
+
+def test_fig8_one_step_vs_two_step_low_cardinality(once, artifact):
+    results = once(_run_experiment)
+
+    parts = []
+    for row in results:
+        parts.append(f"--- {row['dataset']} (LR), no-FP accuracy = {row['baseline']:.4f} ---")
+        parts.append(format_series(
+            "trial budget", list(BUDGETS),
+            {"one_step": row["one_step"], "two_step": row["two_step"]},
+        ))
+    artifact("figure8_low_cardinality", "\n".join(parts))
+
+    # Shape check: at the largest budget One-step is on average >= Two-step.
+    one_final = np.mean([row["one_step"][-1] for row in results])
+    two_final = np.mean([row["two_step"][-1] for row in results])
+    assert one_final >= two_final - 0.02
+    # Both strategies beat the no-FP baseline on average.
+    baseline = np.mean([row["baseline"] for row in results])
+    assert one_final >= baseline - 1e-9

@@ -1,0 +1,94 @@
+"""E16 — Section 8: Auto-FP for deep recommendation models (DeepFM / DCN).
+
+The paper's Section 8 reports that applying 200 random FP pipelines changed
+the DeepFM validation AUC from 0.50 to 0.5875 on Tmall (preprocessing
+helps) and from 0.7085 to 0.4756 on Instacart (preprocessing hurts).  The
+mechanism is the feature encoding: Tmall-style CTR data carries its signal
+in badly scaled numeric behaviour features that preprocessing repairs,
+whereas Instacart-style basket data is purely binary and row-normalising /
+re-thresholding preprocessors destroy the co-occurrence structure.
+
+This harness reruns that contrast on the two synthetic stand-ins with the
+DeepFM model: for each dataset it measures the no-preprocessing AUC and the
+best / median AUC over a sample of random FP pipelines.  Expected shape:
+random preprocessing lifts the Tmall AUC well above the raw baseline, while
+on Instacart the median random pipeline falls below the raw baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Pipeline, SearchSpace
+from repro.deep import DeepFMClassifier, load_ctr_dataset
+from repro.models import roc_auc_score, train_test_split
+
+DATASETS = ("tmall", "instacart")
+N_PIPELINES = 24
+DATASET_SCALE = 0.4
+
+
+def _auc_of(model: DeepFMClassifier, X_train, y_train, X_valid, y_valid) -> float:
+    fitted = model.clone().fit(X_train, y_train)
+    return roc_auc_score(y_valid, fitted.predict_proba(X_valid)[:, 1])
+
+
+def _evaluate_dataset(name: str) -> dict:
+    X, y = load_ctr_dataset(name, scale=DATASET_SCALE, random_state=0)
+    X_train, X_valid, y_train, y_valid = train_test_split(
+        X, y, test_size=0.2, random_state=0
+    )
+    model = DeepFMClassifier(max_iter=12, n_factors=4, hidden_layer_sizes=(16,),
+                             random_state=0)
+    baseline_auc = _auc_of(model, X_train, y_train, X_valid, y_valid)
+
+    space = SearchSpace(max_length=4)
+    rng = np.random.default_rng(0)
+    fp_aucs = []
+    for _ in range(N_PIPELINES):
+        pipeline: Pipeline = space.sample_pipeline(rng)
+        fitted = pipeline.fit(X_train)
+        fp_aucs.append(
+            _auc_of(model, fitted.transform(X_train), y_train,
+                    fitted.transform(X_valid), y_valid)
+        )
+    fp_aucs = np.asarray(fp_aucs)
+    return {
+        "dataset": name,
+        "baseline_auc": baseline_auc,
+        "best_fp_auc": float(fp_aucs.max()),
+        "median_fp_auc": float(np.median(fp_aucs)),
+        "worst_fp_auc": float(fp_aucs.min()),
+    }
+
+
+def _run_experiment() -> list[dict]:
+    return [_evaluate_dataset(name) for name in DATASETS]
+
+
+def test_section8_deep_models_fp_effect(once, artifact):
+    rows = once(_run_experiment)
+
+    lines = [
+        "Section 8 — Auto-FP for deep models (DeepFM on recommendation stand-ins)",
+        "paper: Tmall AUC 0.50 -> 0.5875 with FP; Instacart AUC 0.7085 -> 0.4756 with FP",
+        "",
+        f"{'dataset':<12} {'no-FP AUC':>10} {'best FP':>10} {'median FP':>10} {'worst FP':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<12} {row['baseline_auc']:>10.4f} "
+            f"{row['best_fp_auc']:>10.4f} {row['median_fp_auc']:>10.4f} "
+            f"{row['worst_fp_auc']:>10.4f}"
+        )
+    artifact("section8_deep_models", "\n".join(lines))
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Tmall-style data: preprocessing recovers signal the raw encoding hides.
+    assert by_name["tmall"]["best_fp_auc"] > by_name["tmall"]["baseline_auc"] + 0.05
+    # Instacart-style data: the typical random pipeline damages the binary
+    # co-occurrence structure, so the median FP AUC drops below the baseline.
+    assert (by_name["instacart"]["median_fp_auc"]
+            < by_name["instacart"]["baseline_auc"])
+    assert (by_name["instacart"]["worst_fp_auc"]
+            < by_name["instacart"]["baseline_auc"] - 0.05)

@@ -1,0 +1,50 @@
+"""E13 — Table 3: the taxonomy of the 15 Auto-FP search algorithms.
+
+Table 3 categorises every algorithm by origin area (HPO / NAS), category,
+surrogate model, initialisation strategy and the number of samples /
+evaluations per iteration.  The taxonomy in this repository is attached to
+the algorithm classes themselves, so regenerating the table doubles as a
+consistency check between the documentation and the implementations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.search import ALGORITHM_CATEGORIES, taxonomy_table
+
+
+def _run_experiment() -> list[dict]:
+    return taxonomy_table()
+
+
+def test_table3_taxonomy(once, artifact):
+    rows = once(_run_experiment)
+
+    table = format_table(
+        ["algorithm", "category", "area", "surrogate", "initialization",
+         "samples/iter", "evals/iter"],
+        [
+            [row["name"], row["category"], row["area"], row["surrogate_model"],
+             row["initialization"], row["samples_per_iteration"],
+             row["evaluations_per_iteration"]]
+            for row in rows
+        ],
+    )
+    artifact("table3_taxonomy", table)
+
+    assert len(rows) == 15
+    by_name = {row["name"]: row for row in rows}
+    # Spot-check the rows against Table 3 of the paper.
+    assert by_name["rs"]["category"] == "traditional"
+    assert by_name["smac"]["surrogate_model"] == "Random Forest"
+    assert by_name["tpe"]["surrogate_model"] == "KDE"
+    assert by_name["pmne"]["initialization"] == "Single Preprocessors"
+    assert by_name["tevo_y"]["category"] == "evolution"
+    assert by_name["reinforce"]["area"] == "hpo"
+    assert by_name["enas"]["area"] == "nas"
+    assert by_name["hyperband"]["category"] == "bandit"
+    assert by_name["bohb"]["surrogate_model"] == "KDE"
+    # Category membership matches the registry.
+    for category, members in ALGORITHM_CATEGORIES.items():
+        for member in members:
+            assert by_name[member]["category"] == category

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper at
+laptop scale and prints the corresponding text artefact.  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated tables; without it the artefacts are
+still written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: directory where every benchmark writes its regenerated artefact
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit_artifact(name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture
+def artifact():
+    """Fixture exposing :func:`emit_artifact` to benchmark functions."""
+    return emit_artifact
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are far too expensive for pytest-benchmark's default
+    calibration loop, so every harness uses a single round.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

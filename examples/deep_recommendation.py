@@ -1,0 +1,73 @@
+"""Auto-FP for deep recommendation models (Section 8 extension).
+
+Run with::
+
+    python examples/deep_recommendation.py
+
+The paper's Section 8 observes that feature preprocessing also matters for
+deep models: on a Tmall-style click-through-rate task random FP pipelines
+*improved* the DeepFM validation AUC, while on an Instacart-style basket
+task they *hurt* it.  This example reruns that contrast on the synthetic
+stand-ins shipped with the library and then lets a proper search algorithm
+(PBT) look for a pipeline on the dataset where preprocessing helps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoFPProblem, SearchSpace, make_search_algorithm
+from repro.deep import DeepFMClassifier, list_ctr_datasets, load_ctr_dataset
+from repro.models import roc_auc_score, train_test_split
+
+
+def auc_without_and_with_random_fp(name: str, n_pipelines: int = 15) -> None:
+    """Compare the no-FP AUC against random FP pipelines on one dataset."""
+    X, y = load_ctr_dataset(name, scale=0.4, random_state=0)
+    X_train, X_valid, y_train, y_valid = train_test_split(
+        X, y, test_size=0.2, random_state=0
+    )
+    model = DeepFMClassifier(max_iter=12, n_factors=4, hidden_layer_sizes=(16,),
+                             random_state=0)
+
+    baseline = model.clone().fit(X_train, y_train)
+    baseline_auc = roc_auc_score(y_valid, baseline.predict_proba(X_valid)[:, 1])
+
+    space = SearchSpace(max_length=4)
+    rng = np.random.default_rng(0)
+    aucs = []
+    for _ in range(n_pipelines):
+        pipeline = space.sample_pipeline(rng)
+        fitted = pipeline.fit(X_train)
+        trained = model.clone().fit(fitted.transform(X_train), y_train)
+        aucs.append(
+            roc_auc_score(y_valid, trained.predict_proba(fitted.transform(X_valid))[:, 1])
+        )
+    print(f"\n{name}: no-FP AUC = {baseline_auc:.4f}")
+    print(f"{name}: random FP pipelines — best {max(aucs):.4f}, "
+          f"median {np.median(aucs):.4f}, worst {min(aucs):.4f}")
+
+
+def search_pipeline_for_deepfm() -> None:
+    """Run PBT with DeepFM as the downstream model on the Tmall stand-in."""
+    X, y = load_ctr_dataset("tmall", scale=0.4, random_state=0)
+    model = DeepFMClassifier(max_iter=10, n_factors=4, hidden_layer_sizes=(16,),
+                             random_state=0)
+    problem = AutoFPProblem.from_arrays(X, y, model, random_state=0,
+                                        name="tmall/deepfm")
+    print(f"\nsearching pipelines for DeepFM on tmall "
+          f"(baseline accuracy {problem.baseline_accuracy():.4f})")
+    result = make_search_algorithm("pbt", random_state=0).search(problem, max_trials=20)
+    print(f"best pipeline: {result.best_pipeline.describe()}")
+    print(f"best validation accuracy: {result.best_accuracy:.4f}")
+
+
+def main() -> None:
+    print("available recommendation datasets:", ", ".join(list_ctr_datasets()))
+    for name in list_ctr_datasets():
+        auc_without_and_with_random_fp(name)
+    search_pipeline_for_deepfm()
+
+
+if __name__ == "__main__":
+    main()

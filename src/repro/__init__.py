@@ -1,0 +1,54 @@
+"""repro — Auto-FP: automated feature preprocessing for tabular data.
+
+A laptop-scale, dependency-light reproduction of "Auto-FP: An Experimental
+Study of Automated Feature Preprocessing for Tabular Data" (EDBT 2024).
+The package provides:
+
+* the seven scikit-learn-style feature preprocessors (``repro.preprocessing``),
+* downstream classifiers — logistic regression, gradient boosting, MLP and
+  friends (``repro.models``),
+* the Auto-FP problem abstraction: pipelines, search space, evaluator and
+  budgets (``repro.core``),
+* the 15 search algorithms of the paper (``repro.search``),
+* parameter-extended search (``repro.extensions``), the AutoML-context
+  comparisons (``repro.automl``), meta-features (``repro.metafeatures``),
+  result analysis (``repro.analysis``) and experiment harnesses
+  (``repro.experiments``).
+
+Quickstart::
+
+    from repro import AutoFPProblem, make_search_algorithm
+    from repro.datasets import load_dataset
+
+    X, y = load_dataset("heart")
+    problem = AutoFPProblem.from_arrays(X, y, model="lr")
+    result = make_search_algorithm("pbt").search(problem, max_trials=40)
+    print(result.best_pipeline.describe(), result.best_accuracy)
+"""
+
+from repro.core import (
+    AutoFPProblem,
+    Pipeline,
+    PipelineEvaluator,
+    SearchResult,
+    SearchSpace,
+    TimeBudget,
+    TrialBudget,
+    TrialRecord,
+)
+from repro.search import make_search_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoFPProblem",
+    "Pipeline",
+    "PipelineEvaluator",
+    "SearchSpace",
+    "SearchResult",
+    "TrialRecord",
+    "TrialBudget",
+    "TimeBudget",
+    "make_search_algorithm",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Result analysis: rankings, bottleneck breakdowns, frequent patterns, charts."""
+
+from repro.analysis.plots import (
+    ascii_bar_chart,
+    ascii_histogram,
+    ascii_line_chart,
+    format_ranking_table,
+)
+from repro.analysis.bottleneck import (
+    BottleneckReport,
+    analyze_result,
+    bottleneck_table,
+    scenario_group,
+)
+from repro.analysis.frequent_patterns import (
+    FPNode,
+    FPTree,
+    fp_growth,
+    max_pattern_support,
+    mine_pipeline_patterns,
+)
+from repro.analysis.ranking import (
+    Scenario,
+    average_rankings,
+    category_average_ranks,
+    rank_with_ties,
+    ranking_order,
+)
+
+__all__ = [
+    "ascii_histogram",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "format_ranking_table",
+    "Scenario",
+    "rank_with_ties",
+    "average_rankings",
+    "ranking_order",
+    "category_average_ranks",
+    "BottleneckReport",
+    "analyze_result",
+    "bottleneck_table",
+    "scenario_group",
+    "FPTree",
+    "FPNode",
+    "fp_growth",
+    "mine_pipeline_patterns",
+    "max_pattern_support",
+]

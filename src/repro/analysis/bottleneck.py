@@ -1,0 +1,95 @@
+"""Performance-bottleneck analysis (Section 5.3, Figure 7 and Table 5).
+
+Every trial records how long the search algorithm spent picking the pipeline
+("Pick"), how long preprocessing took ("Prep") and how long model training
+and scoring took ("Train").  The analysis aggregates these per search run,
+expresses them as percentages, and classifies the dominant component per
+scenario the way Table 5 does (by dataset dimensionality / size and
+downstream model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SearchResult
+from repro.datasets.registry import DatasetInfo
+
+
+@dataclass
+class BottleneckReport:
+    """Pick/Prep/Train percentages and the dominant component for one run."""
+
+    algorithm: str
+    dataset: str
+    model: str
+    pick_percent: float
+    prep_percent: float
+    train_percent: float
+
+    @property
+    def bottleneck(self) -> str:
+        components = {
+            "pick": self.pick_percent,
+            "prep": self.prep_percent,
+            "train": self.train_percent,
+        }
+        return max(components, key=components.get)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "model": self.model,
+            "pick": self.pick_percent,
+            "prep": self.prep_percent,
+            "train": self.train_percent,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def analyze_result(result: SearchResult, *, dataset: str = "",
+                   model: str = "") -> BottleneckReport:
+    """Summarise one search run's time breakdown into a report."""
+    percentages = result.time_breakdown_percent()
+    return BottleneckReport(
+        algorithm=result.algorithm,
+        dataset=dataset,
+        model=model,
+        pick_percent=percentages["pick"],
+        prep_percent=percentages["prep"],
+        train_percent=percentages["train"],
+    )
+
+
+def scenario_group(info: DatasetInfo) -> str:
+    """Dataset grouping used by Table 5 (high-dimensional vs small/medium/large)."""
+    return info.size_category
+
+
+def bottleneck_table(reports, dataset_infos: dict[str, DatasetInfo]) -> dict:
+    """Aggregate reports into the Table 5 layout.
+
+    Returns a mapping ``(dataset_group, model) -> {algorithm: bottleneck}``
+    where ``bottleneck`` is the most common dominant component across the
+    group's datasets (ties reported as "prep/train" style composites).
+    """
+    buckets: dict[tuple[str, str], dict[str, list[str]]] = {}
+    for report in reports:
+        info = dataset_infos.get(report.dataset)
+        group = scenario_group(info) if info is not None else "unknown"
+        key = (group, report.model)
+        bucket = buckets.setdefault(key, {})
+        bucket.setdefault(report.algorithm, []).append(report.bottleneck)
+
+    table: dict[tuple[str, str], dict[str, str]] = {}
+    for key, algorithms in buckets.items():
+        table[key] = {}
+        for algorithm, bottlenecks in algorithms.items():
+            counts: dict[str, int] = {}
+            for name in bottlenecks:
+                counts[name] = counts.get(name, 0) + 1
+            top = max(counts.values())
+            winners = sorted(name for name, count in counts.items() if count == top)
+            table[key][algorithm] = "/".join(winners)
+    return table

@@ -1,0 +1,152 @@
+"""FP-growth frequent-pattern mining over best pipelines (Section 5.2).
+
+The paper asks whether the best pipelines found across datasets share
+"frequent excellent preprocessor patterns".  It mines the preprocessor sets
+of the per-dataset best pipelines with FP-growth and finds no high-support
+patterns.  This module implements FP-growth (Han et al., SIGMOD 2000) from
+scratch so the same analysis can be reproduced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+
+@dataclass
+class FPNode:
+    """One node of the FP-tree: an item, its count, parent and children."""
+
+    item: Hashable | None
+    count: int = 0
+    parent: "FPNode | None" = None
+    children: dict = field(default_factory=dict)
+    link: "FPNode | None" = None  # next node with the same item (header chain)
+
+
+class FPTree:
+    """FP-tree with a header table for item-chain traversal."""
+
+    def __init__(self) -> None:
+        self.root = FPNode(item=None)
+        self.header: dict[Hashable, FPNode] = {}
+
+    def insert(self, items: Sequence[Hashable], count: int = 1) -> None:
+        """Insert one (ordered) transaction with multiplicity ``count``."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                # Append to the header chain for this item.
+                if item in self.header:
+                    tail = self.header[item]
+                    while tail.link is not None:
+                        tail = tail.link
+                    tail.link = child
+                else:
+                    self.header[item] = child
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: Hashable) -> list[tuple[list[Hashable], int]]:
+        """Conditional pattern base: prefix paths ending at ``item``."""
+        paths = []
+        node = self.header.get(item)
+        while node is not None:
+            path = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+            node = node.link
+        return paths
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+
+def _build_tree(transactions: Iterable[tuple[Sequence[Hashable], int]],
+                min_count: int) -> tuple[FPTree, dict[Hashable, int]]:
+    counts: dict[Hashable, int] = defaultdict(int)
+    materialized = [(list(items), count) for items, count in transactions]
+    for items, count in materialized:
+        for item in set(items):
+            counts[item] += count
+    frequent = {item: c for item, c in counts.items() if c >= min_count}
+
+    tree = FPTree()
+    for items, count in materialized:
+        filtered = [item for item in items if item in frequent]
+        # Sort by global frequency (descending), ties broken deterministically.
+        filtered.sort(key=lambda item: (-frequent[item], str(item)))
+        if filtered:
+            tree.insert(filtered, count)
+    return tree, frequent
+
+
+def _mine(tree: FPTree, frequent: dict[Hashable, int], suffix: frozenset,
+          min_count: int, results: dict[frozenset, int]) -> None:
+    # Process items from least to most frequent (standard FP-growth order).
+    for item in sorted(frequent, key=lambda i: (frequent[i], str(i))):
+        new_pattern = suffix | {item}
+        results[frozenset(new_pattern)] = frequent[item]
+        conditional = tree.prefix_paths(item)
+        sub_tree, sub_frequent = _build_tree(conditional, min_count)
+        if sub_frequent and not sub_tree.is_empty():
+            _mine(sub_tree, sub_frequent, frozenset(new_pattern), min_count, results)
+
+
+def fp_growth(transactions: Iterable[Iterable[Hashable]],
+              min_support: float = 0.3) -> dict[frozenset, float]:
+    """Mine frequent itemsets with FP-growth.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item collections (duplicates within a transaction are
+        ignored, matching the classical itemset setting).
+    min_support:
+        Minimum support as a fraction of the number of transactions.
+
+    Returns
+    -------
+    Mapping from frozenset of items to support (fraction of transactions).
+    """
+    materialized = [list(dict.fromkeys(t)) for t in transactions]
+    n_transactions = len(materialized)
+    if n_transactions == 0:
+        return {}
+    min_count = max(1, int(np_ceil(min_support * n_transactions)))
+
+    tree, frequent = _build_tree(((t, 1) for t in materialized), min_count)
+    results: dict[frozenset, int] = {}
+    if frequent:
+        _mine(tree, frequent, frozenset(), min_count, results)
+    return {pattern: count / n_transactions for pattern, count in results.items()}
+
+
+def np_ceil(value: float) -> int:
+    """Integer ceiling without importing numpy for one call."""
+    integer = int(value)
+    return integer if value == integer else integer + 1
+
+
+def mine_pipeline_patterns(pipelines, *, min_support: float = 0.3) -> dict[frozenset, float]:
+    """Mine frequent preprocessor sets from a collection of pipelines."""
+    transactions = [pipeline.names() for pipeline in pipelines]
+    return fp_growth(transactions, min_support=min_support)
+
+
+def max_pattern_support(patterns: dict[frozenset, float], *, min_size: int = 2) -> float:
+    """Highest support among patterns with at least ``min_size`` items.
+
+    The paper's conclusion ("the support of discovered patterns is very
+    low") is about multi-preprocessor patterns, hence the size filter.
+    """
+    supports = [s for pattern, s in patterns.items() if len(pattern) >= min_size]
+    return max(supports) if supports else 0.0

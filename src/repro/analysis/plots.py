@@ -1,0 +1,141 @@
+"""Plain-text charts for benchmark artefacts.
+
+The paper communicates most of its findings through figures (accuracy
+distributions, anytime curves, overhead breakdowns).  The reproduction runs
+in terminals and CI logs, so this module renders the same shapes as ASCII:
+histograms for Figure 2, horizontal bar charts for rankings and overhead
+percentages, and line charts for the accuracy-versus-budget trajectories of
+Figures 17-19.  Every function returns a string so benchmark harnesses can
+embed the charts in their artefact files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def ascii_histogram(values: Sequence[float], *, bins: int = 10, width: int = 40,
+                    title: str | None = None,
+                    value_format: str = "{:.3f}") -> str:
+    """Render a histogram of ``values`` with one text row per bin.
+
+    Parameters
+    ----------
+    values:
+        The sample to histogram (e.g. accuracies of 2800 pipelines).
+    bins:
+        Number of equal-width bins.
+    width:
+        Width in characters of the largest bar.
+    title:
+        Optional first line of the chart.
+    value_format:
+        Format applied to the bin edges.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("ascii_histogram needs at least one value")
+    if bins < 1:
+        raise ValidationError("bins must be at least 1")
+    if width < 1:
+        raise ValidationError("width must be at least 1")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [] if title is None else [title]
+    for i, count in enumerate(counts):
+        low = value_format.format(edges[i])
+        high = value_format.format(edges[i + 1])
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{low}, {high}) {bar} {int(count)}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(items: Mapping[str, float], *, width: int = 40,
+                    title: str | None = None,
+                    value_format: str = "{:.3f}") -> str:
+    """Render a horizontal bar chart, one row per labelled value.
+
+    Values must be non-negative; bars are scaled so the maximum fills
+    ``width`` characters.
+    """
+    if not items:
+        raise ValidationError("ascii_bar_chart needs at least one item")
+    values = {str(k): float(v) for k, v in items.items()}
+    if any(v < 0 for v in values.values()):
+        raise ValidationError("ascii_bar_chart requires non-negative values")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [] if title is None else [title]
+    for label, value in values.items():
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label:<{label_width}} | {bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(series: Mapping[str, Sequence[float]], *, height: int = 12,
+                     width: int = 60, title: str | None = None,
+                     y_format: str = "{:.3f}") -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Each series is resampled onto ``width`` columns and drawn with its own
+    marker character; the y-axis spans the joint range of all series.  Useful
+    for best-so-far accuracy trajectories.
+    """
+    if not series:
+        raise ValidationError("ascii_line_chart needs at least one series")
+    if height < 2 or width < 2:
+        raise ValidationError("height and width must both be at least 2")
+    markers = "*o+x@%&$"
+    arrays = {}
+    for index, (label, values) in enumerate(series.items()):
+        data = np.asarray(list(values), dtype=np.float64)
+        if data.size == 0:
+            raise ValidationError(f"series {label!r} is empty")
+        arrays[str(label)] = (markers[index % len(markers)], data)
+
+    y_min = min(float(data.min()) for _, data in arrays.values())
+    y_max = max(float(data.max()) for _, data in arrays.values())
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, (marker, data) in arrays.items():
+        positions = np.linspace(0, data.size - 1, width)
+        resampled = np.interp(positions, np.arange(data.size), data)
+        for column, value in enumerate(resampled):
+            row = int(round((value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = [] if title is None else [title]
+    top_label = y_format.format(y_max)
+    bottom_label = y_format.format(y_min)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_label:>{label_width}} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom_label:>{label_width}} |"
+        else:
+            prefix = f"{'':>{label_width}} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>{label_width}} +" + "-" * width)
+    legend = "  ".join(f"{marker}={label}" for label, (marker, _) in arrays.items())
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def format_ranking_table(rankings: Mapping[str, float], *,
+                         title: str | None = None) -> str:
+    """Format an algorithm -> average-rank mapping as a sorted two-column table."""
+    if not rankings:
+        raise ValidationError("format_ranking_table needs at least one entry")
+    ordered = sorted(rankings.items(), key=lambda item: item[1])
+    label_width = max(len(str(label)) for label, _ in ordered)
+    lines = [] if title is None else [title]
+    for position, (label, rank) in enumerate(ordered, start=1):
+        lines.append(f"{position:>2}. {str(label):<{label_width}}  avg rank {rank:.2f}")
+    return "\n".join(lines)

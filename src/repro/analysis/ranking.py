@@ -1,0 +1,133 @@
+"""Average-ranking analysis of search algorithms (Table 4 of the paper).
+
+A *scenario* is one (dataset, downstream model, time/trial budget)
+combination.  The paper ranks all 15 algorithms within each scenario by the
+validation accuracy of their best pipeline (ties share the same rank), keeps
+only scenarios where feature preprocessing improved over the no-FP baseline
+by at least 1.5 percentage points, and reports the per-model and overall
+average rank of each algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class Scenario:
+    """Results of all algorithms on one (dataset, model) combination."""
+
+    dataset: str
+    model: str
+    baseline_accuracy: float
+    accuracies: dict[str, float] = field(default_factory=dict)
+
+    def best_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValidationError("scenario has no algorithm results")
+        return max(self.accuracies.values())
+
+    def improvement(self) -> float:
+        """Best improvement over the no-FP baseline, in percentage points."""
+        return (self.best_accuracy() - self.baseline_accuracy) * 100.0
+
+    def qualifies(self, min_improvement: float = 1.5) -> bool:
+        """Whether the scenario enters the ranking (paper's >= 1.5% filter)."""
+        return self.improvement() >= min_improvement
+
+
+def rank_with_ties(values: dict[str, float]) -> dict[str, float]:
+    """Rank algorithms by value (higher is better); ties share the best rank.
+
+    This matches the paper's convention ("If there is a tie, we give the
+    same ranking value"): an algorithm's rank is 1 plus the number of
+    algorithms with strictly higher accuracy.
+    """
+    if not values:
+        return {}
+    ranks = {}
+    for name, value in values.items():
+        better = sum(1 for other in values.values() if other > value)
+        ranks[name] = float(better + 1)
+    return ranks
+
+
+def average_rankings(scenarios, *, min_improvement: float = 1.5,
+                     algorithms=None) -> dict:
+    """Compute per-model and overall average rankings.
+
+    Parameters
+    ----------
+    scenarios:
+        Iterable of :class:`Scenario`.
+    min_improvement:
+        Minimum improvement (percentage points) over the no-FP baseline for
+        a scenario to be counted.
+    algorithms:
+        Optional explicit algorithm list; defaults to the union found in the
+        scenarios.
+
+    Returns
+    -------
+    dict with keys ``overall`` (algorithm -> average rank), ``per_model``
+    (model -> algorithm -> average rank), and ``n_scenarios`` counts.
+    """
+    scenarios = [s for s in scenarios if s.qualifies(min_improvement)]
+    if algorithms is None:
+        names: set[str] = set()
+        for scenario in scenarios:
+            names.update(scenario.accuracies)
+        algorithms = sorted(names)
+
+    per_model_ranks: dict[str, dict[str, list[float]]] = {}
+    overall_ranks: dict[str, list[float]] = {name: [] for name in algorithms}
+
+    for scenario in scenarios:
+        ranks = rank_with_ties(scenario.accuracies)
+        model_bucket = per_model_ranks.setdefault(
+            scenario.model, {name: [] for name in algorithms}
+        )
+        for name in algorithms:
+            if name not in ranks:
+                continue
+            overall_ranks[name].append(ranks[name])
+            model_bucket[name].append(ranks[name])
+
+    def summarize(bucket: dict[str, list[float]]) -> dict[str, float]:
+        return {
+            name: float(np.mean(values)) if values else float("nan")
+            for name, values in bucket.items()
+        }
+
+    return {
+        "overall": summarize(overall_ranks),
+        "per_model": {
+            model: summarize(bucket) for model, bucket in per_model_ranks.items()
+        },
+        "n_scenarios": len(scenarios),
+        "n_scenarios_per_model": {
+            model: len(next(iter(bucket.values()), []))
+            for model, bucket in per_model_ranks.items()
+        },
+    }
+
+
+def ranking_order(average_ranks: dict[str, float]) -> list[str]:
+    """Algorithm names sorted from best (lowest) to worst average rank."""
+    finite = {k: v for k, v in average_ranks.items() if np.isfinite(v)}
+    return sorted(finite, key=finite.get)
+
+
+def category_average_ranks(average_ranks: dict[str, float],
+                           categories: dict[str, tuple]) -> dict[str, float]:
+    """Average the per-algorithm ranks within each category."""
+    result = {}
+    for category, members in categories.items():
+        values = [average_ranks[m] for m in members
+                  if m in average_ranks and np.isfinite(average_ranks[m])]
+        result[category] = float(np.mean(values)) if values else float("nan")
+    return result

@@ -1,0 +1,28 @@
+"""Auto-FP in an AutoML context: TPOT-FP stand-in, HPO module, comparison."""
+
+from repro.automl.comparison import (
+    AUTOML_FP_CAPABILITIES,
+    AutoMLComparison,
+    compare_automl_context,
+    summarize_comparisons,
+)
+from repro.automl.hpo import HPO_GRIDS, HPOResult, HPOSearch, HPOTrial
+from repro.automl.tpot_fp import (
+    TPOT_PREPROCESSOR_NAMES,
+    GeneticProgrammingFP,
+    tpot_search_space,
+)
+
+__all__ = [
+    "GeneticProgrammingFP",
+    "tpot_search_space",
+    "TPOT_PREPROCESSOR_NAMES",
+    "HPOSearch",
+    "HPOResult",
+    "HPOTrial",
+    "HPO_GRIDS",
+    "AutoMLComparison",
+    "compare_automl_context",
+    "summarize_comparisons",
+    "AUTOML_FP_CAPABILITIES",
+]

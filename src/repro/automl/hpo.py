@@ -1,0 +1,141 @@
+"""HPO module: hyperparameter tuning of the downstream model (no preprocessing).
+
+Section 7.2 of the paper compares Auto-FP against the HPO module of an
+AutoML system: both get the same budget, but HPO tunes the downstream
+model's hyperparameters on the raw (unpreprocessed) features.  The
+hyperparameter grids below mirror the knobs the original libraries expose
+for LR, XGBoost and the MLP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.budget import Budget, TrialBudget
+from repro.exceptions import UnknownComponentError
+from repro.models.metrics import accuracy_score
+from repro.models.registry import make_classifier
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_X_y
+
+#: hyperparameter grids per downstream model
+HPO_GRIDS: dict[str, dict[str, tuple]] = {
+    "lr": {
+        "C": (0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0),
+        "max_iter": (40, 80, 160),
+        "learning_rate": (0.1, 0.5, 1.0),
+    },
+    "xgb": {
+        "n_estimators": (5, 10, 20, 40),
+        "max_depth": (2, 3, 4, 6),
+        "learning_rate": (0.05, 0.1, 0.3, 0.5),
+        "subsample": (0.6, 0.8, 1.0),
+    },
+    "mlp": {
+        "hidden_layer_sizes": ((8,), (16,), (32,), (16, 16)),
+        "learning_rate": (1e-3, 5e-3, 1e-2, 5e-2),
+        "alpha": (1e-5, 1e-4, 1e-3),
+        "max_iter": (15, 25, 50),
+    },
+}
+
+
+@dataclass
+class HPOTrial:
+    """One hyperparameter configuration and its validation accuracy."""
+
+    params: dict
+    accuracy: float
+    train_time: float = 0.0
+
+
+@dataclass
+class HPOResult:
+    """All trials of one HPO run."""
+
+    model_name: str
+    trials: list[HPOTrial] = field(default_factory=list)
+
+    @property
+    def best_trial(self) -> HPOTrial:
+        if not self.trials:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("HPO produced no trials")
+        return max(self.trials, key=lambda t: t.accuracy)
+
+    @property
+    def best_accuracy(self) -> float:
+        return self.best_trial.accuracy
+
+    @property
+    def best_params(self) -> dict:
+        return self.best_trial.params
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+
+class HPOSearch:
+    """Random-search hyperparameter optimisation of a downstream model.
+
+    Parameters
+    ----------
+    model_name:
+        ``"lr"``, ``"xgb"`` or ``"mlp"``.
+    grid:
+        Optional custom grid; defaults to :data:`HPO_GRIDS`.
+    """
+
+    def __init__(self, model_name: str, grid: dict | None = None,
+                 random_state: int | None = 0) -> None:
+        if grid is None and model_name not in HPO_GRIDS:
+            raise UnknownComponentError(
+                f"No HPO grid for model {model_name!r}; known: {sorted(HPO_GRIDS)}"
+            )
+        self.model_name = model_name
+        self.grid = grid if grid is not None else HPO_GRIDS[model_name]
+        self.random_state = random_state
+
+    def sample_params(self, rng: np.random.Generator) -> dict:
+        """Sample one configuration uniformly from the grid."""
+        params = {}
+        for name, values in self.grid.items():
+            values = tuple(values)
+            params[name] = values[int(rng.integers(0, len(values)))]
+        return params
+
+    def search(self, X_train, y_train, X_valid, y_valid,
+               budget: Budget | None = None, *, max_trials: int = 40) -> HPOResult:
+        """Tune the model on the given split (raw features, no preprocessing)."""
+        X_train, y_train = check_X_y(X_train, y_train)
+        X_valid, y_valid = check_X_y(X_valid, y_valid)
+        budget = budget or TrialBudget(max_trials)
+        rng = check_random_state(self.random_state)
+        result = HPOResult(model_name=self.model_name)
+        seen: set[tuple] = set()
+
+        while not budget.exhausted():
+            params = self.sample_params(rng)
+            key = tuple(sorted((k, str(v)) for k, v in params.items()))
+            if key in seen and len(seen) < self._grid_size():
+                continue
+            seen.add(key)
+            start = time.perf_counter()
+            model = make_classifier(self.model_name, **params)
+            model.fit(X_train, y_train)
+            accuracy = accuracy_score(y_valid, model.predict(X_valid))
+            elapsed = time.perf_counter() - start
+            result.trials.append(HPOTrial(params=params, accuracy=accuracy,
+                                          train_time=elapsed))
+            budget.consume(1.0)
+        return result
+
+    def _grid_size(self) -> int:
+        size = 1
+        for values in self.grid.values():
+            size *= len(tuple(values))
+        return size

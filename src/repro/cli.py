@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI wraps the most common library workflows so the benchmark can be
+driven without writing Python:
+
+* ``python -m repro datasets`` — list the 45-dataset registry (plus the
+  recommendation and text extensions),
+* ``python -m repro preprocessors`` — list the default and extension
+  preprocessors,
+* ``python -m repro algorithms`` — list the 15 search algorithms (Table 3)
+  and the extension searchers,
+* ``python -m repro search`` — run one search on one dataset/model and
+  optionally save the result as JSON,
+* ``python -m repro compare`` — run several algorithms on one dataset under
+  an equal budget and print their ranking,
+* ``python -m repro metafeatures`` — print the 40 meta-features of a dataset.
+
+Every command writes plain text to stdout and returns a process exit code,
+so the CLI composes with shell pipelines and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-FP (EDBT 2024) reproduction — automated feature preprocessing.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser(
+        "datasets", help="list the benchmark dataset registry")
+    datasets.add_argument("--kind", choices=("tabular", "ctr", "text"),
+                          default="tabular",
+                          help="which registry to list (default: tabular)")
+
+    subparsers.add_parser("preprocessors", help="list feature preprocessors")
+
+    algorithms = subparsers.add_parser(
+        "algorithms", help="list search algorithms and their taxonomy")
+    algorithms.add_argument("--category", default=None,
+                            help="only show algorithms of this category")
+
+    search = subparsers.add_parser("search", help="run one Auto-FP search")
+    search.add_argument("--dataset", required=True, help="registry dataset name")
+    search.add_argument("--model", default="lr", help="downstream model (lr/xgb/mlp/...)")
+    search.add_argument("--algorithm", default="pbt", help="search algorithm name")
+    search.add_argument("--max-trials", type=int, default=40,
+                        help="evaluation budget (default 40)")
+    search.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    search.add_argument("--seed", type=int, default=0, help="random seed")
+    search.add_argument("--output", default=None,
+                        help="optional path for the JSON result")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare several algorithms on one dataset")
+    compare.add_argument("--dataset", required=True, help="registry dataset name")
+    compare.add_argument("--model", default="lr", help="downstream model")
+    compare.add_argument("--algorithms", nargs="+",
+                         default=["rs", "pbt", "tevo_h", "tpe"],
+                         help="algorithms to compare (default: rs pbt tevo_h tpe)")
+    compare.add_argument("--max-trials", type=int, default=30,
+                         help="evaluation budget per algorithm (default 30)")
+    compare.add_argument("--scale", type=float, default=1.0,
+                         help="dataset scale factor (default 1.0)")
+    compare.add_argument("--seed", type=int, default=0, help="random seed")
+
+    metafeatures = subparsers.add_parser(
+        "metafeatures", help="print the 40 meta-features of a dataset")
+    metafeatures.add_argument("--dataset", required=True, help="registry dataset name")
+    metafeatures.add_argument("--scale", type=float, default=1.0,
+                              help="dataset scale factor (default 1.0)")
+    return parser
+
+
+# ----------------------------------------------------------------- commands
+def _cmd_datasets(args, out) -> int:
+    if args.kind == "ctr":
+        from repro.deep import CTR_DATASET_REGISTRY
+
+        out.write(f"{'name':<12} {'samples':>8} {'numeric':>8}  description\n")
+        for info in CTR_DATASET_REGISTRY.values():
+            out.write(f"{info.name:<12} {info.n_samples:>8d} "
+                      f"{info.n_numeric_features:>8d}  {info.description}\n")
+        return 0
+    if args.kind == "text":
+        from repro.text import TEXT_DATASET_REGISTRY
+
+        out.write(f"{'name':<12} {'documents':>9} {'classes':>8}  description\n")
+        for info in TEXT_DATASET_REGISTRY.values():
+            out.write(f"{info.name:<12} {info.n_documents:>9d} "
+                      f"{info.n_classes:>8d}  {info.description}\n")
+        return 0
+
+    from repro.datasets import get_dataset_info, list_datasets
+
+    out.write(f"{'name':<26} {'rows':>6} {'cols':>6} {'classes':>8} "
+              f"{'paper rows':>11} {'paper cols':>11}\n")
+    for name in list_datasets():
+        info = get_dataset_info(name)
+        out.write(f"{info.name:<26} {info.n_samples:>6d} {info.n_features:>6d} "
+                  f"{info.n_classes:>8d} {info.paper_rows:>11d} {info.paper_cols:>11d}\n")
+    return 0
+
+
+def _cmd_preprocessors(args, out) -> int:
+    from repro.preprocessing import (
+        DEFAULT_PREPROCESSOR_NAMES,
+        EXTENDED_PREPROCESSOR_NAMES,
+        get_extended_preprocessor_class,
+        get_preprocessor_class,
+    )
+
+    out.write("default preprocessors (Section 2.1):\n")
+    for name in DEFAULT_PREPROCESSOR_NAMES:
+        cls = get_preprocessor_class(name)
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        out.write(f"  {name:<22} {summary}\n")
+    out.write("\nextension preprocessors (opt-in):\n")
+    for name in EXTENDED_PREPROCESSOR_NAMES:
+        cls = get_extended_preprocessor_class(name)
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        out.write(f"  {name:<22} {summary}\n")
+    return 0
+
+
+def _cmd_algorithms(args, out) -> int:
+    from repro.search import EXTENSION_ALGORITHM_CLASSES, category_of, taxonomy_table
+
+    rows = taxonomy_table()
+    if args.category:
+        rows = [row for row in rows if row["category"] == args.category]
+        if not rows:
+            out.write(f"no algorithms in category {args.category!r}\n")
+            return 1
+    out.write(f"{'name':<12} {'category':<12} {'area':<5} {'surrogate':<20} "
+              f"{'initialization':<20}\n")
+    for row in rows:
+        out.write(f"{row['name']:<12} {row['category']:<12} {row['area']:<5} "
+                  f"{row['surrogate_model']:<20} {row['initialization']:<20}\n")
+    if not args.category:
+        out.write("\nextension searchers (not part of the paper's 15): "
+                  + ", ".join(sorted(EXTENSION_ALGORITHM_CLASSES)) + "\n")
+    # `category_of` validates the names shown above stay registered.
+    for row in rows:
+        category_of(row["name"])
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    from repro.core.problem import AutoFPProblem
+    from repro.search import make_search_algorithm
+
+    problem = AutoFPProblem.from_registry(
+        args.dataset, args.model, scale=args.scale, random_state=args.seed
+    )
+    baseline = problem.baseline_accuracy()
+    algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
+    result = algorithm.search(problem, max_trials=args.max_trials)
+    result.baseline_accuracy = baseline
+
+    out.write(f"dataset      : {args.dataset} (scale {args.scale})\n")
+    out.write(f"model        : {args.model}\n")
+    out.write(f"algorithm    : {args.algorithm}\n")
+    out.write(f"trials       : {len(result)}\n")
+    out.write(f"baseline acc : {baseline:.4f}\n")
+    out.write(f"best acc     : {result.best_accuracy:.4f}\n")
+    out.write(f"best pipeline: {result.best_pipeline.describe()}\n")
+
+    if args.output:
+        from repro.io import save_search_result
+
+        path = save_search_result(result, args.output)
+        out.write(f"saved result : {path}\n")
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from repro.analysis import format_ranking_table, rank_with_ties
+    from repro.core.problem import AutoFPProblem
+    from repro.search import make_search_algorithm
+
+    problem = AutoFPProblem.from_registry(
+        args.dataset, args.model, scale=args.scale, random_state=args.seed
+    )
+    baseline = problem.baseline_accuracy()
+    accuracies: dict[str, float] = {}
+    for name in args.algorithms:
+        result = make_search_algorithm(name, random_state=args.seed).search(
+            problem, max_trials=args.max_trials
+        )
+        accuracies[name] = result.best_accuracy
+
+    out.write(f"dataset {args.dataset}, model {args.model}, "
+              f"budget {args.max_trials} trials, baseline {baseline:.4f}\n\n")
+    out.write(f"{'algorithm':<12} {'best accuracy':>14}\n")
+    for name, accuracy in sorted(accuracies.items(), key=lambda kv: -kv[1]):
+        out.write(f"{name:<12} {accuracy:>14.4f}\n")
+
+    ranking = rank_with_ties(accuracies)
+    out.write("\n" + format_ranking_table(ranking, title="ranking (1 = best):") + "\n")
+    return 0
+
+
+def _cmd_metafeatures(args, out) -> int:
+    from repro.datasets import load_dataset
+    from repro.metafeatures import compute_metafeatures
+
+    X, y = load_dataset(args.dataset, scale=args.scale)
+    features = compute_metafeatures(X, y)
+    width = max(len(name) for name in features)
+    for name, value in features.items():
+        out.write(f"{name:<{width}} {value: .6g}\n")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "preprocessors": _cmd_preprocessors,
+    "algorithms": _cmd_algorithms,
+    "search": _cmd_search,
+    "compare": _cmd_compare,
+    "metafeatures": _cmd_metafeatures,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    from repro.exceptions import ReproError
+
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

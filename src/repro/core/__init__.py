@@ -1,0 +1,22 @@
+"""Core Auto-FP abstractions: pipelines, search space, evaluation, budgets."""
+
+from repro.core.budget import Budget, CompositeBudget, TimeBudget, TrialBudget
+from repro.core.evaluation import PipelineEvaluator
+from repro.core.pipeline import FittedPipeline, Pipeline
+from repro.core.problem import AutoFPProblem
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.search_space import SearchSpace
+
+__all__ = [
+    "Pipeline",
+    "FittedPipeline",
+    "SearchSpace",
+    "PipelineEvaluator",
+    "AutoFPProblem",
+    "SearchResult",
+    "TrialRecord",
+    "Budget",
+    "TrialBudget",
+    "TimeBudget",
+    "CompositeBudget",
+]

@@ -1,0 +1,115 @@
+"""Search budgets.
+
+The paper constrains every search run by wall-clock time (60 s .. 3600 s).
+For a deterministic, laptop-scale reproduction the primary budget here is
+the *number of pipeline evaluations* (``TrialBudget``), which is what
+actually differentiates the algorithms once the evaluation cost per pipeline
+is fixed.  ``TimeBudget`` is also provided for wall-clock runs, and
+``CompositeBudget`` stops when any member budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Budget:
+    """Budget protocol: ``remaining()``, ``exhausted()``, ``consume()``."""
+
+    def exhausted(self) -> bool:
+        raise NotImplementedError
+
+    def consume(self, amount: float = 1.0) -> None:
+        """Record that ``amount`` of budget was used (evaluations or seconds)."""
+        raise NotImplementedError
+
+    def remaining(self) -> float:
+        raise NotImplementedError
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExhaustedError` if the budget is spent."""
+        from repro.exceptions import BudgetExhaustedError
+
+        if self.exhausted():
+            raise BudgetExhaustedError(f"{self!r} is exhausted")
+
+
+class TrialBudget(Budget):
+    """Budget measured in number of pipeline evaluations.
+
+    Partial evaluations (Hyperband's low-fidelity rungs) may consume
+    fractional amounts.
+    """
+
+    def __init__(self, max_trials: int) -> None:
+        if max_trials < 1:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("max_trials must be at least 1")
+        self.max_trials = float(max_trials)
+        self.used = 0.0
+
+    def exhausted(self) -> bool:
+        return self.used >= self.max_trials
+
+    def consume(self, amount: float = 1.0) -> None:
+        self.used += float(amount)
+
+    def remaining(self) -> float:
+        return max(0.0, self.max_trials - self.used)
+
+    def __repr__(self) -> str:
+        return f"TrialBudget(used={self.used:g}, max={self.max_trials:g})"
+
+
+class TimeBudget(Budget):
+    """Wall-clock budget in seconds, mirroring the paper's time limits."""
+
+    def __init__(self, max_seconds: float, clock=time.monotonic) -> None:
+        if max_seconds <= 0:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("max_seconds must be positive")
+        self.max_seconds = float(max_seconds)
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def exhausted(self) -> bool:
+        return self.elapsed() >= self.max_seconds
+
+    def consume(self, amount: float = 0.0) -> None:
+        # Time passes on its own; consume is a no-op kept for protocol parity.
+        return None
+
+    def remaining(self) -> float:
+        return max(0.0, self.max_seconds - self.elapsed())
+
+    def __repr__(self) -> str:
+        return f"TimeBudget(elapsed={self.elapsed():.2f}s, max={self.max_seconds:g}s)"
+
+
+class CompositeBudget(Budget):
+    """Budget exhausted as soon as any member budget is exhausted."""
+
+    def __init__(self, *budgets: Budget) -> None:
+        if not budgets:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("CompositeBudget needs at least one budget")
+        self.budgets = budgets
+
+    def exhausted(self) -> bool:
+        return any(budget.exhausted() for budget in self.budgets)
+
+    def consume(self, amount: float = 1.0) -> None:
+        for budget in self.budgets:
+            budget.consume(amount)
+
+    def remaining(self) -> float:
+        return min(budget.remaining() for budget in self.budgets)
+
+    def __repr__(self) -> str:
+        return f"CompositeBudget({', '.join(repr(b) for b in self.budgets)})"

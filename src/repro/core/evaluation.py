@@ -1,0 +1,182 @@
+"""Pipeline evaluation: the "Prep" and "Train" steps of the unified framework.
+
+The :class:`PipelineEvaluator` owns the train/validation split and a
+downstream-model prototype.  ``evaluate(pipeline)`` transforms both splits
+with the pipeline, trains a fresh model on the transformed training data and
+returns the validation accuracy — the pipeline error of Equation 2 is just
+``1 - accuracy``.  It also measures preprocessing and training time
+separately so the bottleneck analysis (Section 5.3) can be reproduced, and
+supports low-fidelity evaluations (a fraction of the training rows) for the
+bandit-based algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.core.result import TrialRecord
+from repro.exceptions import ValidationError
+from repro.models.base import Classifier
+from repro.models.metrics import accuracy_score, train_test_split
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_X_y
+
+
+class PipelineEvaluator:
+    """Evaluate feature-preprocessing pipelines on a fixed train/valid split.
+
+    Parameters
+    ----------
+    X_train, y_train, X_valid, y_valid:
+        The data split.  Use :meth:`from_dataset` to create the split with
+        the paper's 80:20 proportion.
+    model:
+        Downstream classifier prototype; it is cloned for every evaluation.
+    cache:
+        When True (default) repeated evaluations of the same pipeline
+        specification at the same fidelity return the cached result without
+        re-training.
+    random_state:
+        Seed controlling low-fidelity subsampling.
+    """
+
+    def __init__(self, X_train, y_train, X_valid, y_valid, model: Classifier,
+                 *, cache: bool = True, random_state=None) -> None:
+        self.X_train, self.y_train = check_X_y(X_train, y_train)
+        self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
+        if self.X_train.shape[1] != self.X_valid.shape[1]:
+            raise ValidationError("train and valid splits have different feature counts")
+        self.model = model
+        self.cache_enabled = cache
+        self._cache: dict = {}
+        self._rng = check_random_state(random_state)
+        self.n_evaluations = 0
+
+    # ----------------------------------------------------------- factories
+    @classmethod
+    def from_dataset(cls, X, y, model: Classifier, *, valid_size: float = 0.2,
+                     cache: bool = True, random_state=0) -> "PipelineEvaluator":
+        """Split ``(X, y)`` 80:20 (stratified) and build an evaluator."""
+        X_train, X_valid, y_train, y_valid = train_test_split(
+            X, y, test_size=valid_size, random_state=random_state
+        )
+        return cls(X_train, y_train, X_valid, y_valid, model,
+                   cache=cache, random_state=random_state)
+
+    # ----------------------------------------------------------- evaluation
+    def baseline_accuracy(self) -> float:
+        """Validation accuracy of the downstream model with no preprocessing."""
+        return self.evaluate(Pipeline()).accuracy
+
+    def evaluate(self, pipeline: Pipeline, *, fidelity: float = 1.0,
+                 pick_time: float = 0.0, iteration: int = 0) -> TrialRecord:
+        """Evaluate ``pipeline`` and return a :class:`TrialRecord`.
+
+        Parameters
+        ----------
+        pipeline:
+            The pipeline specification to evaluate.
+        fidelity:
+            Fraction of the training rows used (``(0, 1]``).  Low-fidelity
+            evaluations are never cached as full results.
+        pick_time:
+            Seconds the search algorithm spent choosing this pipeline;
+            stored in the record for the bottleneck analysis.
+        iteration:
+            Search-iteration index, stored for analysis.
+        """
+        if not 0.0 < fidelity <= 1.0:
+            raise ValidationError(f"fidelity must be in (0, 1], got {fidelity}")
+
+        key = (pipeline.spec(), round(fidelity, 6))
+        if self.cache_enabled and key in self._cache:
+            cached = self._cache[key]
+            return TrialRecord(
+                pipeline=pipeline,
+                accuracy=cached["accuracy"],
+                pick_time=pick_time,
+                prep_time=cached["prep_time"],
+                train_time=cached["train_time"],
+                fidelity=fidelity,
+                iteration=iteration,
+            )
+
+        X_train, y_train = self._training_subset(fidelity)
+
+        prep_start = time.perf_counter()
+        try:
+            fitted, X_train_t = pipeline.fit_transform(X_train, y_train)
+            X_valid_t = fitted.transform(self.X_valid)
+        except (FloatingPointError, ValueError, ValidationError):
+            # A numerically degenerate pipeline scores as bad as possible.
+            prep_time = time.perf_counter() - prep_start
+            record = TrialRecord(pipeline, accuracy=0.0, pick_time=pick_time,
+                                 prep_time=prep_time, train_time=0.0,
+                                 fidelity=fidelity, iteration=iteration)
+            self.n_evaluations += 1
+            return record
+        prep_time = time.perf_counter() - prep_start
+
+        train_start = time.perf_counter()
+        model = self.model.clone()
+        model.fit(self._sanitize(X_train_t), y_train)
+        predictions = model.predict(self._sanitize(X_valid_t))
+        accuracy = accuracy_score(self.y_valid, predictions)
+        train_time = time.perf_counter() - train_start
+
+        self.n_evaluations += 1
+        if self.cache_enabled:
+            self._cache[key] = {
+                "accuracy": accuracy,
+                "prep_time": prep_time,
+                "train_time": train_time,
+            }
+        return TrialRecord(
+            pipeline=pipeline,
+            accuracy=accuracy,
+            pick_time=pick_time,
+            prep_time=prep_time,
+            train_time=train_time,
+            fidelity=fidelity,
+            iteration=iteration,
+        )
+
+    def evaluate_many(self, pipelines, *, fidelity: float = 1.0,
+                      iteration: int = 0) -> list[TrialRecord]:
+        """Evaluate a batch of pipelines at the same fidelity."""
+        return [
+            self.evaluate(pipeline, fidelity=fidelity, iteration=iteration)
+            for pipeline in pipelines
+        ]
+
+    # ------------------------------------------------------------ internals
+    def _training_subset(self, fidelity: float):
+        if fidelity >= 1.0:
+            return self.X_train, self.y_train
+        n_samples = self.X_train.shape[0]
+        size = max(int(round(fidelity * n_samples)), 10)
+        size = min(size, n_samples)
+        indices = self._rng.choice(n_samples, size=size, replace=False)
+        # Make sure at least two classes survive the subsample.
+        if np.unique(self.y_train[indices]).shape[0] < 2:
+            return self.X_train, self.y_train
+        return self.X_train[indices], self.y_train[indices]
+
+    @staticmethod
+    def _sanitize(X: np.ndarray) -> np.ndarray:
+        """Replace NaN / inf produced by extreme transformations with finite values."""
+        return np.nan_to_num(X, nan=0.0, posinf=1e12, neginf=-1e12)
+
+    def clear_cache(self) -> None:
+        """Drop all cached evaluations."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineEvaluator(model={type(self.model).__name__}, "
+            f"n_train={self.X_train.shape[0]}, n_valid={self.X_valid.shape[0]}, "
+            f"n_features={self.X_train.shape[1]})"
+        )

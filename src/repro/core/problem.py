@@ -1,0 +1,77 @@
+"""The Auto-FP problem: data + downstream model + search space bundled together.
+
+``AutoFPProblem`` is the object users hand to a search algorithm.  It wires a
+dataset (or a named registry dataset), a downstream model and a search space
+into a :class:`~repro.core.evaluation.PipelineEvaluator`, and exposes the
+no-preprocessing baseline that the paper uses as its reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import PipelineEvaluator
+from repro.core.search_space import SearchSpace
+from repro.models.base import Classifier
+from repro.models.registry import make_classifier
+
+
+@dataclass
+class AutoFPProblem:
+    """An automated-feature-preprocessing problem instance.
+
+    Attributes
+    ----------
+    evaluator:
+        The pipeline evaluator holding the train/valid split and the
+        downstream model.
+    space:
+        The pipeline search space.
+    name:
+        Optional human-readable name (dataset + model) used in reports.
+    """
+
+    evaluator: PipelineEvaluator
+    space: SearchSpace
+    name: str = "auto-fp"
+
+    @classmethod
+    def from_arrays(cls, X, y, model: Classifier | str, *,
+                    space: SearchSpace | None = None, valid_size: float = 0.2,
+                    fast_model: bool = True, random_state=0,
+                    name: str = "auto-fp") -> "AutoFPProblem":
+        """Build a problem from raw arrays.
+
+        ``model`` may be a classifier instance or a registry name
+        (``"lr"``, ``"xgb"``, ``"mlp"``).
+        """
+        if isinstance(model, str):
+            model = make_classifier(model, fast=fast_model)
+        evaluator = PipelineEvaluator.from_dataset(
+            X, y, model, valid_size=valid_size, random_state=random_state
+        )
+        return cls(evaluator=evaluator, space=space or SearchSpace(), name=name)
+
+    @classmethod
+    def from_registry(cls, dataset_name: str, model: Classifier | str, *,
+                      space: SearchSpace | None = None, scale: float = 1.0,
+                      fast_model: bool = True, random_state=0) -> "AutoFPProblem":
+        """Build a problem from a named dataset of the benchmark registry."""
+        from repro.datasets.registry import load_dataset
+
+        X, y = load_dataset(dataset_name, scale=scale)
+        model_name = model if isinstance(model, str) else type(model).__name__
+        return cls.from_arrays(
+            X, y, model,
+            space=space,
+            fast_model=fast_model,
+            random_state=random_state,
+            name=f"{dataset_name}/{model_name}",
+        )
+
+    def baseline_accuracy(self) -> float:
+        """Validation accuracy of the downstream model without preprocessing."""
+        return self.evaluator.baseline_accuracy()
+
+    def __repr__(self) -> str:
+        return f"AutoFPProblem(name={self.name!r}, space={self.space!r})"

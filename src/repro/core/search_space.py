@@ -1,0 +1,196 @@
+"""The Auto-FP search space (Definition 3 of the paper).
+
+The search space is the set of all pipelines of length 1..max_length built
+from a candidate list of preprocessors (order matters and repetition is
+allowed, so there are ``sum_{i=1..N} n^i`` pipelines for ``n`` candidates).
+The space supports the operations the 15 search algorithms need:
+
+* uniform random sampling (traditional / initialisation),
+* neighbourhood generation (simulated annealing),
+* mutation (evolution-based algorithms),
+* progressive expansion by one position (Progressive NAS / ENAS),
+* a fixed-length integer / one-hot encoding (surrogate models, REINFORCE),
+* full enumeration for small lengths (the motivating experiment, Figure 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.exceptions import SearchSpaceError
+from repro.preprocessing.base import Preprocessor
+from repro.preprocessing.registry import default_preprocessors
+from repro.utils.random import check_random_state
+
+
+class SearchSpace:
+    """Search space over preprocessor pipelines.
+
+    Parameters
+    ----------
+    candidates:
+        The candidate preprocessors (prototypes; they are cloned whenever a
+        pipeline is built).  Defaults to the seven paper preprocessors.
+    max_length:
+        Maximum pipeline length ``N``.  The paper's default space uses
+        ``N = 7`` (length up to the number of preprocessors); the motivating
+        experiment uses smaller values.
+    """
+
+    def __init__(self, candidates: Iterable[Preprocessor] | None = None,
+                 max_length: int = 7) -> None:
+        self.candidates: tuple[Preprocessor, ...] = tuple(
+            candidates if candidates is not None else default_preprocessors()
+        )
+        if not self.candidates:
+            raise SearchSpaceError("search space needs at least one candidate preprocessor")
+        if max_length < 1:
+            raise SearchSpaceError("max_length must be at least 1")
+        self.max_length = int(max_length)
+
+    # ------------------------------------------------------------ basic info
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+    def size(self) -> int:
+        """Total number of pipelines: ``sum_{i=1}^{N} n^i``."""
+        n = self.n_candidates
+        return sum(n ** i for i in range(1, self.max_length + 1))
+
+    def candidate_index(self, step: Preprocessor) -> int:
+        """Index of a candidate matching ``step`` (same class and params)."""
+        for i, candidate in enumerate(self.candidates):
+            if candidate == step:
+                return i
+        raise SearchSpaceError(f"step {step!r} is not one of the space's candidates")
+
+    # ------------------------------------------------------------- sampling
+    def sample_length(self, rng: np.random.Generator) -> int:
+        """Sample a pipeline length uniformly from ``1..max_length``."""
+        return int(rng.integers(1, self.max_length + 1))
+
+    def sample_pipeline(self, random_state=None, length: int | None = None) -> Pipeline:
+        """Sample a pipeline uniformly (first a length, then each position)."""
+        rng = check_random_state(random_state)
+        length = self.sample_length(rng) if length is None else int(length)
+        if not 1 <= length <= self.max_length:
+            raise SearchSpaceError(
+                f"length must be in [1, {self.max_length}], got {length}"
+            )
+        indices = rng.integers(0, self.n_candidates, size=length)
+        return self.pipeline_from_indices(indices)
+
+    def sample_pipelines(self, n: int, random_state=None) -> list[Pipeline]:
+        """Sample ``n`` pipelines independently."""
+        rng = check_random_state(random_state)
+        return [self.sample_pipeline(rng) for _ in range(n)]
+
+    def pipeline_from_indices(self, indices: Sequence[int]) -> Pipeline:
+        """Build a pipeline from candidate indices (one per position)."""
+        return Pipeline([self.candidates[int(i)] for i in indices])
+
+    def indices_of(self, pipeline: Pipeline) -> list[int]:
+        """Inverse of :meth:`pipeline_from_indices`."""
+        return [self.candidate_index(step) for step in pipeline]
+
+    # ----------------------------------------------------------- neighbours
+    def neighbors(self, pipeline: Pipeline, random_state=None,
+                  n_neighbors: int = 1) -> list[Pipeline]:
+        """Random neighbours of ``pipeline`` for local-search algorithms.
+
+        A neighbour differs by exactly one edit: replace one position,
+        append a preprocessor (if below ``max_length``) or drop the last
+        position (if longer than one step).
+        """
+        rng = check_random_state(random_state)
+        result = [self.mutate(pipeline, rng) for _ in range(n_neighbors)]
+        return result
+
+    def mutate(self, pipeline: Pipeline, random_state=None) -> Pipeline:
+        """Return a single random one-edit mutation of ``pipeline``."""
+        rng = check_random_state(random_state)
+        moves = ["replace"]
+        if len(pipeline) < self.max_length:
+            moves.append("append")
+        if len(pipeline) > 1:
+            moves.append("drop")
+        move = moves[int(rng.integers(0, len(moves)))]
+
+        if move == "append" or len(pipeline) == 0:
+            new_step = self.candidates[int(rng.integers(0, self.n_candidates))]
+            return pipeline.append(new_step)
+        if move == "drop":
+            return pipeline.truncate(len(pipeline) - 1)
+        position = int(rng.integers(0, len(pipeline)))
+        new_step = self.candidates[int(rng.integers(0, self.n_candidates))]
+        return pipeline.replace(position, new_step)
+
+    def crossover(self, first: Pipeline, second: Pipeline, random_state=None) -> Pipeline:
+        """Single-point crossover used by the genetic-programming baseline."""
+        rng = check_random_state(random_state)
+        cut_first = int(rng.integers(0, len(first) + 1))
+        cut_second = int(rng.integers(0, len(second) + 1))
+        steps = [*first[:cut_first], *second[cut_second:]]
+        if not steps:
+            return self.sample_pipeline(rng, length=1)
+        return Pipeline(steps[: self.max_length])
+
+    # -------------------------------------------------------- progressive
+    def single_step_pipelines(self) -> list[Pipeline]:
+        """All pipelines of length one (Progressive NAS starting points)."""
+        return [Pipeline([candidate]) for candidate in self.candidates]
+
+    def expand(self, pipeline: Pipeline) -> list[Pipeline]:
+        """All one-step extensions of ``pipeline`` (empty if at max length)."""
+        if len(pipeline) >= self.max_length:
+            return []
+        return [pipeline.append(candidate) for candidate in self.candidates]
+
+    def enumerate_pipelines(self, max_length: int | None = None):
+        """Yield every pipeline up to ``max_length`` (default: the space's max).
+
+        Only intended for small spaces (the paper's motivating experiment
+        enumerates 2800 pipelines of length <= 4 over 7 preprocessors).
+        """
+        limit = self.max_length if max_length is None else min(max_length, self.max_length)
+        for length in range(1, limit + 1):
+            for combo in itertools.product(range(self.n_candidates), repeat=length):
+                yield self.pipeline_from_indices(combo)
+
+    # ------------------------------------------------------------ encoding
+    def encode(self, pipeline: Pipeline) -> np.ndarray:
+        """Fixed-length one-hot encoding used by surrogate models.
+
+        The encoding has ``max_length`` blocks of ``n_candidates + 1``
+        entries; each block one-hot encodes the candidate at that position,
+        with the extra entry meaning "empty" (pipeline shorter than the
+        position).
+        """
+        block = self.n_candidates + 1
+        vector = np.zeros(self.max_length * block, dtype=np.float64)
+        indices = self.indices_of(pipeline)
+        for position in range(self.max_length):
+            if position < len(indices):
+                vector[position * block + indices[position]] = 1.0
+            else:
+                vector[position * block + self.n_candidates] = 1.0
+        return vector
+
+    def encoding_dim(self) -> int:
+        """Dimensionality of :meth:`encode`'s output."""
+        return self.max_length * (self.n_candidates + 1)
+
+    def encode_many(self, pipelines: Sequence[Pipeline]) -> np.ndarray:
+        """Encode a list of pipelines into a 2-D design matrix."""
+        if not pipelines:
+            return np.zeros((0, self.encoding_dim()))
+        return np.stack([self.encode(p) for p in pipelines])
+
+    def __repr__(self) -> str:
+        names = [candidate.name for candidate in self.candidates]
+        return f"SearchSpace(n_candidates={len(names)}, max_length={self.max_length})"

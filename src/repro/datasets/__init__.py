@@ -1,0 +1,35 @@
+"""Synthetic dataset generators and the 45-dataset benchmark registry."""
+
+from repro.datasets.registry import (
+    BOTTLENECK_DATASETS,
+    DATASET_REGISTRY,
+    MOTIVATION_DATASETS,
+    DatasetInfo,
+    dataset_statistics,
+    get_dataset_info,
+    list_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    DistortionSpec,
+    SyntheticSpec,
+    distort_features,
+    make_classification,
+    make_distorted_classification,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "DATASET_REGISTRY",
+    "MOTIVATION_DATASETS",
+    "BOTTLENECK_DATASETS",
+    "list_datasets",
+    "get_dataset_info",
+    "load_dataset",
+    "dataset_statistics",
+    "DistortionSpec",
+    "SyntheticSpec",
+    "make_classification",
+    "distort_features",
+    "make_distorted_classification",
+]

@@ -1,0 +1,62 @@
+"""Deep recommendation models and datasets for the Section 8 extension.
+
+The paper's Section 8 ("Benchmark Auto-FP for Deep Models for Specific
+Tasks") argues that Auto-FP also applies to deep models such as DeepFM and
+DCN on recommendation data.  This subpackage provides that extension:
+
+* :class:`FactorizationMachineClassifier` — the classical FM baseline,
+* :class:`DeepFMClassifier` — FM branch + deep ReLU branch,
+* :class:`DeepCrossNetworkClassifier` — explicit cross layers + deep branch,
+* synthetic recommendation datasets (``tmall`` / ``instacart`` stand-ins)
+  whose response to feature preprocessing mirrors the paper's observation
+  that FP improved the Tmall AUC but hurt the Instacart AUC.
+
+Importing this subpackage also registers the three models with
+:data:`repro.models.registry.CLASSIFIER_CLASSES` under the names ``"fm"``,
+``"deepfm"`` and ``"dcn"`` so they can be used as downstream models of an
+:class:`~repro.core.problem.AutoFPProblem` like the paper's LR / XGB / MLP.
+"""
+
+from repro.deep.datasets import (
+    CTR_DATASET_REGISTRY,
+    CTRDatasetInfo,
+    get_ctr_dataset_info,
+    list_ctr_datasets,
+    load_ctr_dataset,
+    make_basket_dataset,
+    make_ctr_dataset,
+)
+from repro.deep.dcn import DeepCrossNetworkClassifier
+from repro.deep.deepfm import DeepFMClassifier
+from repro.deep.factorization_machine import FactorizationMachineClassifier
+from repro.models.registry import CLASSIFIER_CLASSES, FAST_MODEL_PARAMS
+
+#: deep downstream models added by this extension, keyed by registry name
+DEEP_MODEL_CLASSES = {
+    "fm": FactorizationMachineClassifier,
+    "deepfm": DeepFMClassifier,
+    "dcn": DeepCrossNetworkClassifier,
+}
+
+# Register the deep models with the central classifier registry (idempotent).
+for _name, _cls in DEEP_MODEL_CLASSES.items():
+    CLASSIFIER_CLASSES.setdefault(_name, _cls)
+FAST_MODEL_PARAMS.setdefault("fm", {"max_iter": 15, "n_factors": 4})
+FAST_MODEL_PARAMS.setdefault("deepfm", {"max_iter": 15, "n_factors": 4,
+                                        "hidden_layer_sizes": (16,)})
+FAST_MODEL_PARAMS.setdefault("dcn", {"max_iter": 15, "n_cross_layers": 2,
+                                     "hidden_layer_sizes": (16,)})
+
+__all__ = [
+    "FactorizationMachineClassifier",
+    "DeepFMClassifier",
+    "DeepCrossNetworkClassifier",
+    "DEEP_MODEL_CLASSES",
+    "CTRDatasetInfo",
+    "CTR_DATASET_REGISTRY",
+    "make_ctr_dataset",
+    "make_basket_dataset",
+    "list_ctr_datasets",
+    "get_ctr_dataset_info",
+    "load_ctr_dataset",
+]

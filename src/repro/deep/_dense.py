@@ -1,0 +1,105 @@
+"""Shared dense-network building blocks for the deep recommendation models.
+
+The Section 8 experiment ("Benchmark Auto-FP for Deep Models for Specific
+Tasks") uses DeepFM and DCN as downstream models.  Both combine a structured
+component (factorization-machine interactions, cross layers) with a plain
+feed-forward branch; this module factors out that feed-forward branch — a
+ReLU stack with manual backpropagation — plus a small Adam optimiser so each
+model only implements its structured part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DenseStack:
+    """A ReLU feed-forward stack ``input -> hidden... -> output`` with backprop.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of every layer including input and output, e.g.
+        ``[n_features, 32, 16, n_classes]``.
+    rng:
+        Generator used for Glorot-uniform weight initialisation.
+    """
+
+    def __init__(self, layer_sizes: list[int], rng: np.random.Generator) -> None:
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------ API
+    def forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Return all layer activations (input first, final linear output last)."""
+        activations = [X]
+        last = len(self.weights) - 1
+        for i, (weights, biases) in enumerate(zip(self.weights, self.biases)):
+            pre_activation = activations[-1] @ weights + biases
+            if i < last:
+                activations.append(np.maximum(pre_activation, 0.0))
+            else:
+                activations.append(pre_activation)
+        return activations
+
+    def backward(self, activations: list[np.ndarray], output_grad: np.ndarray):
+        """Backpropagate ``output_grad`` (dLoss/dOutput) through the stack.
+
+        Returns ``(weight_grads, bias_grads, input_grad)`` so callers can keep
+        propagating into the structured component that feeds the stack.
+        """
+        grads_w = [np.zeros_like(w) for w in self.weights]
+        grads_b = [np.zeros_like(b) for b in self.biases]
+        delta = output_grad
+        for i in range(len(self.weights) - 1, -1, -1):
+            grads_w[i] = activations[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            delta = delta @ self.weights[i].T
+            if i > 0:
+                delta = delta * (activations[i] > 0.0)
+        return grads_w, grads_b, delta
+
+    def parameters(self) -> list[np.ndarray]:
+        """All trainable arrays, weights interleaved with biases."""
+        params: list[np.ndarray] = []
+        for weights, biases in zip(self.weights, self.biases):
+            params.append(weights)
+            params.append(biases)
+        return params
+
+
+class AdamOptimizer:
+    """Minimal Adam optimiser updating a flat list of parameter arrays in place."""
+
+    def __init__(self, parameters: list[np.ndarray], learning_rate: float = 1e-2,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._step = 0
+
+    def update(self, gradients: list[np.ndarray]) -> None:
+        """Apply one Adam step given gradients aligned with ``parameters``."""
+        self._step += 1
+        for i, (param, grad) in enumerate(zip(self.parameters, gradients)):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[i] / (1 - self.beta1 ** self._step)
+            v_hat = self._v[i] / (1 - self.beta2 ** self._step)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def iterate_minibatches(n_samples: int, batch_size: int, rng: np.random.Generator):
+    """Yield index arrays covering a random permutation of ``n_samples`` rows."""
+    permutation = rng.permutation(n_samples)
+    step = max(1, int(batch_size))
+    for start in range(0, n_samples, step):
+        yield permutation[start:start + step]

@@ -1,0 +1,157 @@
+"""DeepFM classifier — factorization machine plus a deep ReLU branch.
+
+DeepFM (Guo et al., IJCAI 2017) is one of the two "mainstream deep models
+dealing with recommendation tasks" the paper's Section 8 uses to argue that
+Auto-FP also applies to deep models.  The model sums two branches that share
+the same input features:
+
+* a *wide* branch — the second-order factorization-machine score, which
+  captures pairwise feature interactions, and
+* a *deep* branch — a small ReLU feed-forward network, which captures
+  higher-order, non-multiplicative structure.
+
+Per-class logits are ``fm_score_c(x) + deep_logit_c(x)`` and probabilities
+are their softmax, so binary and multi-class targets are handled uniformly.
+The original DeepFM consumes sparse categorical fields through a shared
+embedding table; this reproduction consumes the already-encoded (one-hot /
+numeric) matrix produced by :mod:`repro.deep.datasets`, which exercises the
+same preprocessing-sensitivity code path the Section 8 experiment needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deep._dense import AdamOptimizer, DenseStack, iterate_minibatches
+from repro.models.base import Classifier, one_hot, softmax
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_is_fitted
+
+
+class DeepFMClassifier(Classifier):
+    """DeepFM: joint training of an FM branch and a dense ReLU branch.
+
+    Parameters
+    ----------
+    n_factors:
+        Rank of the FM pairwise-interaction factors.
+    hidden_layer_sizes:
+        Widths of the deep branch's hidden layers.
+    learning_rate:
+        Adam step size shared by both branches.
+    max_iter:
+        Number of training epochs.
+    batch_size:
+        Mini-batch size; clipped to the number of training samples.
+    alpha:
+        L2 penalty on the FM linear weights and factor matrices.
+    init_scale:
+        Standard deviation of the FM factor initialisation.
+    random_state:
+        Seed controlling initialisation and batch shuffling.
+    """
+
+    name = "deepfm"
+
+    def __init__(self, n_factors: int = 8, hidden_layer_sizes: tuple = (32, 16),
+                 learning_rate: float = 2e-2, max_iter: int = 40,
+                 batch_size: int = 128, alpha: float = 1e-4,
+                 init_scale: float = 0.05, random_state: int | None = 0) -> None:
+        super().__init__(
+            n_factors=int(n_factors),
+            hidden_layer_sizes=tuple(hidden_layer_sizes),
+            learning_rate=learning_rate,
+            max_iter=int(max_iter),
+            batch_size=int(batch_size),
+            alpha=alpha,
+            init_scale=init_scale,
+            random_state=random_state,
+        )
+
+    # ------------------------------------------------------------- training
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = check_random_state(self.random_state)
+        n_samples, n_features = X.shape
+        n_classes = int(y.max()) + 1
+        targets = one_hot(y, n_classes)
+
+        self.bias_ = np.zeros(n_classes)
+        self.linear_ = np.zeros((n_features, n_classes))
+        self.factors_ = rng.normal(
+            scale=self.init_scale, size=(n_classes, n_features, self.n_factors)
+        )
+        self.deep_ = DenseStack(
+            [n_features, *self.hidden_layer_sizes, n_classes], rng
+        )
+
+        parameters = [self.bias_, self.linear_, self.factors_, *self.deep_.parameters()]
+        optimizer = AdamOptimizer(parameters, learning_rate=self.learning_rate)
+        batch_size = int(min(self.batch_size, n_samples))
+
+        for _ in range(self.max_iter):
+            for batch in iterate_minibatches(n_samples, batch_size, rng):
+                gradients = self._gradients(X[batch], targets[batch])
+                optimizer.update(gradients)
+
+    def _gradients(self, X: np.ndarray, targets: np.ndarray) -> list[np.ndarray]:
+        batch = X.shape[0]
+        fm_scores, interactions = self._fm_scores(X, return_interactions=True)
+        activations = self.deep_.forward(X)
+        logits = fm_scores + activations[-1]
+        probabilities = softmax(logits)
+        delta = (probabilities - targets) / batch
+
+        # FM branch gradients.
+        grad_bias = delta.sum(axis=0)
+        grad_linear = X.T @ delta + self.alpha * self.linear_
+        X_squared = X ** 2
+        grad_factors = np.empty_like(self.factors_)
+        for c in range(self.factors_.shape[0]):
+            weighted = delta[:, c][:, None]
+            grad_factors[c] = (
+                X.T @ (weighted * interactions[c])
+                - self.factors_[c] * (weighted * X_squared).sum(axis=0)[:, None]
+            )
+        grad_factors += self.alpha * self.factors_
+
+        # Deep branch gradients (the deep output receives the same delta).
+        grads_w, grads_b, _ = self.deep_.backward(activations, delta)
+        deep_grads: list[np.ndarray] = []
+        for grad_w, grad_b in zip(grads_w, grads_b):
+            deep_grads.append(grad_w)
+            deep_grads.append(grad_b)
+
+        return [grad_bias, grad_linear, grad_factors, *deep_grads]
+
+    # ------------------------------------------------------------ inference
+    def _fm_scores(self, X: np.ndarray, *, return_interactions: bool = False):
+        linear_part = self.bias_ + X @ self.linear_
+        X_squared = X ** 2
+        n_classes = self.factors_.shape[0]
+        pairwise = np.empty((X.shape[0], n_classes))
+        interactions = []
+        for c in range(n_classes):
+            product = X @ self.factors_[c]
+            squared_product = X_squared @ self.factors_[c] ** 2
+            pairwise[:, c] = 0.5 * (product ** 2 - squared_product).sum(axis=1)
+            if return_interactions:
+                interactions.append(product)
+        scores = linear_part + pairwise
+        if return_interactions:
+            return scores, interactions
+        return scores
+
+    def _logits(self, X: np.ndarray) -> np.ndarray:
+        return self._fm_scores(X) + self.deep_.forward(X)[-1]
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "factors_")
+        return softmax(self._logits(X))
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw per-class logits (FM score + deep output)."""
+        check_is_fitted(self, "factors_")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return self._logits(X)

@@ -1,0 +1,39 @@
+"""Experiment configurations, the grid runner and text reporting."""
+
+from repro.experiments.config import (
+    QUICK_DATASETS,
+    ExperimentConfig,
+    full_config,
+    quick_config,
+)
+from repro.experiments.reporting import (
+    format_breakdown_table,
+    format_comparison_table,
+    format_ranking_table,
+    format_series,
+    format_table,
+    histogram,
+)
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    no_fp_vs_random_search,
+    run_experiment,
+    run_single,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "quick_config",
+    "full_config",
+    "QUICK_DATASETS",
+    "run_experiment",
+    "run_single",
+    "no_fp_vs_random_search",
+    "ExperimentOutcome",
+    "format_table",
+    "format_ranking_table",
+    "format_breakdown_table",
+    "format_comparison_table",
+    "format_series",
+    "histogram",
+]

@@ -1,0 +1,99 @@
+"""Plain-text reporting of tables and figure series.
+
+The paper's artefacts are tables and line/bar charts; in an offline,
+text-only reproduction the equivalent output is an aligned text table per
+artefact.  These helpers format the analysis results the benchmark harness
+produces so a run's console output can be compared side by side with the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 float_format: str = "{:.4f}") -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; every other value uses
+    ``str``.  Column widths adapt to the longest cell.
+    """
+    def render(value) -> str:
+        if isinstance(value, float) or isinstance(value, np.floating):
+            if np.isnan(value):
+                return "-"
+            return float_format.format(float(value))
+        return str(value)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_ranking_table(rankings: Mapping, algorithms: Sequence[str]) -> str:
+    """Format the Table 4 layout: per-model and overall average ranks."""
+    headers = ["algorithm", *sorted(rankings["per_model"]), "overall"]
+    rows = []
+    for name in algorithms:
+        row = [name]
+        for model in sorted(rankings["per_model"]):
+            row.append(rankings["per_model"][model].get(name, float("nan")))
+        row.append(rankings["overall"].get(name, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, float_format="{:.2f}")
+
+
+def format_breakdown_table(reports) -> str:
+    """Format Pick/Prep/Train percentages (the Figure 7 bars as numbers)."""
+    headers = ["dataset", "model", "algorithm", "pick %", "prep %", "train %", "bottleneck"]
+    rows = [
+        [r.dataset, r.model, r.algorithm, r.pick_percent, r.prep_percent,
+         r.train_percent, r.bottleneck]
+        for r in reports
+    ]
+    return format_table(headers, rows, float_format="{:.1f}")
+
+
+def format_comparison_table(comparisons) -> str:
+    """Format the AutoML-context comparison (Figures 10/11 as numbers)."""
+    headers = ["dataset", "model", "baseline", "auto_fp", "tpot_fp", "hpo"]
+    rows = [
+        [c.dataset, c.model, c.baseline_accuracy, c.auto_fp_accuracy,
+         c.tpot_fp_accuracy, c.hpo_accuracy]
+        for c in comparisons
+    ]
+    return format_table(headers, rows)
+
+
+def format_series(name: str, x_values: Sequence, series: Mapping[str, Sequence[float]]) -> str:
+    """Format one figure's line series (x-axis plus one column per line)."""
+    headers = [name, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows)
+
+
+def histogram(values: Sequence[float], *, bins: int = 10,
+              value_range: tuple[float, float] | None = None) -> str:
+    """Text histogram used for the Figure 2 accuracy distributions."""
+    values = np.asarray(list(values), dtype=np.float64)
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    peak = counts.max() if counts.size and counts.max() > 0 else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(40 * count / peak))
+        lines.append(f"[{edges[i]:.3f}, {edges[i + 1]:.3f}) {count:5d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Experiment runner: execute search-algorithm grids and collect scenarios.
+
+The runner turns an :class:`~repro.experiments.config.ExperimentConfig` into
+the raw material of the paper's tables: one :class:`Scenario` per
+(dataset, model) pair with the best accuracy of every algorithm, plus
+per-run :class:`BottleneckReport` objects and the underlying
+:class:`SearchResult` objects for deeper analysis.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.bottleneck import BottleneckReport, analyze_result
+from repro.analysis.ranking import Scenario, average_rankings
+from repro.core.problem import AutoFPProblem
+from repro.core.result import SearchResult
+from repro.core.search_space import SearchSpace
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.models.registry import make_classifier
+from repro.search.registry import make_search_algorithm
+
+
+@dataclass
+class ExperimentOutcome:
+    """Everything produced by one grid run."""
+
+    config: ExperimentConfig
+    scenarios: list[Scenario] = field(default_factory=list)
+    bottlenecks: list[BottleneckReport] = field(default_factory=list)
+    results: dict[tuple[str, str, str], SearchResult] = field(default_factory=dict)
+
+    def rankings(self, *, min_improvement: float = 1.5) -> dict:
+        """Average rankings over the collected scenarios (Table 4)."""
+        return average_rankings(self.scenarios, min_improvement=min_improvement)
+
+    def best_pipelines(self, algorithm: str) -> list:
+        """Best pipeline found by ``algorithm`` in every (dataset, model) run."""
+        pipelines = []
+        for (dataset, model, name), result in self.results.items():
+            if name == algorithm and len(result) > 0:
+                pipelines.append(result.best_pipeline)
+        return pipelines
+
+
+def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25,
+               random_state: int = 0, fast_model: bool = True,
+               dataset_scale: float = 1.0,
+               space: SearchSpace | None = None) -> tuple[SearchResult, float]:
+    """Run one search and return ``(result, baseline_accuracy)``."""
+    X, y = load_dataset(dataset, scale=dataset_scale)
+    classifier = make_classifier(model, fast=fast_model)
+    problem = AutoFPProblem.from_arrays(
+        X, y, classifier, space=space, random_state=random_state,
+        name=f"{dataset}/{model}",
+    )
+    baseline = problem.baseline_accuracy()
+    searcher = make_search_algorithm(algorithm, random_state=random_state)
+    result = searcher.search(problem, max_trials=max_trials)
+    result.baseline_accuracy = baseline
+    return result, baseline
+
+
+def run_experiment(config: ExperimentConfig, *, progress_callback=None) -> ExperimentOutcome:
+    """Run the full (dataset x model x algorithm x repeat) grid of ``config``.
+
+    Repetitions of the same (dataset, model, algorithm) cell are averaged:
+    the scenario stores the mean best accuracy, and only the first repeat's
+    search result / bottleneck report is retained.
+    """
+    outcome = ExperimentOutcome(config=config)
+
+    for dataset in config.datasets:
+        X, y = load_dataset(dataset, scale=config.dataset_scale)
+        for model in config.models:
+            classifier = make_classifier(model, fast=config.fast_models)
+            problem = AutoFPProblem.from_arrays(
+                X, y, classifier, random_state=config.random_state,
+                name=f"{dataset}/{model}",
+            )
+            baseline = problem.baseline_accuracy()
+            scenario = Scenario(dataset=dataset, model=model,
+                                baseline_accuracy=baseline)
+
+            for algorithm in config.algorithms:
+                accuracies = []
+                for repeat in range(config.n_repeats):
+                    # zlib.crc32 keeps the per-algorithm seed deterministic
+                    # across processes (Python's hash() is salted per run).
+                    seed = config.random_state + 1000 * repeat + zlib.crc32(algorithm.encode()) % 97
+                    searcher = make_search_algorithm(algorithm, random_state=seed)
+                    result = searcher.search(problem, max_trials=config.max_trials)
+                    result.baseline_accuracy = baseline
+                    accuracies.append(result.best_accuracy)
+                    if repeat == 0:
+                        outcome.results[(dataset, model, algorithm)] = result
+                        outcome.bottlenecks.append(
+                            analyze_result(result, dataset=dataset, model=model)
+                        )
+                scenario.accuracies[algorithm] = float(np.mean(accuracies))
+                if progress_callback is not None:
+                    progress_callback(dataset, model, algorithm,
+                                      scenario.accuracies[algorithm])
+
+            outcome.scenarios.append(scenario)
+    return outcome
+
+
+def no_fp_vs_random_search(datasets, models=("lr", "xgb", "mlp"), *,
+                           max_trials: int = 25, fast_models: bool = True,
+                           random_state: int = 0) -> list[dict]:
+    """Reproduce Table 11: no-preprocessing accuracy vs random-search accuracy."""
+    rows = []
+    for dataset in datasets:
+        row: dict = {"dataset": dataset}
+        for model in models:
+            result, baseline = run_single(
+                dataset, model, "rs", max_trials=max_trials,
+                random_state=random_state, fast_model=fast_models,
+            )
+            row[f"{model}_no_fp"] = baseline
+            row[f"{model}_rs"] = result.best_accuracy
+        rows.append(row)
+    return rows

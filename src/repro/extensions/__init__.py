@@ -1,0 +1,43 @@
+"""Parameter-extended Auto-FP search (Section 6) and budget allocation (Section 8)."""
+
+from repro.extensions.allocation import (
+    AllocatedTwoStepSearch,
+    AllocationStrategy,
+    FixedAllocation,
+    GreedyAdaptiveAllocation,
+    HalvingAllocation,
+    RoundOutcome,
+    RoundPlan,
+    compare_allocations,
+    make_allocation,
+)
+from repro.extensions.param_space import (
+    ParameterizedSpace,
+    high_cardinality_space,
+    low_cardinality_space,
+)
+from repro.extensions.strategies import (
+    ExtendedSearchOutcome,
+    OneStepSearch,
+    TwoStepSearch,
+    compare_one_step_two_step,
+)
+
+__all__ = [
+    "ParameterizedSpace",
+    "low_cardinality_space",
+    "high_cardinality_space",
+    "OneStepSearch",
+    "TwoStepSearch",
+    "ExtendedSearchOutcome",
+    "compare_one_step_two_step",
+    "AllocationStrategy",
+    "FixedAllocation",
+    "HalvingAllocation",
+    "GreedyAdaptiveAllocation",
+    "AllocatedTwoStepSearch",
+    "RoundPlan",
+    "RoundOutcome",
+    "make_allocation",
+    "compare_allocations",
+]

@@ -1,0 +1,30 @@
+"""Result persistence: JSON search results, CSV summaries, a result store."""
+
+from repro.io.serialization import (
+    load_search_result,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    read_rows_csv,
+    save_search_result,
+    search_result_from_dict,
+    search_result_to_dict,
+    trial_from_dict,
+    trial_to_dict,
+    write_rows_csv,
+)
+from repro.io.store import ResultKey, ResultStore
+
+__all__ = [
+    "pipeline_to_dict",
+    "pipeline_from_dict",
+    "trial_to_dict",
+    "trial_from_dict",
+    "search_result_to_dict",
+    "search_result_from_dict",
+    "save_search_result",
+    "load_search_result",
+    "write_rows_csv",
+    "read_rows_csv",
+    "ResultKey",
+    "ResultStore",
+]

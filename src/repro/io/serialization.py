@@ -1,0 +1,160 @@
+"""JSON / CSV serialization for pipelines, trials and search results.
+
+A benchmark study lives or dies by its raw results: the paper publishes its
+"comprehensive experimental results" alongside the code, and this module is
+the piece that makes the reproduction's results equally portable.  Search
+results round-trip through plain JSON documents (no pickling), and tabular
+experiment summaries round-trip through CSV, so downstream analysis does not
+need the library at all.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.pipeline import Pipeline
+from repro.core.result import SearchResult, TrialRecord
+from repro.exceptions import ValidationError
+from repro.preprocessing.extended import EXTENDED_PREPROCESSOR_CLASSES
+from repro.preprocessing.registry import PREPROCESSOR_CLASSES
+
+
+def pipeline_to_dict(pipeline: Pipeline) -> dict:
+    """JSON-serialisable description of a pipeline (names + parameters)."""
+    return {
+        "steps": [
+            {"name": step.name, "params": step.get_params()}
+            for step in pipeline
+        ]
+    }
+
+
+def pipeline_from_dict(data: Mapping) -> Pipeline:
+    """Rebuild a pipeline from :func:`pipeline_to_dict` output.
+
+    Both the seven default preprocessors and the extension preprocessors are
+    resolvable, so serialized results from extended search spaces load too.
+    """
+    steps = []
+    for entry in data.get("steps", []):
+        name = entry["name"]
+        params = dict(entry.get("params", {}))
+        if name in PREPROCESSOR_CLASSES:
+            steps.append(PREPROCESSOR_CLASSES[name](**params))
+        elif name in EXTENDED_PREPROCESSOR_CLASSES:
+            steps.append(EXTENDED_PREPROCESSOR_CLASSES[name](**params))
+        else:
+            raise ValidationError(f"unknown preprocessor name in pipeline data: {name!r}")
+    return Pipeline(steps)
+
+
+def trial_to_dict(trial: TrialRecord) -> dict:
+    """JSON-serialisable description of one trial."""
+    return {
+        "pipeline": pipeline_to_dict(trial.pipeline),
+        "accuracy": trial.accuracy,
+        "pick_time": trial.pick_time,
+        "prep_time": trial.prep_time,
+        "train_time": trial.train_time,
+        "fidelity": trial.fidelity,
+        "iteration": trial.iteration,
+    }
+
+
+def trial_from_dict(data: Mapping) -> TrialRecord:
+    """Rebuild a trial from :func:`trial_to_dict` output."""
+    return TrialRecord(
+        pipeline=pipeline_from_dict(data["pipeline"]),
+        accuracy=float(data["accuracy"]),
+        pick_time=float(data.get("pick_time", 0.0)),
+        prep_time=float(data.get("prep_time", 0.0)),
+        train_time=float(data.get("train_time", 0.0)),
+        fidelity=float(data.get("fidelity", 1.0)),
+        iteration=int(data.get("iteration", 0)),
+    )
+
+
+def search_result_to_dict(result: SearchResult) -> dict:
+    """JSON-serialisable description of a whole search run."""
+    return {
+        "algorithm": result.algorithm,
+        "baseline_accuracy": result.baseline_accuracy,
+        "trials": [trial_to_dict(trial) for trial in result.trials],
+    }
+
+
+def search_result_from_dict(data: Mapping) -> SearchResult:
+    """Rebuild a search result from :func:`search_result_to_dict` output."""
+    result = SearchResult(
+        algorithm=data.get("algorithm", "unknown"),
+        baseline_accuracy=data.get("baseline_accuracy"),
+    )
+    for entry in data.get("trials", []):
+        result.add(trial_from_dict(entry))
+    return result
+
+
+def save_search_result(result: SearchResult, path) -> Path:
+    """Write a search result to ``path`` as a JSON document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(search_result_to_dict(result), indent=2),
+                    encoding="utf-8")
+    return path
+
+
+def load_search_result(path) -> SearchResult:
+    """Load a search result previously written by :func:`save_search_result`."""
+    path = Path(path)
+    return search_result_from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+def write_rows_csv(rows: Sequence[Mapping], path, *,
+                   fieldnames: Iterable[str] | None = None) -> Path:
+    """Write a list of flat dictionaries to ``path`` as CSV; returns the path.
+
+    ``fieldnames`` fixes the column order; by default the keys of the first
+    row are used (and every row must share them).
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValidationError("write_rows_csv needs at least one row")
+    names = list(fieldnames) if fieldnames is not None else list(rows[0].keys())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({name: row.get(name, "") for name in names})
+    return path
+
+
+def read_rows_csv(path) -> list[dict]:
+    """Read a CSV written by :func:`write_rows_csv` back into dictionaries.
+
+    Values that parse as integers or floats are converted; everything else
+    stays a string.
+    """
+    path = Path(path)
+    rows: list[dict] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        for raw in csv.DictReader(handle):
+            rows.append({key: _parse_value(value) for key, value in raw.items()})
+    return rows
+
+
+def _parse_value(value: str):
+    if value is None or value == "":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value

@@ -1,0 +1,21 @@
+"""Auto-sklearn-style meta-features (Table 10 of the paper)."""
+
+from repro.metafeatures.extractor import (
+    METAFEATURE_NAMES,
+    compute_metafeatures,
+    metafeature_matrix,
+    metafeature_vector,
+)
+from repro.metafeatures.landmarking import landmarking_metafeatures
+from repro.metafeatures.simple import simple_metafeatures
+from repro.metafeatures.statistical import statistical_metafeatures
+
+__all__ = [
+    "METAFEATURE_NAMES",
+    "compute_metafeatures",
+    "metafeature_vector",
+    "metafeature_matrix",
+    "simple_metafeatures",
+    "statistical_metafeatures",
+    "landmarking_metafeatures",
+]

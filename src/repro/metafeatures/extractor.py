@@ -1,0 +1,102 @@
+"""Combine all meta-feature groups into one 40-feature vector per dataset.
+
+The meta-features drive the paper's Table 1 analysis: is there any simple
+data-characteristic rule (learnable by a shallow decision tree) that
+predicts whether feature preprocessing will improve the downstream model?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metafeatures.landmarking import landmarking_metafeatures
+from repro.metafeatures.simple import simple_metafeatures
+from repro.metafeatures.statistical import statistical_metafeatures
+
+#: canonical ordering of the 40 meta-features (Table 10 of the paper)
+METAFEATURE_NAMES: tuple[str, ...] = (
+    # Simple (18)
+    "NumberOfMissingValues",
+    "PercentageOfMissingValues",
+    "NumberOfFeaturesWithMissingValues",
+    "PercentageOfFeaturesWithMissingValues",
+    "NumberOfInstancesWithMissingValues",
+    "PercentageOfInstancesWithMissingValues",
+    "NumberOfFeatures",
+    "LogNumberOfFeatures",
+    "NumberOfClasses",
+    "DatasetRatio",
+    "LogDatasetRatio",
+    "InverseDatasetRatio",
+    "LogInverseDatasetRatio",
+    "SymbolsSum",
+    "SymbolsSTD",
+    "SymbolsMean",
+    "SymbolsMax",
+    "SymbolsMin",
+    # Statistical (15) + information-theoretic (1)
+    "SkewnessSTD",
+    "SkewnessMean",
+    "SkewnessMax",
+    "SkewnessMin",
+    "KurtosisSTD",
+    "KurtosisMean",
+    "KurtosisMax",
+    "KurtosisMin",
+    "ClassProbabilitySTD",
+    "ClassProbabilityMean",
+    "ClassProbabilityMax",
+    "ClassProbabilityMin",
+    "PCASkewnessFirstPC",
+    "PCAKurtosisFirstPC",
+    "PCAFractionOfComponentsFor95PercentVariance",
+    "ClassEntropy",
+    # Landmarking (6)
+    "Landmark1NN",
+    "LandmarkRandomNodeLearner",
+    "LandmarkDecisionNodeLearner",
+    "LandmarkDecisionTree",
+    "LandmarkNaiveBayes",
+    "LandmarkLDA",
+)
+
+
+def compute_metafeatures(X, y, *, include_landmarks: bool = True,
+                         random_state=0) -> dict[str, float]:
+    """Compute all meta-features of a dataset as a name -> value mapping.
+
+    Parameters
+    ----------
+    include_landmarks:
+        Landmarking features train small models and therefore dominate the
+        runtime; callers that only need the cheap features can disable them
+        (they are filled with 0.0 so the vector layout is unchanged).
+    """
+    features: dict[str, float] = {}
+    features.update(simple_metafeatures(X, y))
+    features.update(statistical_metafeatures(X, y))
+    if include_landmarks:
+        features.update(landmarking_metafeatures(X, y, random_state=random_state))
+    else:
+        for name in METAFEATURE_NAMES[-6:]:
+            features[name] = 0.0
+    return features
+
+
+def metafeature_vector(X, y, *, include_landmarks: bool = True,
+                       random_state=0) -> np.ndarray:
+    """Compute meta-features and return them as a vector in canonical order."""
+    features = compute_metafeatures(
+        X, y, include_landmarks=include_landmarks, random_state=random_state
+    )
+    return np.asarray([features[name] for name in METAFEATURE_NAMES])
+
+
+def metafeature_matrix(datasets, *, include_landmarks: bool = True,
+                       random_state=0) -> np.ndarray:
+    """Stack meta-feature vectors of ``[(X, y), ...]`` into a design matrix."""
+    return np.stack([
+        metafeature_vector(X, y, include_landmarks=include_landmarks,
+                           random_state=random_state)
+        for X, y in datasets
+    ])

@@ -1,0 +1,55 @@
+"""Landmarking meta-features: cross-validated scores of cheap reference models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.linear import LinearDiscriminantAnalysis
+from repro.models.metrics import cross_val_score
+from repro.models.neighbors import GaussianNB, KNeighborsClassifier
+from repro.models.tree import DecisionTreeClassifier
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_X_y
+
+
+def _cv_accuracy(model, X, y, cv: int, random_state) -> float:
+    try:
+        scores = cross_val_score(model, X, y, cv=cv, random_state=random_state)
+        return float(scores.mean())
+    except Exception:
+        # Degenerate folds (e.g. a class with a single member) fall back to
+        # the majority-class rate, the weakest possible landmark.
+        _, counts = np.unique(y, return_counts=True)
+        return float(counts.max() / y.shape[0])
+
+
+def landmarking_metafeatures(X, y, *, cv: int = 5, random_state=0) -> dict[str, float]:
+    """The six auto-sklearn landmarking meta-features (Table 10).
+
+    Each landmark is the cross-validated accuracy of a small reference model;
+    the paper uses 5-fold CV, which is also the default here (reduced
+    automatically when the smallest class has fewer members).
+    """
+    X, y = check_X_y(X, y)
+    rng = check_random_state(random_state)
+    _, counts = np.unique(y, return_counts=True)
+    cv = int(min(cv, max(2, counts.min())))
+
+    random_feature = int(rng.integers(0, X.shape[1]))
+
+    landmarks = {
+        "Landmark1NN": _cv_accuracy(KNeighborsClassifier(n_neighbors=1), X, y, cv, random_state),
+        "LandmarkRandomNodeLearner": _cv_accuracy(
+            DecisionTreeClassifier(max_depth=1),
+            X[:, [random_feature]], y, cv, random_state,
+        ),
+        "LandmarkDecisionNodeLearner": _cv_accuracy(
+            DecisionTreeClassifier(max_depth=1), X, y, cv, random_state
+        ),
+        "LandmarkDecisionTree": _cv_accuracy(
+            DecisionTreeClassifier(max_depth=None), X, y, cv, random_state
+        ),
+        "LandmarkNaiveBayes": _cv_accuracy(GaussianNB(), X, y, cv, random_state),
+        "LandmarkLDA": _cv_accuracy(LinearDiscriminantAnalysis(), X, y, cv, random_state),
+    }
+    return landmarks

@@ -1,0 +1,50 @@
+"""Simple meta-features: counts, ratios and symbol statistics (Table 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_X_y
+
+
+def simple_metafeatures(X, y) -> dict[str, float]:
+    """Compute the "Simple" group of auto-sklearn meta-features.
+
+    The synthetic datasets never contain missing values, so the
+    missing-value features are computed faithfully (they evaluate to zero)
+    rather than omitted, keeping the 40-feature layout of the paper.
+    """
+    X, y = check_X_y(X, y, allow_nan=True)
+    n_samples, n_features = X.shape
+    missing_mask = ~np.isfinite(X)
+    n_missing = int(missing_mask.sum())
+    features_with_missing = int(missing_mask.any(axis=0).sum())
+    instances_with_missing = int(missing_mask.any(axis=1).sum())
+
+    unique_per_feature = np.array([
+        np.unique(X[np.isfinite(X[:, j]), j]).shape[0] for j in range(n_features)
+    ], dtype=np.float64)
+
+    n_classes = np.unique(y).shape[0]
+    dataset_ratio = n_features / n_samples
+
+    return {
+        "NumberOfMissingValues": float(n_missing),
+        "PercentageOfMissingValues": float(n_missing / X.size),
+        "NumberOfFeaturesWithMissingValues": float(features_with_missing),
+        "PercentageOfFeaturesWithMissingValues": float(features_with_missing / n_features),
+        "NumberOfInstancesWithMissingValues": float(instances_with_missing),
+        "PercentageOfInstancesWithMissingValues": float(instances_with_missing / n_samples),
+        "NumberOfFeatures": float(n_features),
+        "LogNumberOfFeatures": float(np.log(n_features)),
+        "NumberOfClasses": float(n_classes),
+        "DatasetRatio": float(dataset_ratio),
+        "LogDatasetRatio": float(np.log(dataset_ratio)),
+        "InverseDatasetRatio": float(1.0 / dataset_ratio),
+        "LogInverseDatasetRatio": float(np.log(1.0 / dataset_ratio)),
+        "SymbolsSum": float(unique_per_feature.sum()),
+        "SymbolsSTD": float(unique_per_feature.std()),
+        "SymbolsMean": float(unique_per_feature.mean()),
+        "SymbolsMax": float(unique_per_feature.max()),
+        "SymbolsMin": float(unique_per_feature.min()),
+    }

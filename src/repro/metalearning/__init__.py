@@ -1,0 +1,17 @@
+"""Meta-learning for Auto-FP: warm-starting search from previously solved tasks.
+
+Implements the paper's first research opportunity (Section 8): seed the
+initial population of a search algorithm with the best pipelines of similar,
+previously solved datasets, where similarity is measured on the
+auto-sklearn meta-features.
+"""
+
+from repro.metalearning.store import MetaKnowledgeStore, MetaTask
+from repro.metalearning.warmstart import WarmStartedSearch, record_search_outcome
+
+__all__ = [
+    "MetaKnowledgeStore",
+    "MetaTask",
+    "WarmStartedSearch",
+    "record_search_outcome",
+]

@@ -1,0 +1,126 @@
+"""Warm-started search: seed any algorithm's initial pipelines from meta-knowledge.
+
+``WarmStartedSearch`` wraps an existing search algorithm and overrides its
+Step-1 initial pipelines with suggestions retrieved from a
+:class:`~repro.metalearning.store.MetaKnowledgeStore` (best pipelines of the
+most similar previously-solved datasets), topping up with random pipelines
+when the store has too few suggestions.  Everything else — the surrogate
+updates, the proposal strategy, the budget handling — is inherited from the
+wrapped algorithm, so warm starting composes with all 15 searchers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.pipeline import Pipeline
+from repro.core.problem import AutoFPProblem
+from repro.core.result import SearchResult
+from repro.core.search_space import SearchSpace
+from repro.metalearning.store import MetaKnowledgeStore
+from repro.search.base import SearchAlgorithm
+
+
+class WarmStartedSearch(SearchAlgorithm):
+    """Wrap a search algorithm with meta-learned initial pipelines.
+
+    Parameters
+    ----------
+    base:
+        The search algorithm to wrap (its class attributes and hooks are
+        reused unchanged).
+    store:
+        The meta-knowledge store to query.
+    n_warm:
+        Maximum number of warm-start pipelines injected before the wrapped
+        algorithm's own initialisation.
+    model_name:
+        Restrict retrieval to tasks solved with this downstream model
+        (``None`` retrieves across models).
+    """
+
+    name = "warmstart"
+    category = "meta"
+
+    def __init__(self, base: SearchAlgorithm, store: MetaKnowledgeStore,
+                 *, n_warm: int = 5, model_name: str | None = None,
+                 random_state: int | None = 0) -> None:
+        super().__init__(random_state=random_state)
+        self.base = base
+        self.store = store
+        self.n_warm = int(n_warm)
+        self.model_name = model_name
+        self.name = f"warmstart[{base.name}]"
+        self.warm_pipelines_: list[Pipeline] = []
+
+    # ----------------------------------------------------------------- API
+    def search(self, problem: AutoFPProblem, budget: Budget | None = None,
+               *, max_trials: int = 50) -> SearchResult:
+        """Retrieve warm-start pipelines for ``problem`` and run the wrapped search."""
+        evaluator = problem.evaluator
+        X = np.vstack([evaluator.X_train, evaluator.X_valid])
+        y = np.concatenate([evaluator.y_train, evaluator.y_valid])
+        self.warm_pipelines_ = self.store.suggested_pipelines(
+            X, y, model=self.model_name, max_pipelines=self.n_warm,
+            random_state=self.random_state,
+        )
+        # Filter suggestions to pipelines expressible in the problem's space.
+        usable = []
+        for pipeline in self.warm_pipelines_:
+            try:
+                problem.space.indices_of(pipeline)
+            except Exception:
+                continue
+            if len(pipeline) <= problem.space.max_length:
+                usable.append(pipeline)
+        self.warm_pipelines_ = usable
+        return super().search(problem, budget, max_trials=max_trials)
+
+    # ----------------------------------------------------------------- hooks
+    def _setup(self, problem, rng) -> None:
+        self.base._setup(problem, rng)
+
+    def _initial_pipelines(self, space: SearchSpace, rng) -> list[Pipeline]:
+        base_init = self.base._initial_pipelines(space, rng)
+        warm = list(self.warm_pipelines_)
+        # Replace the front of the base initialisation with the warm pipelines
+        # so the total initial-evaluation count stays comparable.
+        if len(warm) < len(base_init):
+            return warm + base_init[len(warm):]
+        return warm if warm else base_init
+
+    def _update(self, trials, space, rng) -> None:
+        self.base._update(trials, space, rng)
+
+    def _propose(self, space, rng, trials):
+        return self.base._propose(space, rng, trials)
+
+    def _observe(self, record) -> None:
+        self.base._observe(record)
+
+
+def record_search_outcome(store: MetaKnowledgeStore, problem: AutoFPProblem,
+                          result: SearchResult, *, model_name: str,
+                          top_k: int = 3, random_state=0) -> None:
+    """Store the top pipelines of a finished search for future warm starts."""
+    evaluator = problem.evaluator
+    X = np.vstack([evaluator.X_train, evaluator.X_valid])
+    y = np.concatenate([evaluator.y_train, evaluator.y_valid])
+    full = [t for t in result.trials if t.fidelity >= 1.0]
+    ranked = sorted(full, key=lambda t: t.accuracy, reverse=True)
+    best_pipelines = []
+    seen = set()
+    for trial in ranked:
+        if trial.pipeline.spec() in seen:
+            continue
+        seen.add(trial.pipeline.spec())
+        best_pipelines.append(trial.pipeline)
+        if len(best_pipelines) >= top_k:
+            break
+    store.add_task(
+        name=problem.name, model=model_name, X=X, y=y,
+        best_pipelines=best_pipelines,
+        best_accuracy=result.best_accuracy if best_pipelines else 0.0,
+        random_state=random_state,
+    )

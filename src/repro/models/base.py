@@ -1,0 +1,115 @@
+"""Base classifier API shared by all downstream models.
+
+The downstream models play the role scikit-learn / XGBoost play in the
+paper: a pipeline's quality is the validation accuracy of a classifier
+trained on the preprocessed data.  Every classifier implements
+``fit`` / ``predict`` / ``predict_proba`` / ``score`` and supports
+``get_params`` / ``set_params`` / ``clone`` so HPO can reconfigure it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+import numpy as np
+
+from repro.models.metrics import accuracy_score
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class Classifier:
+    """Abstract base class for downstream classifiers.
+
+    Subclasses implement ``_fit(X, y_encoded)`` (labels encoded to
+    ``0..n_classes-1``) and ``_predict_proba(X)``; the base class handles
+    label encoding/decoding, validation and cloning.
+    """
+
+    #: registry name of the model ("lr", "xgb", "mlp", ...)
+    name: str = "classifier"
+
+    def __init__(self, **params: Any) -> None:
+        for key, value in params.items():
+            setattr(self, key, value)
+
+    # ------------------------------------------------------------------ API
+    def fit(self, X, y) -> "Classifier":
+        """Fit the classifier on features ``X`` and labels ``y``."""
+        X, y = check_X_y(X, y)
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        self.n_features_in_ = X.shape[1]
+        self._fit(X, y_encoded)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return class-membership probabilities of shape ``(n, n_classes)``."""
+        check_is_fitted(self, "classes_")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return self._predict_proba(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Return predicted labels (in the original label space)."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy of ``predict(X)`` against ``y``."""
+        return accuracy_score(y, self.predict(X))
+
+    # ----------------------------------------------------------- parameters
+    def get_params(self) -> dict:
+        """Return the constructor parameters of this classifier."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def set_params(self, **params: Any) -> "Classifier":
+        """Set constructor parameters; unknown names raise ``ValidationError``."""
+        from repro.exceptions import ValidationError
+
+        known = self.get_params()
+        for key, value in params.items():
+            if key not in known:
+                raise ValidationError(
+                    f"{type(self).__name__} has no parameter {key!r}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "Classifier":
+        """Return an unfitted copy with identical constructor parameters."""
+        return type(self)(**copy.deepcopy(self.get_params()))
+
+    def is_fitted(self) -> bool:
+        """Return whether :meth:`fit` has been called."""
+        return hasattr(self, "classes_")
+
+    # ------------------------------------------------------------ internals
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode integer labels ``y`` into ``(n, n_classes)``."""
+    encoded = np.zeros((y.shape[0], n_classes), dtype=np.float64)
+    encoded[np.arange(y.shape[0]), y] = 1.0
+    return encoded

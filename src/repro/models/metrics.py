@@ -1,0 +1,181 @@
+"""Classification metrics and cross-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import column_or_1d
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions that exactly match the true labels."""
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValidationError(
+            f"y_true and y_pred have different lengths: "
+            f"{y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValidationError("accuracy_score requires at least one sample")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true, y_pred) -> float:
+    """Classification error, ``1 - accuracy``.  This is the paper's pipeline error."""
+    return 1.0 - accuracy_score(y_true, y_pred)
+
+
+def log_loss(y_true, probabilities, *, eps: float = 1e-12) -> float:
+    """Multi-class cross-entropy of predicted class probabilities.
+
+    ``y_true`` must contain integer class indices in ``[0, n_classes)`` that
+    index the columns of ``probabilities``.
+    """
+    y_true = column_or_1d(y_true, name="y_true").astype(int)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2:
+        raise ValidationError("probabilities must be a 2-D array")
+    if y_true.shape[0] != probabilities.shape[0]:
+        raise ValidationError("y_true and probabilities have different lengths")
+    clipped = np.clip(probabilities, eps, 1.0)
+    picked = clipped[np.arange(y_true.shape[0]), y_true]
+    return float(-np.mean(np.log(picked)))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve for binary labels.
+
+    ``y_true`` must contain exactly two distinct label values; the larger one
+    is treated as the positive class.  ``y_score`` is any monotone score for
+    the positive class (probabilities or raw margins).  Ties are handled with
+    mid-ranks, which matches the usual Mann-Whitney U formulation.
+
+    This metric backs the Section 8 "Auto-FP for deep models" experiment,
+    which reports validation AUC for the recommendation-style datasets.
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    y_score = column_or_1d(np.asarray(y_score, dtype=np.float64), name="y_score")
+    if y_true.shape[0] != y_score.shape[0]:
+        raise ValidationError("y_true and y_score have different lengths")
+    labels = np.unique(y_true)
+    if labels.shape[0] != 2:
+        raise ValidationError(
+            f"roc_auc_score requires exactly two classes, got {labels.shape[0]}"
+        )
+    positive = y_true == labels[1]
+    n_pos = int(positive.sum())
+    n_neg = int(y_true.shape[0] - n_pos)
+    from scipy.stats import rankdata
+
+    ranks = rankdata(y_score)
+    rank_sum_pos = float(ranks[positive].sum())
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Confusion matrix with rows = true labels and columns = predictions."""
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.shape[0], labels.shape[0]), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Average of per-class recalls; robust to class imbalance."""
+    matrix = confusion_matrix(y_true, y_pred)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recalls = np.diag(matrix) / matrix.sum(axis=1)
+    recalls = recalls[np.isfinite(recalls)]
+    if recalls.size == 0:
+        return 0.0
+    return float(recalls.mean())
+
+
+def train_test_split(X, y, *, test_size: float = 0.2, random_state=None,
+                     stratify: bool = True):
+    """Split arrays into train and test subsets.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples placed in the test split (paper uses 0.2).
+    stratify:
+        When True, preserve per-class proportions (each class contributes at
+        least one sample to each side whenever it has two or more samples).
+    """
+    X = np.asarray(X)
+    y = column_or_1d(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError("test_size must be in (0, 1)")
+    rng = check_random_state(random_state)
+    n_samples = X.shape[0]
+    if n_samples < 2:
+        raise ValidationError("need at least two samples to split")
+
+    if stratify:
+        test_idx: list[int] = []
+        train_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = rng.permutation(members)
+            n_test = int(round(test_size * members.shape[0]))
+            if members.shape[0] >= 2:
+                n_test = min(max(n_test, 1), members.shape[0] - 1)
+            test_idx.extend(members[:n_test].tolist())
+            train_idx.extend(members[n_test:].tolist())
+        train_idx = np.array(sorted(train_idx))
+        test_idx = np.array(sorted(test_idx))
+    else:
+        permutation = rng.permutation(n_samples)
+        n_test = max(1, int(round(test_size * n_samples)))
+        test_idx = np.sort(permutation[:n_test])
+        train_idx = np.sort(permutation[n_test:])
+
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def stratified_kfold_indices(y, n_splits: int, random_state=None):
+    """Yield ``(train_idx, test_idx)`` pairs for stratified k-fold CV."""
+    y = column_or_1d(y)
+    if n_splits < 2:
+        raise ValidationError("n_splits must be at least 2")
+    rng = check_random_state(random_state)
+    folds: list[list[int]] = [[] for _ in range(n_splits)]
+    for label in np.unique(y):
+        members = rng.permutation(np.flatnonzero(y == label))
+        for i, idx in enumerate(members.tolist()):
+            folds[i % n_splits].append(idx)
+    all_indices = np.arange(y.shape[0])
+    for fold in folds:
+        test_idx = np.array(sorted(fold))
+        mask = np.ones(y.shape[0], dtype=bool)
+        mask[test_idx] = False
+        yield all_indices[mask], test_idx
+
+
+def cross_val_score(model, X, y, *, cv: int = 3, random_state=None) -> np.ndarray:
+    """Stratified k-fold cross-validated accuracy of ``model``.
+
+    The model is cloned for each fold via its ``clone`` method when
+    available, otherwise a fresh instance with the same parameters is
+    constructed.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = column_or_1d(y)
+    scores = []
+    for train_idx, test_idx in stratified_kfold_indices(y, cv, random_state):
+        fold_model = model.clone() if hasattr(model, "clone") else model
+        fold_model.fit(X[train_idx], y[train_idx])
+        predictions = fold_model.predict(X[test_idx])
+        scores.append(accuracy_score(y[test_idx], predictions))
+    return np.asarray(scores)

@@ -1,0 +1,58 @@
+"""Feature preprocessors (Section 2.1 of the Auto-FP paper).
+
+The seven preprocessors are re-implemented from their mathematical
+definitions on top of numpy so the library has no scikit-learn dependency.
+"""
+
+from repro.preprocessing.base import Preprocessor
+from repro.preprocessing.binarizer import Binarizer
+from repro.preprocessing.extended import (
+    EXTENDED_PREPROCESSOR_CLASSES,
+    EXTENDED_PREPROCESSOR_NAMES,
+    ClippingTransformer,
+    KBinsDiscretizer,
+    LogTransformer,
+    RobustScaler,
+    extended_preprocessors,
+    extended_search_space,
+    get_extended_preprocessor_class,
+)
+from repro.preprocessing.normalizer import Normalizer
+from repro.preprocessing.power import PowerTransformer, yeo_johnson_transform
+from repro.preprocessing.quantile import QuantileTransformer
+from repro.preprocessing.registry import (
+    DEFAULT_PREPROCESSOR_NAMES,
+    PREPROCESSOR_CLASSES,
+    default_preprocessors,
+    expand_parameter_grid,
+    get_preprocessor_class,
+    make_preprocessor,
+)
+from repro.preprocessing.scalers import MaxAbsScaler, MinMaxScaler, StandardScaler
+
+__all__ = [
+    "Preprocessor",
+    "StandardScaler",
+    "MinMaxScaler",
+    "MaxAbsScaler",
+    "Normalizer",
+    "PowerTransformer",
+    "QuantileTransformer",
+    "Binarizer",
+    "RobustScaler",
+    "KBinsDiscretizer",
+    "LogTransformer",
+    "ClippingTransformer",
+    "EXTENDED_PREPROCESSOR_CLASSES",
+    "EXTENDED_PREPROCESSOR_NAMES",
+    "extended_preprocessors",
+    "extended_search_space",
+    "get_extended_preprocessor_class",
+    "yeo_johnson_transform",
+    "PREPROCESSOR_CLASSES",
+    "DEFAULT_PREPROCESSOR_NAMES",
+    "default_preprocessors",
+    "get_preprocessor_class",
+    "make_preprocessor",
+    "expand_parameter_grid",
+]

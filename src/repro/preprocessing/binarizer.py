@@ -1,0 +1,35 @@
+"""Threshold Binarizer preprocessor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Preprocessor
+
+
+class Binarizer(Preprocessor):
+    """Binarise features according to a threshold.
+
+    Values strictly greater than ``threshold`` map to 1, all others map to 0.
+    With the default threshold of 0 this matches the paper's description that
+    "negative values are mapped to 0, and non-negative values are mapped
+    to 1" up to the boundary convention of scikit-learn (``x > threshold``);
+    we follow the paper and use ``x >= threshold`` so that 0 maps to 1.
+
+    Parameters
+    ----------
+    threshold:
+        The binarisation threshold (default 0.0).
+    """
+
+    name = "binarizer"
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        super().__init__(threshold=float(threshold))
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        # Stateless: the threshold is a constructor parameter.
+        return None
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return (X >= self.threshold).astype(np.float64)

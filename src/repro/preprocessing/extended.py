@@ -1,0 +1,243 @@
+"""Extension preprocessors beyond the paper's default seven.
+
+Section 2.1 of the paper notes that "for situations when more preprocessors
+are needed, one can easily extend our benchmark to derive additional
+insights".  This module provides that extension point: four additional
+preprocessors that are common in practice (robust scaling, equal-width /
+quantile discretisation, signed log transforms and winsorising clippers)
+together with helpers that build an *extended* search space containing the
+default seven plus any subset of these.
+
+The extended preprocessors never enter :data:`DEFAULT_PREPROCESSOR_NAMES`,
+so every experiment that reproduces a paper table keeps the original
+7-preprocessor space; the extensions are opt-in via
+:func:`extended_preprocessors` or :func:`extended_search_space`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.preprocessing.base import Preprocessor
+from repro.preprocessing.registry import default_preprocessors
+
+
+class RobustScaler(Preprocessor):
+    """Scale features using statistics that are robust to outliers.
+
+    Each feature is centred on its median and divided by its inter-quartile
+    range (the difference between the ``q_max`` and ``q_min`` percentiles).
+    Outliers therefore influence neither the centre nor the scale, unlike
+    :class:`~repro.preprocessing.scalers.StandardScaler`.
+
+    Parameters
+    ----------
+    with_centering:
+        If False, do not subtract the median.
+    with_scaling:
+        If False, do not divide by the inter-quartile range.
+    q_min, q_max:
+        Percentiles (in ``[0, 100]``) that bound the quantile range.
+    """
+
+    name = "robust_scaler"
+
+    def __init__(self, with_centering: bool = True, with_scaling: bool = True,
+                 q_min: float = 25.0, q_max: float = 75.0) -> None:
+        if not 0.0 <= q_min < q_max <= 100.0:
+            raise ValidationError(
+                f"quantile range must satisfy 0 <= q_min < q_max <= 100, "
+                f"got ({q_min}, {q_max})"
+            )
+        super().__init__(with_centering=with_centering, with_scaling=with_scaling,
+                         q_min=float(q_min), q_max=float(q_max))
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        self.center_ = np.median(X, axis=0)
+        low = np.percentile(X, self.q_min, axis=0)
+        high = np.percentile(X, self.q_max, axis=0)
+        scale = (high - low).astype(np.float64)
+        scale[~np.isfinite(scale) | (scale == 0.0)] = 1.0
+        self.scale_ = scale
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        out = X.astype(np.float64, copy=True)
+        if self.with_centering:
+            out -= self.center_
+        if self.with_scaling:
+            out /= self.scale_
+        return out
+
+
+class KBinsDiscretizer(Preprocessor):
+    """Discretise each feature into ``n_bins`` ordinal bins.
+
+    The output keeps the input shape: every value is replaced by the index
+    of its bin (0-based), rescaled to ``[0, 1]`` so discretised features
+    remain on a comparable scale to the other preprocessors' outputs.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins per feature (at least 2).
+    strategy:
+        ``"uniform"`` for equal-width bins over the observed range or
+        ``"quantile"`` for (approximately) equal-population bins.
+    """
+
+    name = "kbins_discretizer"
+
+    _STRATEGIES = ("uniform", "quantile")
+
+    def __init__(self, n_bins: int = 5, strategy: str = "uniform") -> None:
+        if int(n_bins) < 2:
+            raise ValidationError(f"n_bins must be at least 2, got {n_bins}")
+        if strategy not in self._STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {self._STRATEGIES}, got {strategy!r}"
+            )
+        super().__init__(n_bins=int(n_bins), strategy=strategy)
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        edges: list[np.ndarray] = []
+        for column in X.T:
+            if self.strategy == "uniform":
+                low, high = float(column.min()), float(column.max())
+                if high <= low:
+                    high = low + 1.0
+                cuts = np.linspace(low, high, self.n_bins + 1)[1:-1]
+            else:
+                percentiles = np.linspace(0.0, 100.0, self.n_bins + 1)[1:-1]
+                cuts = np.percentile(column, percentiles)
+            edges.append(np.asarray(cuts, dtype=np.float64))
+        self.bin_edges_ = edges
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty_like(X, dtype=np.float64)
+        denominator = max(self.n_bins - 1, 1)
+        for j, cuts in enumerate(self.bin_edges_):
+            bins = np.searchsorted(cuts, X[:, j], side="right")
+            out[:, j] = bins / denominator
+        return out
+
+
+class LogTransformer(Preprocessor):
+    """Signed logarithmic transform ``sign(x) * log(1 + |x|)``.
+
+    A monotone transform that compresses heavy tails while remaining defined
+    for negative values, offering a cheaper alternative to the Yeo-Johnson
+    :class:`~repro.preprocessing.power.PowerTransformer`.
+
+    Parameters
+    ----------
+    base:
+        Logarithm base (default ``e``).
+    """
+
+    name = "log_transformer"
+
+    def __init__(self, base: float = float(np.e)) -> None:
+        if base <= 1.0:
+            raise ValidationError(f"base must be greater than 1, got {base}")
+        super().__init__(base=float(base))
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        # Stateless: the transform depends only on the constructor parameter.
+        return None
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return np.sign(X) * np.log1p(np.abs(X)) / np.log(self.base)
+
+
+class ClippingTransformer(Preprocessor):
+    """Winsorise each feature at the given lower/upper percentiles.
+
+    Values below the ``q_min`` percentile (computed on the training data)
+    are raised to it and values above the ``q_max`` percentile are lowered
+    to it, which bounds the influence of extreme outliers on downstream
+    scalers and models.
+
+    Parameters
+    ----------
+    q_min, q_max:
+        Percentiles (in ``[0, 100]``) at which to clip.
+    """
+
+    name = "clipping_transformer"
+
+    def __init__(self, q_min: float = 1.0, q_max: float = 99.0) -> None:
+        if not 0.0 <= q_min < q_max <= 100.0:
+            raise ValidationError(
+                f"clipping range must satisfy 0 <= q_min < q_max <= 100, "
+                f"got ({q_min}, {q_max})"
+            )
+        super().__init__(q_min=float(q_min), q_max=float(q_max))
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        self.lower_ = np.percentile(X, self.q_min, axis=0)
+        self.upper_ = np.percentile(X, self.q_max, axis=0)
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return np.clip(X, self.lower_, self.upper_)
+
+
+#: extension preprocessors, keyed by canonical name (never part of the
+#: default 7-preprocessor space)
+EXTENDED_PREPROCESSOR_CLASSES: dict[str, type[Preprocessor]] = {
+    RobustScaler.name: RobustScaler,
+    KBinsDiscretizer.name: KBinsDiscretizer,
+    LogTransformer.name: LogTransformer,
+    ClippingTransformer.name: ClippingTransformer,
+}
+
+#: canonical ordering of the extension preprocessors
+EXTENDED_PREPROCESSOR_NAMES: tuple[str, ...] = tuple(EXTENDED_PREPROCESSOR_CLASSES)
+
+
+def get_extended_preprocessor_class(name: str) -> type[Preprocessor]:
+    """Return the extension preprocessor class registered under ``name``."""
+    try:
+        return EXTENDED_PREPROCESSOR_CLASSES[name]
+    except KeyError as exc:
+        raise UnknownComponentError(
+            f"Unknown extension preprocessor {name!r}. Known names: "
+            f"{sorted(EXTENDED_PREPROCESSOR_CLASSES)}"
+        ) from exc
+
+
+def extended_preprocessors(names: Sequence[str] | None = None) -> list[Preprocessor]:
+    """Fresh instances of the extension preprocessors (all four by default)."""
+    names = EXTENDED_PREPROCESSOR_NAMES if names is None else tuple(names)
+    return [get_extended_preprocessor_class(name)() for name in names]
+
+
+def extended_search_space(*, include_defaults: bool = True,
+                          extension_names: Sequence[str] | None = None,
+                          max_length: int | None = None):
+    """Build a search space that includes the extension preprocessors.
+
+    Parameters
+    ----------
+    include_defaults:
+        When True (default) the space contains the paper's seven default
+        preprocessors followed by the requested extensions.
+    extension_names:
+        Subset of extension names to include; defaults to all four.
+    max_length:
+        Maximum pipeline length.  Defaults to the number of candidates, the
+        same convention the paper uses for its default space.
+    """
+    # Imported lazily: repro.core.pipeline imports repro.preprocessing.base,
+    # so a module-level import here would be circular.
+    from repro.core.search_space import SearchSpace
+
+    candidates: list[Preprocessor] = []
+    if include_defaults:
+        candidates.extend(default_preprocessors())
+    candidates.extend(extended_preprocessors(extension_names))
+    if max_length is None:
+        max_length = len(candidates)
+    return SearchSpace(candidates, max_length=max_length)

@@ -1,0 +1,48 @@
+"""Row-wise Normalizer preprocessor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.preprocessing.base import Preprocessor
+
+_VALID_NORMS = ("l1", "l2", "max")
+
+
+class Normalizer(Preprocessor):
+    """Normalise samples (rows) individually to unit norm.
+
+    Given a row vector ``x`` each value ``x_i`` is scaled to
+    ``x_i / ||x||`` where the norm is the L1, L2 or max norm.  Rows with zero
+    norm are left unchanged.  Unlike the column-wise scalers this
+    preprocessor is stateless: ``fit`` only records the number of features.
+
+    Parameters
+    ----------
+    norm:
+        One of ``"l1"``, ``"l2"`` (default, matching scikit-learn) or
+        ``"max"``.
+    """
+
+    name = "normalizer"
+
+    def __init__(self, norm: str = "l2") -> None:
+        if norm not in _VALID_NORMS:
+            raise ValidationError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+        super().__init__(norm=norm)
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        # Stateless by design: row norms are computed at transform time.
+        return None
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        if self.norm == "l1":
+            norms = np.abs(X).sum(axis=1)
+        elif self.norm == "l2":
+            norms = np.sqrt((X * X).sum(axis=1))
+        else:  # max
+            norms = np.abs(X).max(axis=1)
+        norms = norms.copy()
+        norms[norms == 0.0] = 1.0
+        return X / norms[:, np.newaxis]

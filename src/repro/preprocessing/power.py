@@ -1,0 +1,114 @@
+"""PowerTransformer: Yeo-Johnson power transformation with automatic lambda.
+
+The Yeo-Johnson transform (Equation 1 of the paper) maps each feature through
+an exponential, monotonic transformation whose parameter ``lambda`` is chosen
+per feature by maximising the profile log-likelihood of a normal model of the
+transformed data — the same criterion scikit-learn uses.  The optimisation is
+done with a bounded Brent search from scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.preprocessing.base import Preprocessor
+
+
+def yeo_johnson_transform(x: np.ndarray, lmbda: float) -> np.ndarray:
+    """Apply the Yeo-Johnson transformation with parameter ``lmbda`` to ``x``.
+
+    Implements Equation 1 of the paper:
+
+    * ``x >= 0, lambda != 0``:  ``((x + 1) ** lambda - 1) / lambda``
+    * ``x >= 0, lambda == 0``:  ``log(x + 1)``
+    * ``x <  0, lambda != 2``:  ``-((1 - x) ** (2 - lambda) - 1) / (2 - lambda)``
+    * ``x <  0, lambda == 2``:  ``-log(1 - x)``
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    eps = np.finfo(np.float64).eps
+
+    if abs(lmbda) < eps:
+        out[pos] = np.log1p(x[pos])
+    else:
+        out[pos] = (np.power(x[pos] + 1.0, lmbda) - 1.0) / lmbda
+
+    if abs(lmbda - 2.0) < eps:
+        out[~pos] = -np.log1p(-x[~pos])
+    else:
+        out[~pos] = -(np.power(1.0 - x[~pos], 2.0 - lmbda) - 1.0) / (2.0 - lmbda)
+    return out
+
+
+def yeo_johnson_log_likelihood(x: np.ndarray, lmbda: float) -> float:
+    """Profile log-likelihood of the Yeo-Johnson transform for one feature."""
+    n = x.shape[0]
+    transformed = yeo_johnson_transform(x, lmbda)
+    var = transformed.var()
+    if not np.isfinite(var) or var <= 0:
+        return -np.inf
+    loglike = -0.5 * n * np.log(var)
+    loglike += (lmbda - 1.0) * np.sum(np.sign(x) * np.log1p(np.abs(x)))
+    return float(loglike)
+
+
+def optimal_lambda(x: np.ndarray, bounds: tuple[float, float] = (-4.0, 4.0)) -> float:
+    """Find the lambda maximising the Yeo-Johnson profile log-likelihood."""
+    result = optimize.minimize_scalar(
+        lambda lmbda: -yeo_johnson_log_likelihood(x, lmbda),
+        bounds=bounds,
+        method="bounded",
+    )
+    return float(result.x)
+
+
+class PowerTransformer(Preprocessor):
+    """Make feature distributions more normal-like via Yeo-Johnson.
+
+    Each feature gets its own automatically-estimated ``lambda``.  When
+    ``standardize`` is True (the scikit-learn default, and the parameter
+    exposed in the paper's extended search space) the transformed features
+    are additionally scaled to zero mean and unit variance.
+
+    Parameters
+    ----------
+    standardize:
+        Whether to apply zero-mean / unit-variance scaling after the power
+        transformation.
+    """
+
+    name = "power_transformer"
+
+    def __init__(self, standardize: bool = True) -> None:
+        super().__init__(standardize=standardize)
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        n_features = X.shape[1]
+        self.lambdas_ = np.empty(n_features)
+        means = np.empty(n_features)
+        stds = np.empty(n_features)
+        for j in range(n_features):
+            col = X[:, j]
+            if np.all(col == col[0]):
+                # Constant feature: identity lambda and no scaling.
+                self.lambdas_[j] = 1.0
+                means[j] = yeo_johnson_transform(col, 1.0).mean()
+                stds[j] = 1.0
+                continue
+            self.lambdas_[j] = optimal_lambda(col)
+            transformed = yeo_johnson_transform(col, self.lambdas_[j])
+            means[j] = transformed.mean()
+            std = transformed.std()
+            stds[j] = std if std > 0 else 1.0
+        self.means_ = means
+        self.stds_ = stds
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty_like(X, dtype=np.float64)
+        for j in range(X.shape[1]):
+            out[:, j] = yeo_johnson_transform(X[:, j], self.lambdas_[j])
+        if self.standardize:
+            out = (out - self.means_) / self.stds_
+        return out

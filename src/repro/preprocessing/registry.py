@@ -1,0 +1,93 @@
+"""Registry of the seven Auto-FP preprocessors and their parameterised variants.
+
+The default registry exposes the seven preprocessors of Section 2.1 of the
+paper with their default parameters.  For the parameter-extended search of
+Section 6 the registry can expand a *parameter grid* into a flat list of
+concrete preprocessor instances (the "One-step" view, where
+``Binarizer(threshold=0)`` and ``Binarizer(threshold=1)`` are treated as
+different preprocessors).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import UnknownComponentError
+from repro.preprocessing.base import Preprocessor
+from repro.preprocessing.binarizer import Binarizer
+from repro.preprocessing.normalizer import Normalizer
+from repro.preprocessing.power import PowerTransformer
+from repro.preprocessing.quantile import QuantileTransformer
+from repro.preprocessing.scalers import MaxAbsScaler, MinMaxScaler, StandardScaler
+
+#: the seven preprocessor classes of the paper, keyed by canonical name
+PREPROCESSOR_CLASSES: dict[str, type[Preprocessor]] = {
+    StandardScaler.name: StandardScaler,
+    MaxAbsScaler.name: MaxAbsScaler,
+    MinMaxScaler.name: MinMaxScaler,
+    Normalizer.name: Normalizer,
+    PowerTransformer.name: PowerTransformer,
+    QuantileTransformer.name: QuantileTransformer,
+    Binarizer.name: Binarizer,
+}
+
+#: canonical ordering used throughout the library (matches Figure 1)
+DEFAULT_PREPROCESSOR_NAMES: tuple[str, ...] = tuple(PREPROCESSOR_CLASSES)
+
+
+def get_preprocessor_class(name: str) -> type[Preprocessor]:
+    """Return the preprocessor class registered under ``name``."""
+    try:
+        return PREPROCESSOR_CLASSES[name]
+    except KeyError as exc:
+        raise UnknownComponentError(
+            f"Unknown preprocessor {name!r}. Known names: "
+            f"{sorted(PREPROCESSOR_CLASSES)}"
+        ) from exc
+
+
+def make_preprocessor(name: str, **params) -> Preprocessor:
+    """Instantiate a preprocessor by name with keyword parameters."""
+    return get_preprocessor_class(name)(**params)
+
+
+def default_preprocessors(names: Sequence[str] | None = None) -> list[Preprocessor]:
+    """Return fresh instances of the default (unparameterised) preprocessors.
+
+    Parameters
+    ----------
+    names:
+        Optional subset / ordering of preprocessor names.  Defaults to all
+        seven preprocessors in canonical order.
+    """
+    names = DEFAULT_PREPROCESSOR_NAMES if names is None else tuple(names)
+    return [make_preprocessor(name) for name in names]
+
+
+def expand_parameter_grid(
+    grid: Mapping[str, Mapping[str, Iterable]],
+) -> list[Preprocessor]:
+    """Expand a per-preprocessor parameter grid into concrete instances.
+
+    ``grid`` maps a preprocessor name to a mapping of parameter name to the
+    iterable of candidate values, e.g.::
+
+        {"binarizer": {"threshold": [0, 0.2, 0.4]},
+         "maxabs_scaler": {}}
+
+    Every combination of parameter values yields one instance.  A
+    preprocessor with an empty parameter mapping yields one default
+    instance.  This implements the "One-step" expansion of Section 6.2 where
+    the low-cardinality space grows the preprocessor count from 7 to 31.
+    """
+    instances: list[Preprocessor] = []
+    for name, params in grid.items():
+        cls = get_preprocessor_class(name)
+        if not params:
+            instances.append(cls())
+            continue
+        keys = sorted(params)
+        for combo in itertools.product(*(tuple(params[key]) for key in keys)):
+            instances.append(cls(**dict(zip(keys, combo))))
+    return instances

@@ -1,0 +1,104 @@
+"""Scaling preprocessors: StandardScaler, MinMaxScaler and MaxAbsScaler.
+
+The mathematical definitions follow Section 2.1 of the Auto-FP paper (which
+in turn follows scikit-learn).  Degenerate features (zero variance, zero
+range, zero maximum absolute value) are mapped with a unit denominator so
+the output stays finite — the same convention scikit-learn uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Preprocessor
+
+
+def _guard_zeros(scale: np.ndarray) -> np.ndarray:
+    """Replace zero (or non-finite) scale entries with 1 to avoid division by zero."""
+    scale = scale.astype(np.float64, copy=True)
+    bad = ~np.isfinite(scale) | (scale == 0.0)
+    scale[bad] = 1.0
+    return scale
+
+
+class StandardScaler(Preprocessor):
+    """Standardise features by removing the mean and dividing by the std.
+
+    For every value ``x`` of a feature with mean ``mu`` and standard
+    deviation ``sigma`` the transformed value is ``(x - mu) / sigma``.
+
+    Parameters
+    ----------
+    with_mean:
+        If False only divide by the standard deviation (used by the extended
+        low-cardinality search space of the paper, Table 6).
+    with_std:
+        If False only centre the data.
+    """
+
+    name = "standard_scaler"
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        super().__init__(with_mean=with_mean, with_std=with_std)
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        self.mean_ = X.mean(axis=0)
+        self.scale_ = _guard_zeros(X.std(axis=0))
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        out = X.astype(np.float64, copy=True)
+        if self.with_mean:
+            out -= self.mean_
+        if self.with_std:
+            out /= self.scale_
+        return out
+
+
+class MinMaxScaler(Preprocessor):
+    """Scale each feature to the ``[range_min, range_max]`` interval.
+
+    The transformed value of ``x`` is
+    ``(x - min) / (max - min) * (range_max - range_min) + range_min``.
+    Constant features map to ``range_min``.
+    """
+
+    name = "minmax_scaler"
+
+    def __init__(self, range_min: float = 0.0, range_max: float = 1.0) -> None:
+        if range_max <= range_min:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError(
+                f"range_max ({range_max}) must be greater than range_min ({range_min})"
+            )
+        super().__init__(range_min=range_min, range_max=range_max)
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        self.data_range_ = _guard_zeros(self.data_max_ - self.data_min_)
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        unit = (X - self.data_min_) / self.data_range_
+        span = self.range_max - self.range_min
+        return unit * span + self.range_min
+
+
+class MaxAbsScaler(Preprocessor):
+    """Scale each feature by its maximum absolute value.
+
+    Every value ``v`` of a feature with maximum absolute value ``m`` becomes
+    ``v / m``, so the transformed feature lies in ``[-1, 1]``.  This scaler
+    has no parameters (see Table 6 of the paper).
+    """
+
+    name = "maxabs_scaler"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _fit(self, X: np.ndarray, y=None) -> None:
+        self.max_abs_ = _guard_zeros(np.abs(X).max(axis=0))
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return X / self.max_abs_

@@ -1,0 +1,22 @@
+"""Training-data reduction to mitigate the Train/Prep bottleneck (Section 8)."""
+
+from repro.reduction.reduced_evaluator import ReducedEvaluator, reduced_problem
+from repro.reduction.samplers import (
+    KMeansSampler,
+    RandomSampler,
+    SAMPLER_CLASSES,
+    Sampler,
+    StratifiedSampler,
+    make_sampler,
+)
+
+__all__ = [
+    "Sampler",
+    "RandomSampler",
+    "StratifiedSampler",
+    "KMeansSampler",
+    "SAMPLER_CLASSES",
+    "make_sampler",
+    "ReducedEvaluator",
+    "reduced_problem",
+]

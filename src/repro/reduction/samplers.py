@@ -1,0 +1,155 @@
+"""Training-data reduction strategies (Section 8, opportunity 2).
+
+The bottleneck analysis shows that model training ("Train") and
+preprocessing ("Prep") dominate the search time and both scale with the
+training-set size, so reducing the data used *during the search* lets the
+same budget cover many more pipelines.  This module provides three
+reduction strategies of increasing sophistication:
+
+* :class:`RandomSampler` — uniform row subsampling (the simple
+  approximation the paper cites from Zogaj et al.),
+* :class:`StratifiedSampler` — per-class proportional subsampling, which
+  protects small classes,
+* :class:`KMeansSampler` — cluster the rows (per class) with a small
+  k-means and keep the points closest to each centroid, a cheap form of
+  "intelligent" data selection that preserves the feature-space coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_X_y
+
+
+class Sampler:
+    """Protocol: ``select(X, y, n_target)`` returns row indices to keep."""
+
+    name = "sampler"
+
+    def select(self, X, y, n_target: int, random_state=None) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(X, y, n_target: int):
+        X, y = check_X_y(X, y)
+        if n_target < 1:
+            raise ValidationError("n_target must be at least 1")
+        return X, y, min(int(n_target), X.shape[0])
+
+
+class RandomSampler(Sampler):
+    """Uniform random row subsampling without replacement."""
+
+    name = "random"
+
+    def select(self, X, y, n_target: int, random_state=None) -> np.ndarray:
+        X, y, n_target = self._validate(X, y, n_target)
+        rng = check_random_state(random_state)
+        return np.sort(rng.choice(X.shape[0], size=n_target, replace=False))
+
+
+class StratifiedSampler(Sampler):
+    """Per-class proportional subsampling; every class keeps at least one row."""
+
+    name = "stratified"
+
+    def select(self, X, y, n_target: int, random_state=None) -> np.ndarray:
+        X, y, n_target = self._validate(X, y, n_target)
+        rng = check_random_state(random_state)
+        classes, counts = np.unique(y, return_counts=True)
+        proportions = counts / counts.sum()
+        allocation = np.maximum(1, np.floor(proportions * n_target).astype(int))
+        # Trim the largest classes if rounding overshoots the target.
+        while allocation.sum() > n_target:
+            allocation[np.argmax(allocation)] -= 1
+        selected: list[int] = []
+        for label, quota in zip(classes, allocation):
+            members = np.flatnonzero(y == label)
+            quota = min(quota, members.shape[0])
+            selected.extend(rng.choice(members, size=quota, replace=False).tolist())
+        return np.sort(np.asarray(selected))
+
+
+def _kmeans(X: np.ndarray, n_clusters: int, rng: np.random.Generator,
+            n_iter: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Tiny Lloyd's k-means; returns (centroids, assignment)."""
+    n_samples = X.shape[0]
+    n_clusters = min(n_clusters, n_samples)
+    centroids = X[rng.choice(n_samples, size=n_clusters, replace=False)]
+    assignment = np.zeros(n_samples, dtype=int)
+    for _ in range(n_iter):
+        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for cluster in range(n_clusters):
+            members = X[assignment == cluster]
+            if members.shape[0]:
+                centroids[cluster] = members.mean(axis=0)
+    return centroids, assignment
+
+
+class KMeansSampler(Sampler):
+    """Keep the rows closest to per-class k-means centroids.
+
+    Within each class the rows are clustered into as many clusters as that
+    class's share of ``n_target``; the single row nearest each centroid is
+    kept.  Features are standardised internally so clustering is not
+    dominated by large-scale features.
+    """
+
+    name = "kmeans"
+
+    def select(self, X, y, n_target: int, random_state=None) -> np.ndarray:
+        X, y, n_target = self._validate(X, y, n_target)
+        rng = check_random_state(random_state)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        standardized = (X - X.mean(axis=0)) / scale
+
+        classes, counts = np.unique(y, return_counts=True)
+        proportions = counts / counts.sum()
+        allocation = np.maximum(1, np.floor(proportions * n_target).astype(int))
+        while allocation.sum() > n_target:
+            allocation[np.argmax(allocation)] -= 1
+
+        selected: list[int] = []
+        for label, quota in zip(classes, allocation):
+            members = np.flatnonzero(y == label)
+            quota = min(quota, members.shape[0])
+            if quota == members.shape[0]:
+                selected.extend(members.tolist())
+                continue
+            centroids, assignment = _kmeans(standardized[members], quota, rng)
+            for cluster in range(centroids.shape[0]):
+                cluster_members = members[assignment == cluster]
+                if cluster_members.shape[0] == 0:
+                    continue
+                distances = np.linalg.norm(
+                    standardized[cluster_members] - centroids[cluster], axis=1
+                )
+                selected.append(int(cluster_members[int(np.argmin(distances))]))
+        return np.sort(np.unique(np.asarray(selected)))
+
+
+SAMPLER_CLASSES = {
+    RandomSampler.name: RandomSampler,
+    StratifiedSampler.name: StratifiedSampler,
+    KMeansSampler.name: KMeansSampler,
+}
+
+
+def make_sampler(name: str) -> Sampler:
+    """Instantiate a sampler by name ("random", "stratified", "kmeans")."""
+    from repro.exceptions import UnknownComponentError
+
+    try:
+        return SAMPLER_CLASSES[name]()
+    except KeyError as exc:
+        raise UnknownComponentError(
+            f"Unknown sampler {name!r}; known: {sorted(SAMPLER_CLASSES)}"
+        ) from exc

@@ -1,0 +1,181 @@
+"""The unified Auto-FP search framework (Algorithm 1 of the paper).
+
+Every search algorithm follows the same iterative skeleton:
+
+1. generate (and evaluate) initial pipelines,
+2. update a surrogate model / internal state (optional),
+3. sample new pipelines,
+4. evaluate the sampled pipelines, record the results, and repeat until the
+   budget is exhausted; finally return the pipeline with the lowest error.
+
+:class:`SearchAlgorithm` implements that skeleton once.  Concrete algorithms
+override four hooks — ``_initial_pipelines``, ``_update``, ``_propose`` and
+``_observe`` — and inherit budget accounting, pick-time measurement (the
+"Pick" component of the bottleneck analysis) and result collection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.budget import Budget, TrialBudget
+from repro.core.pipeline import Pipeline
+from repro.core.problem import AutoFPProblem
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.search_space import SearchSpace
+from repro.utils.random import check_random_state
+
+
+class SearchAlgorithm:
+    """Base class for all 15 Auto-FP search algorithms.
+
+    Class attributes mirror the columns of Table 3 of the paper (category,
+    origin area, surrogate model, initialisation, samples/evaluations per
+    iteration) so the taxonomy can be regenerated programmatically.
+
+    Parameters
+    ----------
+    random_state:
+        Seed for all of the algorithm's randomness.
+    """
+
+    #: registry name, e.g. ``"rs"`` or ``"pbt"``
+    name: str = "base"
+    #: one of traditional / surrogate / evolution / rl / bandit
+    category: str = "traditional"
+    #: origin area, "hpo" or "nas"
+    area: str = "hpo"
+    #: human-readable surrogate description (Table 3)
+    surrogate_model: str = "None"
+    #: initialisation strategy (Table 3)
+    initialization: str = "None"
+    #: "=1" or ">1" samples per iteration (Table 3)
+    samples_per_iteration: str = "=1"
+    #: "=1" or ">1" evaluations per iteration (Table 3)
+    evaluations_per_iteration: str = "=1"
+    #: number of random pipelines evaluated before the main loop
+    n_init: int = 0
+
+    def __init__(self, random_state: int | None = 0) -> None:
+        self.random_state = random_state
+
+    # ----------------------------------------------------------------- API
+    def search(self, problem: AutoFPProblem, budget: Budget | None = None,
+               *, max_trials: int = 50) -> SearchResult:
+        """Run the search on ``problem`` and return a :class:`SearchResult`.
+
+        Parameters
+        ----------
+        problem:
+            The Auto-FP problem (evaluator + search space).
+        budget:
+            Any :class:`~repro.core.budget.Budget`.  Defaults to a
+            :class:`TrialBudget` of ``max_trials`` evaluations.
+        max_trials:
+            Evaluation budget used when ``budget`` is not given.
+        """
+        budget = budget or TrialBudget(max_trials)
+        rng = check_random_state(self.random_state)
+        space = problem.space
+        evaluator = problem.evaluator
+        result = SearchResult(algorithm=self.name)
+
+        self._setup(problem, rng)
+
+        # Step 1: initial pipelines.
+        for pipeline in self._initial_pipelines(space, rng):
+            if budget.exhausted():
+                break
+            record = evaluator.evaluate(pipeline, iteration=0)
+            result.add(record)
+            budget.consume(1.0)
+            self._observe(record)
+
+        # Steps 2-4: the iterative loop.
+        iteration = 0
+        stalled = 0
+        while not budget.exhausted():
+            iteration += 1
+            pick_start = time.perf_counter()
+            self._update(result.trials, space, rng)
+            proposals = list(self._propose(space, rng, result.trials))
+            pick_time = time.perf_counter() - pick_start
+
+            if not proposals:
+                stalled += 1
+                if stalled >= 3:
+                    # The algorithm has nothing left to propose (e.g. PNAS
+                    # exhausted its beam); fall back to random sampling so the
+                    # budget is still honoured, as the paper's framework does.
+                    proposals = [space.sample_pipeline(rng)]
+                else:
+                    continue
+            stalled = 0
+
+            pick_per_proposal = pick_time / len(proposals)
+            for item in proposals:
+                pipeline, fidelity = self._unpack_proposal(item)
+                if budget.exhausted():
+                    break
+                record = evaluator.evaluate(
+                    pipeline,
+                    fidelity=fidelity,
+                    pick_time=pick_per_proposal,
+                    iteration=iteration,
+                )
+                result.add(record)
+                budget.consume(fidelity)
+                self._observe(record)
+
+        return result
+
+    # ------------------------------------------------------------- taxonomy
+    @classmethod
+    def taxonomy_row(cls) -> dict:
+        """One row of Table 3 for this algorithm."""
+        return {
+            "name": cls.name,
+            "category": cls.category,
+            "area": cls.area,
+            "surrogate_model": cls.surrogate_model,
+            "initialization": cls.initialization,
+            "samples_per_iteration": cls.samples_per_iteration,
+            "evaluations_per_iteration": cls.evaluations_per_iteration,
+        }
+
+    # ----------------------------------------------------------------- hooks
+    def _setup(self, problem: AutoFPProblem, rng: np.random.Generator) -> None:
+        """Prepare internal state before the search starts."""
+
+    def _initial_pipelines(self, space: SearchSpace,
+                           rng: np.random.Generator) -> list[Pipeline]:
+        """Step 1: pipelines evaluated before the main loop (may be empty)."""
+        if self.n_init <= 0:
+            return []
+        return space.sample_pipelines(self.n_init, rng)
+
+    def _update(self, trials: list[TrialRecord], space: SearchSpace,
+                rng: np.random.Generator) -> None:
+        """Step 2: update the surrogate model / internal state (optional)."""
+
+    def _propose(self, space: SearchSpace, rng: np.random.Generator,
+                 trials: list[TrialRecord]) -> Iterable:
+        """Step 3: return pipelines (or ``(pipeline, fidelity)`` pairs) to evaluate."""
+        raise NotImplementedError
+
+    def _observe(self, record: TrialRecord) -> None:
+        """Step 4 callback: incorporate one freshly evaluated trial."""
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _unpack_proposal(item) -> tuple[Pipeline, float]:
+        if isinstance(item, Pipeline):
+            return item, 1.0
+        pipeline, fidelity = item
+        return pipeline, float(fidelity)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(random_state={self.random_state!r})"

@@ -1,0 +1,177 @@
+"""Evolution-based search: Tournament Evolution (TEVO_H / TEVO_Y) and PBT.
+
+The paper's best-ranked algorithms.  Tournament evolution keeps a population
+of pipelines; each step it samples a tournament, mutates the tournament
+winner, evaluates the child and removes either the worst population member
+(TEVO_H, "higher") or the oldest one (TEVO_Y, "younger").  Population-Based
+Training maintains a population that is periodically truncated: the worst
+members are replaced by mutations of the best members (exploitation) or by
+fresh random pipelines (exploration).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.core.result import TrialRecord
+from repro.core.search_space import SearchSpace
+from repro.search.base import SearchAlgorithm
+
+
+@dataclass
+class _Member:
+    """One population member: a pipeline, its accuracy, and its birth order."""
+
+    pipeline: Pipeline
+    accuracy: float
+    birth: int
+
+
+class TournamentEvolution(SearchAlgorithm):
+    """Regularised / non-regularised tournament evolution.
+
+    Parameters
+    ----------
+    population_size:
+        Number of members kept in the population.
+    tournament_size:
+        Number of members sampled per tournament (``S`` in the paper).
+    kill_strategy:
+        ``"worst"`` removes the lowest-accuracy member (TEVO_H);
+        ``"oldest"`` removes the oldest member (TEVO_Y, the "regularised
+        evolution" of Real et al.).
+    """
+
+    name = "tevo"
+    category = "evolution"
+    area = "nas"
+    surrogate_model = "None"
+    initialization = "Random Search"
+    samples_per_iteration = "=1"
+    evaluations_per_iteration = "=1"
+
+    def __init__(self, population_size: int = 10, tournament_size: int = 3,
+                 kill_strategy: str = "worst", random_state: int | None = 0) -> None:
+        super().__init__(random_state=random_state)
+        if kill_strategy not in ("worst", "oldest"):
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("kill_strategy must be 'worst' or 'oldest'")
+        self.population_size = int(population_size)
+        self.tournament_size = int(tournament_size)
+        self.kill_strategy = kill_strategy
+        self.n_init = self.population_size
+
+    def _setup(self, problem, rng) -> None:
+        self._population: deque[_Member] = deque()
+        self._birth_counter = 0
+
+    def _observe(self, record: TrialRecord) -> None:
+        if record.fidelity < 1.0:
+            return
+        self._population.append(
+            _Member(record.pipeline, record.accuracy, self._birth_counter)
+        )
+        self._birth_counter += 1
+        while len(self._population) > self.population_size:
+            if self.kill_strategy == "oldest":
+                self._population.popleft()
+            else:
+                worst = min(self._population, key=lambda m: m.accuracy)
+                self._population.remove(worst)
+
+    def _propose(self, space: SearchSpace, rng: np.random.Generator, trials):
+        if not self._population:
+            return [space.sample_pipeline(rng)]
+        size = min(self.tournament_size, len(self._population))
+        indices = rng.choice(len(self._population), size=size, replace=False)
+        contenders = [self._population[int(i)] for i in indices]
+        winner = max(contenders, key=lambda m: m.accuracy)
+        return [space.mutate(winner.pipeline, rng)]
+
+
+class TEVO_H(TournamentEvolution):
+    """Tournament evolution killing the *worst* population member."""
+
+    name = "tevo_h"
+
+    def __init__(self, population_size: int = 10, tournament_size: int = 3,
+                 random_state: int | None = 0) -> None:
+        super().__init__(population_size=population_size,
+                         tournament_size=tournament_size,
+                         kill_strategy="worst", random_state=random_state)
+
+
+class TEVO_Y(TournamentEvolution):
+    """Tournament evolution killing the *oldest* population member."""
+
+    name = "tevo_y"
+
+    def __init__(self, population_size: int = 10, tournament_size: int = 3,
+                 random_state: int | None = 0) -> None:
+        super().__init__(population_size=population_size,
+                         tournament_size=tournament_size,
+                         kill_strategy="oldest", random_state=random_state)
+
+
+class PBT(SearchAlgorithm):
+    """Population-Based Training adapted to pipeline search.
+
+    Each iteration ranks the population, keeps the top fraction, and rebuilds
+    the bottom fraction from mutations of the survivors (exploitation) or, with
+    probability ``explore_probability``, from fresh random pipelines
+    (exploration).  All replacements are evaluated in the same iteration,
+    so PBT evaluates more than one pipeline per iteration (Table 3).
+    """
+
+    name = "pbt"
+    category = "evolution"
+    area = "hpo"
+    surrogate_model = "None"
+    initialization = "Random Search"
+    samples_per_iteration = ">1"
+    evaluations_per_iteration = ">1"
+
+    def __init__(self, population_size: int = 8, truncation: float = 0.5,
+                 explore_probability: float = 0.25,
+                 random_state: int | None = 0) -> None:
+        super().__init__(random_state=random_state)
+        self.population_size = int(population_size)
+        self.truncation = float(truncation)
+        self.explore_probability = float(explore_probability)
+        self.n_init = self.population_size
+
+    def _setup(self, problem, rng) -> None:
+        self._population: list[_Member] = []
+        self._birth_counter = 0
+
+    def _observe(self, record: TrialRecord) -> None:
+        if record.fidelity < 1.0:
+            return
+        self._population.append(
+            _Member(record.pipeline, record.accuracy, self._birth_counter)
+        )
+        self._birth_counter += 1
+        if len(self._population) > self.population_size:
+            self._population.sort(key=lambda m: m.accuracy, reverse=True)
+            self._population = self._population[: self.population_size]
+
+    def _propose(self, space: SearchSpace, rng: np.random.Generator, trials):
+        if not self._population:
+            return space.sample_pipelines(self.population_size, rng)
+        ranked = sorted(self._population, key=lambda m: m.accuracy, reverse=True)
+        n_keep = max(1, int(round(len(ranked) * (1.0 - self.truncation))))
+        survivors = ranked[:n_keep]
+        n_replace = max(1, self.population_size - n_keep)
+        proposals: list[Pipeline] = []
+        for _ in range(n_replace):
+            if rng.random() < self.explore_probability:
+                proposals.append(space.sample_pipeline(rng))
+            else:
+                parent = survivors[int(rng.integers(0, len(survivors)))]
+                proposals.append(space.mutate(parent.pipeline, rng))
+        return proposals

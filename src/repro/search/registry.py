@@ -1,0 +1,88 @@
+"""Registry of the 15 Auto-FP search algorithms (Table 3 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import UnknownComponentError
+from repro.search.bandit import BOHB, Hyperband
+from repro.search.bandit_extra import ThompsonSamplingSearch, UCBSearch
+from repro.search.base import SearchAlgorithm
+from repro.search.enas import ENAS
+from repro.search.evolution import PBT, TEVO_H, TEVO_Y, TournamentEvolution
+from repro.search.pnas import PLE, PLNE, PME, PMNE, ProgressiveNAS
+from repro.search.reinforce import Reinforce
+from repro.search.smac import SMAC
+from repro.search.tpe import TPE
+from repro.search.traditional import Anneal, RandomSearch
+
+#: all 15 algorithms keyed by their paper abbreviation
+SEARCH_ALGORITHM_CLASSES: dict[str, type[SearchAlgorithm]] = {
+    "rs": RandomSearch,
+    "anneal": Anneal,
+    "smac": SMAC,
+    "tpe": TPE,
+    "pmne": PMNE,
+    "pme": PME,
+    "plne": PLNE,
+    "ple": PLE,
+    "pbt": PBT,
+    "tevo_h": TEVO_H,
+    "tevo_y": TEVO_Y,
+    "reinforce": Reinforce,
+    "enas": ENAS,
+    "hyperband": Hyperband,
+    "bohb": BOHB,
+}
+
+#: the five categories of Section 4.1
+ALGORITHM_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "traditional": ("rs", "anneal"),
+    "surrogate": ("smac", "tpe", "pmne", "pme", "plne", "ple"),
+    "evolution": ("pbt", "tevo_h", "tevo_y"),
+    "rl": ("reinforce", "enas"),
+    "bandit": ("hyperband", "bohb"),
+}
+
+ALL_ALGORITHM_NAMES: tuple[str, ...] = tuple(SEARCH_ALGORITHM_CLASSES)
+
+#: extension algorithms beyond the paper's 15 (they never appear in the
+#: regenerated Table 3 / Table 4 but are available to ablation studies)
+EXTENSION_ALGORITHM_CLASSES: dict[str, type[SearchAlgorithm]] = {
+    "ucb": UCBSearch,
+    "thompson": ThompsonSamplingSearch,
+}
+
+
+def get_search_algorithm_class(name: str) -> type[SearchAlgorithm]:
+    """Return the algorithm class registered under ``name``.
+
+    Both the paper's 15 algorithms and the extension algorithms
+    (:data:`EXTENSION_ALGORITHM_CLASSES`) are resolvable.
+    """
+    if name in SEARCH_ALGORITHM_CLASSES:
+        return SEARCH_ALGORITHM_CLASSES[name]
+    if name in EXTENSION_ALGORITHM_CLASSES:
+        return EXTENSION_ALGORITHM_CLASSES[name]
+    raise UnknownComponentError(
+        f"Unknown search algorithm {name!r}. Known names: "
+        f"{sorted(SEARCH_ALGORITHM_CLASSES) + sorted(EXTENSION_ALGORITHM_CLASSES)}"
+    )
+
+
+def make_search_algorithm(name: str, **kwargs: Any) -> SearchAlgorithm:
+    """Instantiate a search algorithm by its paper abbreviation."""
+    return get_search_algorithm_class(name)(**kwargs)
+
+
+def taxonomy_table() -> list[dict]:
+    """Regenerate Table 3: one taxonomy row per algorithm."""
+    return [cls.taxonomy_row() for cls in SEARCH_ALGORITHM_CLASSES.values()]
+
+
+def category_of(name: str) -> str:
+    """Return the category of algorithm ``name``."""
+    for category, members in ALGORITHM_CATEGORIES.items():
+        if name in members:
+            return category
+    raise UnknownComponentError(f"Unknown search algorithm {name!r}")

@@ -1,0 +1,92 @@
+"""Traditional search algorithms: Random Search and simulated Annealing.
+
+These algorithms sample and evaluate one pipeline per iteration and keep no
+surrogate model.  Random search is the paper's reference baseline — one of
+its headline findings is that it remains hard to beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.core.result import TrialRecord
+from repro.core.search_space import SearchSpace
+from repro.search.base import SearchAlgorithm
+
+
+class RandomSearch(SearchAlgorithm):
+    """Uniform random search over the pipeline space.
+
+    Every iteration draws a pipeline uniformly (first a length, then each
+    position) and evaluates it.
+    """
+
+    name = "rs"
+    category = "traditional"
+    area = "hpo"
+    surrogate_model = "None"
+    initialization = "None"
+    samples_per_iteration = "=1"
+    evaluations_per_iteration = "=1"
+
+    def _propose(self, space: SearchSpace, rng: np.random.Generator, trials):
+        return [space.sample_pipeline(rng)]
+
+
+class Anneal(SearchAlgorithm):
+    """Simulated annealing over the pipeline space.
+
+    The current state is mutated into a neighbour each iteration; better
+    neighbours are always accepted, worse neighbours are accepted with a
+    probability that decays with a geometric cooling schedule.
+
+    Parameters
+    ----------
+    initial_temperature:
+        Starting temperature of the acceptance rule.
+    cooling:
+        Multiplicative cooling factor applied after every iteration.
+    random_state:
+        Seed for sampling and acceptance decisions.
+    """
+
+    name = "anneal"
+    category = "traditional"
+    area = "hpo"
+    surrogate_model = "None"
+    initialization = "None"
+    samples_per_iteration = "=1"
+    evaluations_per_iteration = "=1"
+
+    def __init__(self, initial_temperature: float = 0.1, cooling: float = 0.95,
+                 random_state: int | None = 0) -> None:
+        super().__init__(random_state=random_state)
+        self.initial_temperature = float(initial_temperature)
+        self.cooling = float(cooling)
+
+    def _setup(self, problem, rng) -> None:
+        self._rng = rng
+        self._current: Pipeline | None = None
+        self._current_accuracy = -np.inf
+        self._temperature = self.initial_temperature
+
+    def _propose(self, space: SearchSpace, rng: np.random.Generator, trials):
+        if self._current is None:
+            return [space.sample_pipeline(rng)]
+        return [space.mutate(self._current, rng)]
+
+    def _observe(self, record: TrialRecord) -> None:
+        if self._current is None:
+            self._current = record.pipeline
+            self._current_accuracy = record.accuracy
+            return
+        delta = record.accuracy - self._current_accuracy
+        accept = delta >= 0
+        if not accept and self._temperature > 0:
+            probability = float(np.exp(delta / self._temperature))
+            accept = bool(self._rng.random() < probability)
+        if accept:
+            self._current = record.pipeline
+            self._current_accuracy = record.accuracy
+        self._temperature *= self.cooling

@@ -1,0 +1,16 @@
+"""Surrogate models used by the surrogate-model-based search algorithms."""
+
+from repro.surrogates.base import EnsembleRegressor, SurrogateRegressor
+from repro.surrogates.kde import CategoricalParzenEstimator, TwoDensityModel
+from repro.surrogates.lstm_regressor import LSTMCell, LSTMRegressor
+from repro.surrogates.mlp_regressor import MLPRegressor
+
+__all__ = [
+    "SurrogateRegressor",
+    "EnsembleRegressor",
+    "MLPRegressor",
+    "LSTMRegressor",
+    "LSTMCell",
+    "CategoricalParzenEstimator",
+    "TwoDensityModel",
+]

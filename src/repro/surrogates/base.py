@@ -1,0 +1,65 @@
+"""Surrogate-model protocol and ensemble wrapper.
+
+Surrogate-model-based search algorithms (SMAC, TPE, Progressive NAS, BOHB)
+learn a model of ``p(accuracy | pipeline)`` from the trials evaluated so
+far and use it to pick the next pipeline.  The regression surrogates here
+operate on the fixed-length one-hot encoding produced by
+:meth:`repro.core.search_space.SearchSpace.encode`; TPE/BOHB use the
+density-based :class:`~repro.surrogates.kde.CategoricalParzenEstimator`
+instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SurrogateRegressor:
+    """Protocol for regression surrogates: ``fit(X, y)`` then ``predict(X)``."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SurrogateRegressor":
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_with_std(self, X: np.ndarray):
+        """Return ``(mean, std)``; the default reports zero uncertainty."""
+        mean = self.predict(X)
+        return mean, np.zeros_like(mean)
+
+
+class EnsembleRegressor(SurrogateRegressor):
+    """Average of independently trained base surrogates.
+
+    Progressive NAS's "ensemble" variants (PME, PLE) train five surrogate
+    copies on bootstrap resamples and average their predictions; the spread
+    across members doubles as an uncertainty estimate.
+    """
+
+    def __init__(self, base_factory, n_members: int = 5, random_state: int = 0) -> None:
+        self.base_factory = base_factory
+        self.n_members = int(n_members)
+        self.random_state = random_state
+        self.members_: list[SurrogateRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "EnsembleRegressor":
+        rng = np.random.default_rng(self.random_state)
+        n_samples = X.shape[0]
+        self.members_ = []
+        for member_index in range(self.n_members):
+            member = self.base_factory(member_index)
+            if n_samples > 1:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            member.fit(X[indices], y[indices])
+            self.members_.append(member)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_with_std(X)[0]
+
+    def predict_with_std(self, X: np.ndarray):
+        predictions = np.stack([member.predict(X) for member in self.members_])
+        return predictions.mean(axis=0), predictions.std(axis=0)

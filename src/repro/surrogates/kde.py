@@ -1,0 +1,130 @@
+"""Parzen-style density estimators over the pipeline space (TPE / BOHB).
+
+The Tree-structured Parzen Estimator does not regress accuracy on pipeline
+encodings; it models two densities, ``l(x)`` over the *good* trials and
+``g(x)`` over the *bad* trials, and prefers candidates maximising
+``l(x) / g(x)``.  Because an Auto-FP pipeline is a variable-length sequence
+of categorical choices, the densities here are products of per-position
+categorical distributions (with Laplace-style smoothing towards the uniform
+prior), plus a categorical distribution over the pipeline length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.core.search_space import SearchSpace
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+
+
+class CategoricalParzenEstimator:
+    """Smoothed per-position categorical density over pipelines.
+
+    Parameters
+    ----------
+    space:
+        The search space defining candidate count and maximum length.
+    prior_weight:
+        Weight of the uniform prior mixed into every categorical
+        distribution; prevents zero probabilities when few trials exist.
+    """
+
+    def __init__(self, space: SearchSpace, prior_weight: float = 1.0) -> None:
+        self.space = space
+        self.prior_weight = float(prior_weight)
+        self._length_counts = np.full(space.max_length, prior_weight)
+        self._position_counts = np.full(
+            (space.max_length, space.n_candidates), prior_weight
+        )
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, pipelines) -> "CategoricalParzenEstimator":
+        """Re-estimate the densities from an iterable of pipelines."""
+        self._length_counts = np.full(self.space.max_length, self.prior_weight)
+        self._position_counts = np.full(
+            (self.space.max_length, self.space.n_candidates), self.prior_weight
+        )
+        for pipeline in pipelines:
+            self.update(pipeline)
+        return self
+
+    def update(self, pipeline: Pipeline) -> None:
+        """Add one pipeline's counts to the density."""
+        indices = self.space.indices_of(pipeline)
+        if not 1 <= len(indices) <= self.space.max_length:
+            raise ValidationError("pipeline length outside the search space bounds")
+        self._length_counts[len(indices) - 1] += 1.0
+        for position, candidate in enumerate(indices):
+            self._position_counts[position, candidate] += 1.0
+
+    # ------------------------------------------------------------- density
+    def log_probability(self, pipeline: Pipeline) -> float:
+        """Log density of ``pipeline`` under the estimator."""
+        indices = self.space.indices_of(pipeline)
+        length_probs = self._length_counts / self._length_counts.sum()
+        log_prob = float(np.log(length_probs[len(indices) - 1]))
+        for position, candidate in enumerate(indices):
+            row = self._position_counts[position]
+            log_prob += float(np.log(row[candidate] / row.sum()))
+        return log_prob
+
+    def sample(self, random_state=None) -> Pipeline:
+        """Sample a pipeline from the estimated density."""
+        rng = check_random_state(random_state)
+        length_probs = self._length_counts / self._length_counts.sum()
+        length = int(rng.choice(self.space.max_length, p=length_probs)) + 1
+        indices = []
+        for position in range(length):
+            row = self._position_counts[position]
+            indices.append(int(rng.choice(self.space.n_candidates, p=row / row.sum())))
+        return self.space.pipeline_from_indices(indices)
+
+
+class TwoDensityModel:
+    """The good/bad density pair used by TPE and BOHB.
+
+    ``refit(trials)`` splits the observed trials at the ``gamma`` quantile of
+    accuracy (best ``gamma`` fraction is "good"), fits one Parzen estimator
+    per group and scores candidates by ``log l(x) - log g(x)``.
+    """
+
+    def __init__(self, space: SearchSpace, gamma: float = 0.25,
+                 prior_weight: float = 1.0, min_trials: int = 8) -> None:
+        if not 0.0 < gamma < 1.0:
+            raise ValidationError("gamma must be in (0, 1)")
+        self.space = space
+        self.gamma = gamma
+        self.prior_weight = prior_weight
+        self.min_trials = int(min_trials)
+        self.good_ = CategoricalParzenEstimator(space, prior_weight)
+        self.bad_ = CategoricalParzenEstimator(space, prior_weight)
+        self.ready_ = False
+
+    def refit(self, trials) -> "TwoDensityModel":
+        """Refit both densities from an iterable of TrialRecords."""
+        trials = list(trials)
+        if len(trials) < self.min_trials:
+            self.ready_ = False
+            return self
+        trials_sorted = sorted(trials, key=lambda t: t.accuracy, reverse=True)
+        n_good = max(1, int(round(self.gamma * len(trials_sorted))))
+        good = [t.pipeline for t in trials_sorted[:n_good]]
+        bad = [t.pipeline for t in trials_sorted[n_good:]] or good
+        self.good_ = CategoricalParzenEstimator(self.space, self.prior_weight).fit(good)
+        self.bad_ = CategoricalParzenEstimator(self.space, self.prior_weight).fit(bad)
+        self.ready_ = True
+        return self
+
+    def score(self, pipeline: Pipeline) -> float:
+        """Expected-improvement proxy: ``log l(x) - log g(x)``."""
+        return self.good_.log_probability(pipeline) - self.bad_.log_probability(pipeline)
+
+    def suggest(self, n_candidates: int = 24, random_state=None) -> Pipeline:
+        """Sample candidates from the good density and return the best-scoring one."""
+        rng = check_random_state(random_state)
+        if not self.ready_:
+            return self.space.sample_pipeline(rng)
+        candidates = [self.good_.sample(rng) for _ in range(n_candidates)]
+        return max(candidates, key=self.score)

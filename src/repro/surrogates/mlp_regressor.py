@@ -1,0 +1,82 @@
+"""Small MLP regression surrogate (Progressive NAS "MLP" variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogates.base import SurrogateRegressor
+from repro.utils.random import check_random_state
+
+
+class MLPRegressor(SurrogateRegressor):
+    """One-hidden-layer ReLU network trained with Adam on squared error.
+
+    Deliberately tiny: the paper notes that the MLP surrogate's fitting
+    overhead is "approximate to RS", which is what lets PMNE/PME evaluate
+    many pipelines and rank well for the MLP downstream model.
+
+    Parameters
+    ----------
+    hidden_size:
+        Width of the single hidden layer.
+    epochs:
+        Number of full passes over the training trials.
+    learning_rate:
+        Adam step size.
+    random_state:
+        Seed for weight initialisation and shuffling.
+    """
+
+    def __init__(self, hidden_size: int = 32, epochs: int = 100,
+                 learning_rate: float = 1e-2, random_state: int = 0) -> None:
+        self.hidden_size = int(hidden_size)
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        rng = check_random_state(self.random_state)
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        n_samples, n_features = X.shape
+
+        limit1 = np.sqrt(6.0 / (n_features + self.hidden_size))
+        limit2 = np.sqrt(6.0 / (self.hidden_size + 1))
+        self.W1_ = rng.uniform(-limit1, limit1, size=(n_features, self.hidden_size))
+        self.b1_ = np.zeros(self.hidden_size)
+        self.W2_ = rng.uniform(-limit2, limit2, size=(self.hidden_size, 1))
+        self.b2_ = np.zeros(1)
+
+        params = [self.W1_, self.b1_, self.W2_, self.b2_]
+        moments = [np.zeros_like(p) for p in params]
+        velocities = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            hidden = np.maximum(X[order] @ self.W1_ + self.b1_, 0.0)
+            predictions = (hidden @ self.W2_ + self.b2_).ravel()
+            residuals = predictions - y[order]
+
+            grad_out = residuals[:, None] / n_samples
+            grads = [None, None, None, None]
+            grads[2] = hidden.T @ grad_out
+            grads[3] = grad_out.sum(axis=0)
+            delta_hidden = (grad_out @ self.W2_.T) * (hidden > 0.0)
+            grads[0] = X[order].T @ delta_hidden
+            grads[1] = delta_hidden.sum(axis=0)
+
+            step += 1
+            for i, param in enumerate(params):
+                moments[i] = beta1 * moments[i] + (1 - beta1) * grads[i]
+                velocities[i] = beta2 * velocities[i] + (1 - beta2) * grads[i] ** 2
+                m_hat = moments[i] / (1 - beta1 ** step)
+                v_hat = velocities[i] / (1 - beta2 ** step)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        hidden = np.maximum(X @ self.W1_ + self.b1_, 0.0)
+        return (hidden @ self.W2_ + self.b2_).ravel()

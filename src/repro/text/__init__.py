@@ -1,0 +1,36 @@
+"""Text-data extension (Section 8, "Benchmark Auto-FP on Other Types of Data").
+
+Text data needs its own feature preprocessors before the tabular Auto-FP
+machinery applies.  This subpackage provides the three classic vectorizers
+(bag-of-words counts, TF-IDF, feature hashing), a tokenisation layer and
+synthetic labelled corpora, so a text task becomes::
+
+    documents --TfidfVectorizer--> numeric matrix --Auto-FP pipeline--> classifier
+
+See ``examples/text_pipeline.py`` for the end-to-end flow.
+"""
+
+from repro.text.datasets import (
+    TEXT_DATASET_REGISTRY,
+    TextDatasetInfo,
+    list_text_datasets,
+    load_text_dataset,
+    make_text_classification,
+)
+from repro.text.tokenize import DEFAULT_STOP_WORDS, analyze, ngrams, tokenize
+from repro.text.vectorizers import CountVectorizer, HashingVectorizer, TfidfVectorizer
+
+__all__ = [
+    "tokenize",
+    "ngrams",
+    "analyze",
+    "DEFAULT_STOP_WORDS",
+    "CountVectorizer",
+    "TfidfVectorizer",
+    "HashingVectorizer",
+    "TextDatasetInfo",
+    "TEXT_DATASET_REGISTRY",
+    "make_text_classification",
+    "list_text_datasets",
+    "load_text_dataset",
+]

@@ -1,0 +1,76 @@
+"""Tokenisation helpers for the text-data extension.
+
+The paper's Section 8 ("Benchmark Auto-FP on Other Types of Data") points
+out that text data needs its own feature preprocessors — TF-IDF, word
+embeddings and the like — before the tabular Auto-FP machinery applies.
+This module provides the tokenisation layer those vectorizers build on:
+lower-casing, a word-level regular-expression tokenizer, optional stop-word
+removal and n-gram expansion.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+
+#: a small English stop-word list; enough to demonstrate the behaviour
+#: without pulling in a language resource
+DEFAULT_STOP_WORDS: frozenset[str] = frozenset(
+    """a an and are as at be but by for from has have if in is it its of on or
+    that the this to was were will with""".split()
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-zA-Z0-9]+(?:'[a-zA-Z]+)?")
+
+
+def tokenize(document: str, *, lowercase: bool = True,
+             stop_words: Iterable[str] | None = None) -> list[str]:
+    """Split one document into word tokens.
+
+    Parameters
+    ----------
+    document:
+        The raw text.
+    lowercase:
+        Lower-case the text before tokenising (default True).
+    stop_words:
+        Optional collection of tokens to drop after tokenisation.
+    """
+    if not isinstance(document, str):
+        raise ValidationError(
+            f"documents must be strings, got {type(document).__name__}"
+        )
+    text = document.lower() if lowercase else document
+    tokens = _TOKEN_PATTERN.findall(text)
+    if stop_words:
+        stop_set = set(stop_words)
+        tokens = [token for token in tokens if token not in stop_set]
+    return tokens
+
+
+def ngrams(tokens: Sequence[str], ngram_range: tuple[int, int]) -> list[str]:
+    """Expand a token sequence into space-joined n-grams.
+
+    ``ngram_range=(1, 2)`` returns all unigrams followed by all bigrams; the
+    range is inclusive on both ends, mirroring scikit-learn's convention.
+    """
+    low, high = int(ngram_range[0]), int(ngram_range[1])
+    if low < 1 or high < low:
+        raise ValidationError(
+            f"ngram_range must satisfy 1 <= low <= high, got {ngram_range}"
+        )
+    result: list[str] = []
+    for size in range(low, high + 1):
+        for start in range(len(tokens) - size + 1):
+            result.append(" ".join(tokens[start:start + size]))
+    return result
+
+
+def analyze(document: str, *, lowercase: bool = True,
+            stop_words: Iterable[str] | None = None,
+            ngram_range: tuple[int, int] = (1, 1)) -> list[str]:
+    """Tokenise one document and expand the tokens into n-grams."""
+    return ngrams(tokenize(document, lowercase=lowercase, stop_words=stop_words),
+                  ngram_range)

@@ -1,0 +1,243 @@
+"""Text vectorizers: bag-of-words, TF-IDF and feature hashing.
+
+These are the *text-specific feature preprocessors* the paper's Section 8
+names when discussing how Auto-FP could extend beyond tabular data.  Each
+vectorizer maps a list of raw documents to a dense numeric matrix, which is
+exactly the input the tabular Auto-FP preprocessors and search algorithms
+consume — so a text task becomes ``vectorizer -> Auto-FP pipeline ->
+classifier`` (see ``examples/text_pipeline.py``).
+
+The matrices are dense because the reproduction's datasets are small; a
+production system would use sparse storage, but density keeps the vectorizers
+compatible with every preprocessor and model in the library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.text.tokenize import DEFAULT_STOP_WORDS, analyze
+
+
+def _check_documents(documents: Sequence[str]) -> list[str]:
+    documents = list(documents)
+    if not documents:
+        raise ValidationError("at least one document is required")
+    for document in documents:
+        if not isinstance(document, str):
+            raise ValidationError(
+                f"documents must be strings, got {type(document).__name__}"
+            )
+    return documents
+
+
+class CountVectorizer:
+    """Bag-of-words vectorizer producing dense term-count matrices.
+
+    Parameters
+    ----------
+    lowercase:
+        Lower-case documents before tokenising.
+    remove_stop_words:
+        Drop a small built-in English stop-word list.
+    ngram_range:
+        Inclusive ``(min_n, max_n)`` range of n-gram sizes.
+    max_features:
+        Keep only the ``max_features`` most frequent terms (None keeps all).
+    min_df:
+        Drop terms that appear in fewer than ``min_df`` documents.
+    binary:
+        When True record term presence (0/1) instead of counts.
+    """
+
+    name = "count_vectorizer"
+
+    def __init__(self, lowercase: bool = True, remove_stop_words: bool = True,
+                 ngram_range: tuple[int, int] = (1, 1),
+                 max_features: int | None = None, min_df: int = 1,
+                 binary: bool = False) -> None:
+        if min_df < 1:
+            raise ValidationError(f"min_df must be at least 1, got {min_df}")
+        if max_features is not None and max_features < 1:
+            raise ValidationError("max_features must be at least 1 when given")
+        self.lowercase = lowercase
+        self.remove_stop_words = remove_stop_words
+        self.ngram_range = (int(ngram_range[0]), int(ngram_range[1]))
+        self.max_features = max_features
+        self.min_df = int(min_df)
+        self.binary = binary
+
+    # ------------------------------------------------------------------ API
+    def fit(self, documents: Sequence[str]) -> "CountVectorizer":
+        """Learn the vocabulary from ``documents``."""
+        documents = _check_documents(documents)
+        document_frequency: dict[str, int] = {}
+        total_frequency: dict[str, int] = {}
+        for document in documents:
+            terms = self._analyze(document)
+            for term in set(terms):
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+            for term in terms:
+                total_frequency[term] = total_frequency.get(term, 0) + 1
+
+        kept = [term for term, df in document_frequency.items() if df >= self.min_df]
+        # Order by descending corpus frequency, ties broken alphabetically, so
+        # max_features keeps the most informative columns deterministically.
+        kept.sort(key=lambda term: (-total_frequency[term], term))
+        if self.max_features is not None:
+            kept = kept[: self.max_features]
+        self.vocabulary_ = {term: index for index, term in enumerate(sorted(kept))}
+        self.document_frequency_ = {
+            term: document_frequency[term] for term in self.vocabulary_
+        }
+        self.n_documents_ = len(documents)
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Map documents onto the learned vocabulary (unknown terms are ignored)."""
+        if not hasattr(self, "vocabulary_"):
+            raise NotFittedError(
+                "CountVectorizer is not fitted yet. Call fit() before transform()."
+            )
+        documents = _check_documents(documents)
+        matrix = np.zeros((len(documents), len(self.vocabulary_)), dtype=np.float64)
+        for row, document in enumerate(documents):
+            for term in self._analyze(document):
+                column = self.vocabulary_.get(term)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        if self.binary:
+            matrix = (matrix > 0).astype(np.float64)
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``fit(documents).transform(documents)``."""
+        return self.fit(documents).transform(documents)
+
+    def get_feature_names(self) -> list[str]:
+        """Vocabulary terms in column order."""
+        if not hasattr(self, "vocabulary_"):
+            raise NotFittedError("CountVectorizer is not fitted yet.")
+        return sorted(self.vocabulary_, key=self.vocabulary_.get)
+
+    # ------------------------------------------------------------ internals
+    def _analyze(self, document: str) -> list[str]:
+        stop_words = DEFAULT_STOP_WORDS if self.remove_stop_words else None
+        return analyze(document, lowercase=self.lowercase, stop_words=stop_words,
+                       ngram_range=self.ngram_range)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(ngram_range={self.ngram_range}, "
+                f"max_features={self.max_features}, min_df={self.min_df})")
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF vectorizer: term counts reweighted by inverse document frequency.
+
+    The inverse document frequency uses the smoothed formulation
+    ``idf(t) = ln((1 + n) / (1 + df(t))) + 1`` and rows are L2-normalised by
+    default, matching the conventions of scikit-learn's TfidfVectorizer.
+
+    Parameters
+    ----------
+    norm:
+        ``"l2"`` (default), ``"l1"`` or ``None`` row normalisation.
+    """
+
+    name = "tfidf_vectorizer"
+
+    def __init__(self, lowercase: bool = True, remove_stop_words: bool = True,
+                 ngram_range: tuple[int, int] = (1, 1),
+                 max_features: int | None = None, min_df: int = 1,
+                 norm: str | None = "l2") -> None:
+        if norm not in ("l1", "l2", None):
+            raise ValidationError(f"norm must be 'l1', 'l2' or None, got {norm!r}")
+        super().__init__(lowercase=lowercase, remove_stop_words=remove_stop_words,
+                         ngram_range=ngram_range, max_features=max_features,
+                         min_df=min_df, binary=False)
+        self.norm = norm
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        super().fit(documents)
+        n_documents = self.n_documents_
+        idf = np.empty(len(self.vocabulary_), dtype=np.float64)
+        for term, column in self.vocabulary_.items():
+            document_frequency = self.document_frequency_[term]
+            idf[column] = np.log((1.0 + n_documents) / (1.0 + document_frequency)) + 1.0
+        self.idf_ = idf
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        counts = super().transform(documents)
+        weighted = counts * self.idf_
+        if self.norm == "l2":
+            norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        elif self.norm == "l1":
+            norms = np.abs(weighted).sum(axis=1, keepdims=True)
+        else:
+            return weighted
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+
+class HashingVectorizer:
+    """Stateless vectorizer that hashes terms into a fixed number of columns.
+
+    Feature hashing avoids building a vocabulary, so ``transform`` works
+    without ``fit`` — useful for streaming settings or very large
+    vocabularies.  Collisions are mitigated with a signed hash.
+
+    Parameters
+    ----------
+    n_features:
+        Number of output columns.
+    lowercase, remove_stop_words, ngram_range:
+        Same meaning as for :class:`CountVectorizer`.
+    """
+
+    name = "hashing_vectorizer"
+
+    def __init__(self, n_features: int = 128, lowercase: bool = True,
+                 remove_stop_words: bool = True,
+                 ngram_range: tuple[int, int] = (1, 1)) -> None:
+        if n_features < 1:
+            raise ValidationError(f"n_features must be at least 1, got {n_features}")
+        self.n_features = int(n_features)
+        self.lowercase = lowercase
+        self.remove_stop_words = remove_stop_words
+        self.ngram_range = (int(ngram_range[0]), int(ngram_range[1]))
+
+    def fit(self, documents: Iterable[str]) -> "HashingVectorizer":
+        """No-op: the hashing transform is stateless."""
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Hash every term of every document into the fixed column space."""
+        documents = _check_documents(documents)
+        matrix = np.zeros((len(documents), self.n_features), dtype=np.float64)
+        stop_words = DEFAULT_STOP_WORDS if self.remove_stop_words else None
+        for row, document in enumerate(documents):
+            terms = analyze(document, lowercase=self.lowercase,
+                            stop_words=stop_words, ngram_range=self.ngram_range)
+            for term in terms:
+                column, sign = self._hash(term)
+                matrix[row, column] += sign
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``transform(documents)`` (hashing needs no fit)."""
+        return self.transform(documents)
+
+    def _hash(self, term: str) -> tuple[int, float]:
+        digest = hashlib.md5(term.encode("utf-8")).digest()
+        value = int.from_bytes(digest[:8], "little")
+        column = value % self.n_features
+        sign = 1.0 if digest[8] % 2 == 0 else -1.0
+        return column, sign
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_features={self.n_features})"

@@ -1,0 +1,18 @@
+"""Shared utilities: validation helpers, RNG handling and reproducibility."""
+
+from repro.utils.random import check_random_state, spawn_rng
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_is_fitted,
+    column_or_1d,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_rng",
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+    "column_or_1d",
+]

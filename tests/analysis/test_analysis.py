@@ -1,0 +1,155 @@
+"""Tests for ranking, bottleneck analysis and FP-growth."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Scenario,
+    analyze_result,
+    average_rankings,
+    bottleneck_table,
+    category_average_ranks,
+    fp_growth,
+    max_pattern_support,
+    mine_pipeline_patterns,
+    rank_with_ties,
+    ranking_order,
+)
+from repro.core import Pipeline, SearchResult, TrialRecord
+from repro.datasets import get_dataset_info
+
+
+class TestRanking:
+    def test_rank_with_ties(self):
+        ranks = rank_with_ties({"a": 0.9, "b": 0.8, "c": 0.9, "d": 0.5})
+        assert ranks["a"] == 1 and ranks["c"] == 1
+        assert ranks["b"] == 3
+        assert ranks["d"] == 4
+
+    def test_scenario_qualification_filter(self):
+        qualifying = Scenario("d1", "lr", baseline_accuracy=0.5,
+                              accuracies={"rs": 0.7})
+        not_qualifying = Scenario("d2", "lr", baseline_accuracy=0.7,
+                                  accuracies={"rs": 0.705})
+        assert qualifying.qualifies(1.5)
+        assert not not_qualifying.qualifies(1.5)
+
+    def test_average_rankings_overall_and_per_model(self):
+        scenarios = [
+            Scenario("d1", "lr", 0.5, {"a": 0.9, "b": 0.8}),
+            Scenario("d2", "lr", 0.5, {"a": 0.7, "b": 0.95}),
+            Scenario("d3", "xgb", 0.5, {"a": 0.9, "b": 0.6}),
+        ]
+        rankings = average_rankings(scenarios, min_improvement=1.5)
+        assert rankings["n_scenarios"] == 3
+        assert rankings["overall"]["a"] == pytest.approx((1 + 2 + 1) / 3)
+        assert rankings["overall"]["b"] == pytest.approx((2 + 1 + 2) / 3)
+        assert rankings["per_model"]["xgb"]["a"] == 1.0
+
+    def test_non_qualifying_scenarios_excluded(self):
+        scenarios = [
+            Scenario("d1", "lr", 0.5, {"a": 0.9, "b": 0.8}),
+            Scenario("d2", "lr", 0.9, {"a": 0.905, "b": 0.901}),  # < 1.5% improvement
+        ]
+        rankings = average_rankings(scenarios)
+        assert rankings["n_scenarios"] == 1
+
+    def test_ranking_order(self):
+        order = ranking_order({"a": 2.0, "b": 1.0, "c": 3.0})
+        assert order == ["b", "a", "c"]
+
+    def test_category_average(self):
+        averages = category_average_ranks(
+            {"rs": 5.0, "anneal": 9.0, "pbt": 1.0},
+            {"traditional": ("rs", "anneal"), "evolution": ("pbt",)},
+        )
+        assert averages["traditional"] == 7.0
+        assert averages["evolution"] == 1.0
+
+
+class TestBottleneck:
+    def _result(self, pick, prep, train, algorithm="rs"):
+        result = SearchResult(algorithm=algorithm)
+        result.add(TrialRecord(Pipeline(), accuracy=0.5, pick_time=pick,
+                               prep_time=prep, train_time=train))
+        return result
+
+    def test_analyze_result_percentages(self):
+        report = analyze_result(self._result(1.0, 3.0, 6.0), dataset="heart", model="lr")
+        assert report.pick_percent == pytest.approx(10.0)
+        assert report.prep_percent == pytest.approx(30.0)
+        assert report.train_percent == pytest.approx(60.0)
+        assert report.bottleneck == "train"
+
+    def test_bottleneck_table_groups_by_dataset_category(self):
+        reports = [
+            analyze_result(self._result(0.1, 5.0, 1.0), dataset="heart", model="lr"),
+            analyze_result(self._result(0.1, 1.0, 5.0), dataset="christine", model="lr"),
+        ]
+        infos = {name: get_dataset_info(name) for name in ("heart", "christine")}
+        table = bottleneck_table(reports, infos)
+        assert table[("small", "lr")]["rs"] == "prep"
+        assert table[("high_dimensional", "lr")]["rs"] == "train"
+
+    def test_tie_reported_as_composite(self):
+        reports = [
+            analyze_result(self._result(0.1, 5.0, 1.0), dataset="heart", model="lr"),
+            analyze_result(self._result(0.1, 1.0, 5.0), dataset="heart", model="lr"),
+        ]
+        infos = {"heart": get_dataset_info("heart")}
+        table = bottleneck_table(reports, infos)
+        assert table[("small", "lr")]["rs"] == "prep/train"
+
+
+class TestFPGrowth:
+    def test_known_frequent_itemsets(self):
+        transactions = [
+            ["a", "b"], ["b", "c"], ["a", "b", "c"], ["a", "b"], ["b"],
+        ]
+        patterns = fp_growth(transactions, min_support=0.6)
+        assert patterns[frozenset({"b"})] == pytest.approx(1.0)
+        assert patterns[frozenset({"a", "b"})] == pytest.approx(0.6)
+        assert frozenset({"c"}) not in patterns  # support 0.4 < 0.6
+
+    def test_empty_transactions(self):
+        assert fp_growth([], min_support=0.5) == {}
+
+    def test_min_support_one_requires_universal_items(self):
+        patterns = fp_growth([["a", "b"], ["a"]], min_support=1.0)
+        assert set(patterns) == {frozenset({"a"})}
+
+    def test_duplicates_within_transaction_ignored(self):
+        patterns = fp_growth([["a", "a", "b"], ["a", "b"]], min_support=1.0)
+        assert patterns[frozenset({"a", "b"})] == pytest.approx(1.0)
+
+    def test_support_monotonicity(self):
+        """Supersets never have higher support than their subsets (Apriori property)."""
+        rng = np.random.default_rng(0)
+        items = list("abcde")
+        transactions = [
+            [item for item in items if rng.random() < 0.5] or ["a"]
+            for _ in range(50)
+        ]
+        patterns = fp_growth(transactions, min_support=0.1)
+        for pattern, support in patterns.items():
+            for item in pattern:
+                subset = pattern - {item}
+                if subset and subset in patterns:
+                    assert patterns[subset] >= support - 1e-12
+
+    def test_mine_pipeline_patterns(self):
+        pipelines = [
+            Pipeline.from_names(["standard_scaler", "binarizer"]),
+            Pipeline.from_names(["standard_scaler", "normalizer"]),
+            Pipeline.from_names(["standard_scaler"]),
+        ]
+        patterns = mine_pipeline_patterns(pipelines, min_support=0.5)
+        assert patterns[frozenset({"standard_scaler"})] == pytest.approx(1.0)
+
+    def test_max_pattern_support_filters_singletons(self):
+        patterns = {
+            frozenset({"a"}): 1.0,
+            frozenset({"a", "b"}): 0.4,
+        }
+        assert max_pattern_support(patterns, min_size=2) == pytest.approx(0.4)
+        assert max_pattern_support({frozenset({"a"}): 1.0}, min_size=2) == 0.0

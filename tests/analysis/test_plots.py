@@ -1,0 +1,98 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_bar_chart,
+    ascii_histogram,
+    ascii_line_chart,
+    format_ranking_table,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsciiHistogram:
+    def test_row_count_matches_bins_and_counts_sum_to_samples(self):
+        values = [0.1, 0.2, 0.2, 0.3, 0.9]
+        chart = ascii_histogram(values, bins=4)
+        lines = chart.splitlines()
+        assert len(lines) == 4
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert sum(counts) == len(values)
+
+    def test_title_is_first_line(self):
+        chart = ascii_histogram([1.0, 2.0], bins=2, title="Figure 2 shape")
+        assert chart.splitlines()[0] == "Figure 2 shape"
+
+    def test_largest_bin_gets_longest_bar(self):
+        chart = ascii_histogram([0.0] * 8 + [1.0], bins=2, width=20)
+        first, second = chart.splitlines()
+        assert first.count("#") > second.count("#")
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_histogram([], bins=3)
+        with pytest.raises(ValidationError):
+            ascii_histogram([1.0], bins=0)
+        with pytest.raises(ValidationError):
+            ascii_histogram([1.0], width=0)
+
+
+class TestAsciiBarChart:
+    def test_one_row_per_item_in_insertion_order(self):
+        chart = ascii_bar_chart({"pbt": 1.0, "rs": 6.0, "enas": 15.0})
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("pbt")
+        assert lines[2].startswith("enas")
+
+    def test_maximum_value_fills_the_width(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 4.0}, width=8)
+        assert "#" * 8 in chart.splitlines()[1]
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_bar_chart({"a": -1.0})
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_bar_chart({})
+
+
+class TestAsciiLineChart:
+    def test_dimensions_and_legend(self):
+        chart = ascii_line_chart({"rs": [0.5, 0.6, 0.7], "pbt": [0.5, 0.8, 0.9]},
+                                 height=6, width=20)
+        lines = chart.splitlines()
+        # height rows + axis row + legend row
+        assert len(lines) == 8
+        assert "rs" in lines[-1] and "pbt" in lines[-1]
+
+    def test_monotone_series_puts_marker_in_top_row_at_the_end(self):
+        chart = ascii_line_chart({"acc": [0.0, 0.5, 1.0]}, height=5, width=10)
+        top_row = chart.splitlines()[0]
+        assert top_row.rstrip().endswith("*")
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart({"flat": [0.5, 0.5, 0.5]}, height=4, width=8)
+        assert "flat" in chart
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart({})
+        with pytest.raises(ValidationError):
+            ascii_line_chart({"x": []})
+        with pytest.raises(ValidationError):
+            ascii_line_chart({"x": [1.0]}, height=1)
+
+
+class TestFormatRankingTable:
+    def test_orders_by_ascending_rank(self):
+        table = format_ranking_table({"rs": 6.0, "pbt": 1.0, "enas": 15.0})
+        lines = table.splitlines()
+        assert "pbt" in lines[0]
+        assert "enas" in lines[-1]
+
+    def test_empty_rankings_rejected(self):
+        with pytest.raises(ValidationError):
+            format_ranking_table({})

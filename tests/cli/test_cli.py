@@ -1,0 +1,118 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    """Run the CLI with ``argv`` and capture its stdout."""
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_search_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search"])
+
+
+class TestListingCommands:
+    def test_datasets_lists_all_45_tabular_datasets(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        # header + 45 dataset rows
+        assert len(output.strip().splitlines()) == 46
+        assert "heart" in output
+
+    def test_datasets_ctr_and_text_registries(self):
+        code, output = run_cli("datasets", "--kind", "ctr")
+        assert code == 0
+        assert "tmall" in output and "instacart" in output
+        code, output = run_cli("datasets", "--kind", "text")
+        assert code == 0
+        assert "reviews" in output
+
+    def test_preprocessors_lists_defaults_and_extensions(self):
+        code, output = run_cli("preprocessors")
+        assert code == 0
+        assert "standard_scaler" in output
+        assert "robust_scaler" in output
+
+    def test_algorithms_lists_all_fifteen(self):
+        code, output = run_cli("algorithms")
+        assert code == 0
+        for name in ("rs", "pbt", "enas", "bohb"):
+            assert name in output
+        assert "ucb" in output  # extension searchers mentioned
+
+    def test_algorithms_category_filter(self):
+        code, output = run_cli("algorithms", "--category", "evolution")
+        assert code == 0
+        assert "pbt" in output
+        assert "smac" not in output
+
+    def test_algorithms_unknown_category_fails(self):
+        code, output = run_cli("algorithms", "--category", "quantum")
+        assert code == 1
+
+
+class TestSearchCommand:
+    def test_search_prints_summary_and_saves_json(self, tmp_path):
+        output_path = tmp_path / "result.json"
+        code, output = run_cli(
+            "search", "--dataset", "heart", "--model", "lr",
+            "--algorithm", "rs", "--max-trials", "8", "--scale", "0.5",
+            "--output", str(output_path),
+        )
+        assert code == 0
+        assert "best pipeline" in output
+        assert output_path.exists()
+        data = json.loads(output_path.read_text())
+        assert data["algorithm"] == "rs"
+        assert len(data["trials"]) == 8
+
+    def test_unknown_dataset_reports_error_exit_code(self):
+        code, output = run_cli("search", "--dataset", "not_a_dataset",
+                               "--max-trials", "5")
+        assert code == 2
+        assert "error" in output.lower()
+
+    def test_unknown_algorithm_reports_error_exit_code(self):
+        code, output = run_cli("search", "--dataset", "heart",
+                               "--algorithm", "gradient_descent",
+                               "--max-trials", "5", "--scale", "0.4")
+        assert code == 2
+
+
+class TestCompareCommand:
+    def test_compare_prints_ranking(self):
+        code, output = run_cli(
+            "compare", "--dataset", "heart", "--algorithms", "rs", "tevo_h",
+            "--max-trials", "6", "--scale", "0.4",
+        )
+        assert code == 0
+        assert "ranking" in output
+        assert "rs" in output and "tevo_h" in output
+
+
+class TestMetafeaturesCommand:
+    def test_prints_all_forty_metafeatures(self):
+        code, output = run_cli("metafeatures", "--dataset", "blood", "--scale", "0.5")
+        assert code == 0
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) == 40
+        assert any(line.startswith("NumberOfClasses") for line in lines)

@@ -1,0 +1,144 @@
+"""Failure-injection tests: degenerate pipelines, models and inputs.
+
+A long search run will eventually evaluate pathological pipelines (all-zero
+features after Binarizer -> StandardScaler, overflowing transforms, ...).
+These tests verify the evaluator and preprocessors degrade gracefully
+instead of aborting the whole search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, PipelineEvaluator, SearchSpace
+from repro.core.problem import AutoFPProblem
+from repro.datasets import make_classification
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import make_classifier
+from repro.models.linear import LogisticRegression
+from repro.preprocessing import Binarizer, StandardScaler, default_preprocessors
+from repro.preprocessing.base import Preprocessor
+from repro.search import RandomSearch
+
+
+class ExplodingPreprocessor(Preprocessor):
+    """A preprocessor whose fit always fails with a numerical error."""
+
+    name = "exploding"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _fit(self, X, y=None):
+        raise ValueError("synthetic numerical failure")
+
+    def _transform(self, X):  # pragma: no cover - fit always fails first
+        return X
+
+
+class NaNProducingPreprocessor(Preprocessor):
+    """A preprocessor that silently produces NaN values."""
+
+    name = "nan_producer"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _fit(self, X, y=None):
+        return None
+
+    def _transform(self, X):
+        out = X.copy()
+        out[:, 0] = np.nan
+        return out
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    X, y = make_classification(n_samples=120, n_features=5, class_sep=2.0,
+                               random_state=0)
+    return PipelineEvaluator.from_dataset(X, y, LogisticRegression(max_iter=40),
+                                          random_state=0)
+
+
+class TestEvaluatorFailureHandling:
+    def test_failing_preprocessor_scores_zero_instead_of_raising(self, evaluator):
+        record = evaluator.evaluate(Pipeline([ExplodingPreprocessor()]))
+        assert record.accuracy == 0.0
+        assert record.train_time == 0.0
+
+    def test_nan_output_is_sanitised_before_model_training(self, evaluator):
+        record = evaluator.evaluate(Pipeline([NaNProducingPreprocessor()]))
+        # The model still trains on the sanitised matrix and produces a score.
+        assert 0.0 <= record.accuracy <= 1.0
+
+    def test_search_survives_a_space_containing_a_failing_preprocessor(self):
+        X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                   random_state=1)
+        space = SearchSpace([*default_preprocessors(), ExplodingPreprocessor()],
+                            max_length=2)
+        problem = AutoFPProblem.from_arrays(X, y, LogisticRegression(max_iter=40),
+                                            space=space, random_state=0)
+        result = RandomSearch(random_state=0).search(problem, max_trials=15)
+        assert len(result) == 15
+        assert result.best_accuracy > 0.0
+
+    def test_invalid_fidelity_rejected(self, evaluator):
+        with pytest.raises(ValidationError):
+            evaluator.evaluate(Pipeline([StandardScaler()]), fidelity=0.0)
+        with pytest.raises(ValidationError):
+            evaluator.evaluate(Pipeline([StandardScaler()]), fidelity=1.5)
+
+    def test_mismatched_split_feature_counts_rejected(self):
+        X, y = make_classification(n_samples=60, n_features=4, random_state=0)
+        with pytest.raises(ValidationError):
+            PipelineEvaluator(X[:40], y[:40], X[40:, :2], y[40:],
+                              LogisticRegression())
+
+
+class TestPreprocessorEdgeCases:
+    def test_constant_features_stay_finite_through_every_default_preprocessor(self):
+        X = np.full((30, 3), 5.0)
+        for preprocessor in default_preprocessors():
+            out = preprocessor.fit_transform(X)
+            assert np.all(np.isfinite(out))
+
+    def test_single_row_input_is_accepted(self):
+        X = np.array([[1.0, -2.0, 3.0]])
+        for preprocessor in default_preprocessors():
+            out = preprocessor.fit_transform(X)
+            assert out.shape == X.shape
+
+    def test_nan_input_rejected_with_clear_error(self):
+        X = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(ValidationError):
+            StandardScaler().fit(X)
+
+    def test_transform_before_fit_raises_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            Binarizer().transform(np.zeros((2, 2)))
+
+    def test_transform_with_wrong_feature_count_rejected(self):
+        scaler = StandardScaler().fit(np.random.default_rng(0).normal(size=(10, 3)))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.zeros((4, 2)))
+
+
+class TestModelEdgeCases:
+    def test_models_handle_single_feature_input(self):
+        X, y = make_classification(n_samples=80, n_features=1, class_sep=2.0,
+                                   random_state=0)
+        for name in ("lr", "xgb", "mlp"):
+            model = make_classifier(name, fast=True)
+            model.fit(X, y)
+            assert model.predict(X).shape == (80,)
+
+    def test_models_reject_mismatched_lengths(self):
+        X, y = make_classification(n_samples=50, n_features=3, random_state=0)
+        for name in ("lr", "xgb"):
+            with pytest.raises(ValidationError):
+                make_classifier(name, fast=True).fit(X, y[:-5])
+
+    def test_predict_before_fit_raises(self):
+        for name in ("lr", "xgb", "mlp"):
+            with pytest.raises(NotFittedError):
+                make_classifier(name, fast=True).predict(np.zeros((3, 2)))

@@ -1,0 +1,141 @@
+"""Tests for Pipeline and FittedPipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline
+from repro.exceptions import ValidationError
+from repro.preprocessing import (
+    Binarizer,
+    MinMaxScaler,
+    Normalizer,
+    PowerTransformer,
+    StandardScaler,
+)
+
+
+class TestPipelineConstruction:
+    def test_empty_pipeline(self):
+        pipeline = Pipeline()
+        assert len(pipeline) == 0
+        assert pipeline.is_empty()
+        assert pipeline.describe() == "<no preprocessing>"
+
+    def test_steps_are_cloned(self):
+        scaler = StandardScaler()
+        pipeline = Pipeline([scaler])
+        assert pipeline[0] is not scaler
+
+    def test_non_preprocessor_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline(["standard_scaler"])
+
+    def test_from_names(self):
+        pipeline = Pipeline.from_names(["minmax_scaler", "binarizer"])
+        assert pipeline.names() == ("minmax_scaler", "binarizer")
+
+    def test_from_names_with_params(self):
+        pipeline = Pipeline.from_names(["binarizer"], params=[{"threshold": 0.7}])
+        assert pipeline[0].threshold == 0.7
+
+    def test_from_spec_roundtrip(self):
+        original = Pipeline([Binarizer(threshold=0.3), Normalizer(norm="l1")])
+        rebuilt = Pipeline.from_spec(original.spec())
+        assert rebuilt == original
+
+    def test_describe_lists_steps_in_order(self):
+        pipeline = Pipeline([MinMaxScaler(), PowerTransformer()])
+        description = pipeline.describe()
+        assert description.index("minmax_scaler") < description.index("power_transformer")
+        assert " -> " in description
+        # Parameterised steps show their parameters.
+        assert "standardize=True" in description
+
+
+class TestPipelineIdentity:
+    def test_equality_by_spec(self):
+        a = Pipeline([StandardScaler(), Binarizer()])
+        b = Pipeline([StandardScaler(), Binarizer()])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_order_matters(self):
+        a = Pipeline([StandardScaler(), Binarizer()])
+        b = Pipeline([Binarizer(), StandardScaler()])
+        assert a != b
+
+    def test_parameters_matter(self):
+        a = Pipeline([Binarizer(threshold=0.0)])
+        b = Pipeline([Binarizer(threshold=0.5)])
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        cache = {Pipeline([Normalizer()]): 1.0}
+        assert cache[Pipeline([Normalizer()])] == 1.0
+
+
+class TestPipelineOperations:
+    def test_append_returns_new_pipeline(self):
+        base = Pipeline([StandardScaler()])
+        extended = base.append(Binarizer())
+        assert len(base) == 1
+        assert len(extended) == 2
+        assert extended.names()[-1] == "binarizer"
+
+    def test_replace(self):
+        pipeline = Pipeline([StandardScaler(), Binarizer()])
+        replaced = pipeline.replace(0, Normalizer())
+        assert replaced.names() == ("normalizer", "binarizer")
+
+    def test_truncate(self):
+        pipeline = Pipeline([StandardScaler(), Binarizer(), Normalizer()])
+        assert pipeline.truncate(1).names() == ("standard_scaler",)
+
+
+class TestPipelineFitting:
+    def test_fit_transform_composes_in_order(self, rng):
+        """P1 -> P2 means P2 is applied to P1's output (Definition 2)."""
+        X = rng.normal(loc=5.0, scale=3.0, size=(50, 3))
+        pipeline = Pipeline([StandardScaler(), Binarizer()])
+        _, out = pipeline.fit_transform(X)
+        # StandardScaler centres the data, so roughly half the entries are >= 0.
+        manual = Binarizer().fit_transform(StandardScaler().fit_transform(X))
+        np.testing.assert_array_equal(out, manual)
+
+    def test_order_changes_result(self, rng):
+        X = rng.normal(loc=5.0, size=(50, 3))
+        _, a = Pipeline([StandardScaler(), Binarizer()]).fit_transform(X)
+        _, b = Pipeline([Binarizer(), StandardScaler()]).fit_transform(X)
+        assert not np.allclose(a, b)
+
+    def test_empty_pipeline_is_identity(self, rng):
+        X = rng.normal(size=(20, 4))
+        fitted, out = Pipeline().fit_transform(X)
+        np.testing.assert_array_equal(out, X)
+        np.testing.assert_array_equal(fitted.transform(X), X)
+
+    def test_fitted_pipeline_transforms_new_data(self, rng):
+        X_train = rng.normal(size=(60, 3))
+        X_test = rng.normal(size=(20, 3))
+        fitted = Pipeline([MinMaxScaler(), StandardScaler()]).fit(X_train)
+        out = fitted.transform(X_test)
+        assert out.shape == X_test.shape
+        assert np.all(np.isfinite(out))
+
+    def test_fit_does_not_mutate_prototypes(self, rng):
+        X = rng.normal(size=(30, 2))
+        pipeline = Pipeline([StandardScaler()])
+        pipeline.fit(X)
+        assert not pipeline[0].is_fitted()
+
+    def test_paper_example_p2_composition(self, rng):
+        """The P2 example: PowerTransformer -> MinMaxScaler -> Normalizer."""
+        X = rng.exponential(size=(80, 4)) * 100.0
+        pipeline = Pipeline.from_names(
+            ["power_transformer", "minmax_scaler", "normalizer"]
+        )
+        fitted, out = pipeline.fit_transform(X)
+        assert len(fitted) == 3
+        # The last step normalises rows, so row norms are <= 1.
+        norms = np.linalg.norm(out, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)

@@ -1,0 +1,87 @@
+"""Tests for AutoFPProblem plus property-based tests of core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AutoFPProblem, Pipeline, SearchSpace
+from repro.models import LogisticRegression
+
+
+class TestAutoFPProblem:
+    def test_from_arrays_with_model_name(self, distorted_data):
+        X, y = distorted_data
+        problem = AutoFPProblem.from_arrays(X, y, "lr", name="demo")
+        assert problem.name == "demo"
+        assert problem.space.n_candidates == 7
+        assert 0.0 <= problem.baseline_accuracy() <= 1.0
+
+    def test_from_arrays_with_model_instance(self, distorted_data):
+        X, y = distorted_data
+        problem = AutoFPProblem.from_arrays(X, y, LogisticRegression(max_iter=20))
+        assert isinstance(problem.evaluator.model, LogisticRegression)
+
+    def test_from_registry(self):
+        problem = AutoFPProblem.from_registry("blood", "lr")
+        assert problem.name.startswith("blood/")
+        assert problem.evaluator.X_train.shape[1] == 4
+
+    def test_custom_space_respected(self, distorted_data):
+        X, y = distorted_data
+        space = SearchSpace(max_length=2)
+        problem = AutoFPProblem.from_arrays(X, y, "lr", space=space)
+        assert problem.space.max_length == 2
+
+    def test_split_is_80_20(self, distorted_data):
+        X, y = distorted_data
+        problem = AutoFPProblem.from_arrays(X, y, "lr")
+        n_train = problem.evaluator.X_train.shape[0]
+        n_valid = problem.evaluator.X_valid.shape[0]
+        assert n_train + n_valid == X.shape[0]
+        assert n_valid / X.shape[0] == pytest.approx(0.2, abs=0.05)
+
+
+# ---------------------------------------------------------------- properties
+@st.composite
+def space_and_pipelines(draw):
+    max_length = draw(st.integers(1, 5))
+    space = SearchSpace(max_length=max_length)
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(1, 10))
+    return space, space.sample_pipelines(n, random_state=seed)
+
+
+@given(data=space_and_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_encode_decode_consistency(data):
+    """Encoding is injective on sampled pipelines and decodes via indices."""
+    space, pipelines = data
+    for pipeline in pipelines:
+        indices = space.indices_of(pipeline)
+        assert space.pipeline_from_indices(indices) == pipeline
+        encoded = space.encode(pipeline).reshape(space.max_length, -1)
+        assert np.all(encoded.sum(axis=1) == 1.0)
+
+
+@given(data=space_and_pipelines(), mutation_seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_mutation_stays_in_space(data, mutation_seed):
+    """Any chain of mutations keeps length within [1, max_length]."""
+    space, pipelines = data
+    rng = np.random.default_rng(mutation_seed)
+    pipeline = pipelines[0]
+    for _ in range(10):
+        pipeline = space.mutate(pipeline, rng)
+        assert 1 <= len(pipeline) <= space.max_length
+        for step in pipeline:
+            assert step.name in {c.name for c in space.candidates}
+
+
+@given(seed=st.integers(0, 10_000), length=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_pipeline_spec_roundtrip(seed, length):
+    """Pipeline.from_spec(spec()) is the identity for sampled pipelines."""
+    space = SearchSpace(max_length=4)
+    pipeline = space.sample_pipeline(random_state=seed, length=length)
+    assert Pipeline.from_spec(pipeline.spec()) == pipeline

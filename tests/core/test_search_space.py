@@ -1,0 +1,174 @@
+"""Tests for the Auto-FP search space."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, SearchSpace
+from repro.exceptions import SearchSpaceError
+from repro.preprocessing import Binarizer, Normalizer, StandardScaler
+
+
+class TestSpaceBasics:
+    def test_default_space_has_seven_candidates(self):
+        space = SearchSpace()
+        assert space.n_candidates == 7
+        assert space.max_length == 7
+
+    def test_size_formula(self):
+        """|S_pipe| = sum_{i=1..N} n^i (Definition 3)."""
+        space = SearchSpace(max_length=3)
+        assert space.size() == 7 + 7**2 + 7**3
+
+    def test_size_matches_paper_motivating_experiment(self):
+        """Pipelines of length <= 4 over 7 preprocessors: 2800 in total."""
+        space = SearchSpace(max_length=4)
+        assert space.size() == 7 + 49 + 343 + 2401  # = 2800
+
+    def test_custom_candidates(self):
+        space = SearchSpace([StandardScaler(), Binarizer()], max_length=2)
+        assert space.n_candidates == 2
+        assert space.size() == 2 + 4
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            SearchSpace([], max_length=2)
+
+    def test_invalid_max_length_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            SearchSpace(max_length=0)
+
+
+class TestSampling:
+    def test_sampled_pipeline_within_bounds(self):
+        space = SearchSpace(max_length=4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            pipeline = space.sample_pipeline(rng)
+            assert 1 <= len(pipeline) <= 4
+
+    def test_sampling_deterministic_given_seed(self):
+        space = SearchSpace(max_length=3)
+        a = space.sample_pipelines(5, random_state=7)
+        b = space.sample_pipelines(5, random_state=7)
+        assert a == b
+
+    def test_fixed_length_sampling(self):
+        space = SearchSpace(max_length=5)
+        pipeline = space.sample_pipeline(random_state=0, length=3)
+        assert len(pipeline) == 3
+
+    def test_invalid_length_rejected(self):
+        space = SearchSpace(max_length=3)
+        with pytest.raises(SearchSpaceError):
+            space.sample_pipeline(random_state=0, length=9)
+
+    def test_sampling_covers_all_candidates(self):
+        space = SearchSpace(max_length=2)
+        seen = set()
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            seen.update(space.sample_pipeline(rng).names())
+        assert len(seen) == space.n_candidates
+
+
+class TestMutation:
+    def test_mutation_is_one_edit(self):
+        space = SearchSpace(max_length=5)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            original = space.sample_pipeline(rng)
+            mutated = space.mutate(original, rng)
+            assert abs(len(mutated) - len(original)) <= 1
+            assert 1 <= len(mutated) <= space.max_length
+
+    def test_mutation_at_max_length_never_grows(self):
+        space = SearchSpace(max_length=2)
+        pipeline = space.sample_pipeline(random_state=0, length=2)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            assert len(space.mutate(pipeline, rng)) <= 2
+
+    def test_single_step_pipeline_never_shrinks_to_empty(self):
+        space = SearchSpace(max_length=3)
+        pipeline = space.sample_pipeline(random_state=0, length=1)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            assert len(space.mutate(pipeline, rng)) >= 1
+
+    def test_neighbors_count(self):
+        space = SearchSpace(max_length=3)
+        pipeline = space.sample_pipeline(random_state=0)
+        assert len(space.neighbors(pipeline, random_state=1, n_neighbors=4)) == 4
+
+    def test_crossover_respects_max_length(self):
+        space = SearchSpace(max_length=3)
+        rng = np.random.default_rng(5)
+        first = space.sample_pipeline(rng, length=3)
+        second = space.sample_pipeline(rng, length=3)
+        for _ in range(20):
+            child = space.crossover(first, second, rng)
+            assert 1 <= len(child) <= 3
+
+
+class TestProgressiveOperations:
+    def test_single_step_pipelines(self):
+        space = SearchSpace(max_length=3)
+        singles = space.single_step_pipelines()
+        assert len(singles) == 7
+        assert all(len(p) == 1 for p in singles)
+
+    def test_expand_adds_each_candidate(self):
+        space = SearchSpace(max_length=3)
+        base = space.single_step_pipelines()[0]
+        expanded = space.expand(base)
+        assert len(expanded) == 7
+        assert all(len(p) == 2 for p in expanded)
+        assert all(p.names()[0] == base.names()[0] for p in expanded)
+
+    def test_expand_at_max_length_is_empty(self):
+        space = SearchSpace(max_length=1)
+        assert space.expand(space.single_step_pipelines()[0]) == []
+
+    def test_enumeration_counts(self):
+        space = SearchSpace([StandardScaler(), Binarizer(), Normalizer()], max_length=2)
+        pipelines = list(space.enumerate_pipelines())
+        assert len(pipelines) == 3 + 9
+        assert len(set(pipelines)) == 12  # all distinct
+
+
+class TestEncoding:
+    def test_encoding_dimension(self):
+        space = SearchSpace(max_length=3)
+        assert space.encoding_dim() == 3 * 8
+        pipeline = space.sample_pipeline(random_state=0)
+        assert space.encode(pipeline).shape == (24,)
+
+    def test_one_hot_blocks_sum_to_one(self):
+        space = SearchSpace(max_length=4)
+        pipeline = space.sample_pipeline(random_state=2)
+        encoded = space.encode(pipeline).reshape(4, 8)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+
+    def test_empty_positions_marked(self):
+        space = SearchSpace(max_length=3)
+        pipeline = space.sample_pipeline(random_state=0, length=1)
+        encoded = space.encode(pipeline).reshape(3, 8)
+        assert encoded[1, -1] == 1.0
+        assert encoded[2, -1] == 1.0
+
+    def test_distinct_pipelines_get_distinct_encodings(self):
+        space = SearchSpace(max_length=3)
+        pipelines = space.sample_pipelines(30, random_state=0)
+        encodings = {tuple(space.encode(p)) for p in set(pipelines)}
+        assert len(encodings) == len(set(pipelines))
+
+    def test_encode_many_shape(self):
+        space = SearchSpace(max_length=2)
+        pipelines = space.sample_pipelines(5, random_state=0)
+        assert space.encode_many(pipelines).shape == (5, space.encoding_dim())
+
+    def test_indices_roundtrip(self):
+        space = SearchSpace(max_length=4)
+        pipeline = space.sample_pipeline(random_state=9)
+        rebuilt = space.pipeline_from_indices(space.indices_of(pipeline))
+        assert rebuilt == pipeline

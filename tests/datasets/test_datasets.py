@@ -1,0 +1,151 @@
+"""Tests for synthetic generators and the 45-dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BOTTLENECK_DATASETS,
+    DATASET_REGISTRY,
+    MOTIVATION_DATASETS,
+    DistortionSpec,
+    dataset_statistics,
+    distort_features,
+    get_dataset_info,
+    list_datasets,
+    load_dataset,
+    make_classification,
+)
+from repro.exceptions import UnknownComponentError, ValidationError
+
+
+class TestMakeClassification:
+    def test_shapes_and_labels(self):
+        X, y = make_classification(n_samples=100, n_features=5, n_classes=3,
+                                   random_state=0)
+        assert X.shape == (100, 5)
+        assert y.shape == (100,)
+        assert set(y.tolist()) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_classification(n_samples=50, n_features=4, random_state=7)
+        b = make_classification(n_samples=50, n_features=4, random_state=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_class_sep_controls_difficulty(self):
+        from repro.models import LogisticRegression
+
+        easy_X, easy_y = make_classification(n_samples=200, n_features=6,
+                                             class_sep=3.0, random_state=0)
+        hard_X, hard_y = make_classification(n_samples=200, n_features=6,
+                                             class_sep=0.3, random_state=0)
+        easy = LogisticRegression(max_iter=100).fit(easy_X, easy_y).score(easy_X, easy_y)
+        hard = LogisticRegression(max_iter=100).fit(hard_X, hard_y).score(hard_X, hard_y)
+        assert easy > hard
+
+    def test_weights_skew_class_sizes(self):
+        _, y = make_classification(n_samples=200, n_classes=2,
+                                   weights=(0.8, 0.2), random_state=0)
+        counts = np.bincount(y)
+        assert counts[0] > counts[1] * 2
+
+    def test_label_noise_flips_labels(self):
+        X, clean = make_classification(n_samples=300, n_features=4,
+                                       label_noise=0.0, random_state=5)
+        _, noisy = make_classification(n_samples=300, n_features=4,
+                                       label_noise=0.3, random_state=5)
+        assert np.mean(clean != noisy) > 0.05
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            make_classification(n_samples=1, n_classes=2)
+        with pytest.raises(ValidationError):
+            make_classification(n_classes=1)
+        with pytest.raises(ValidationError):
+            make_classification(n_samples=10, n_classes=2, weights=(1.0,))
+
+
+class TestDistortion:
+    def test_shape_preserved(self, rng):
+        X = rng.normal(size=(50, 6))
+        out = distort_features(X, random_state=0)
+        assert out.shape == X.shape
+
+    def test_distortion_increases_scale_heterogeneity(self, rng):
+        X = rng.normal(size=(200, 8))
+        out = distort_features(
+            X, DistortionSpec(scale_spread=3.0, skew_fraction=0.5), random_state=0
+        )
+        spread_before = np.log10(X.std(axis=0).max() / X.std(axis=0).min())
+        spread_after = np.log10(out.std(axis=0).max() / out.std(axis=0).min())
+        assert spread_after > spread_before
+
+    def test_distortion_is_monotone_per_feature(self, rng):
+        """Row ordering within each feature is preserved (rank statistics intact)."""
+        X = rng.normal(size=(100, 5))
+        out = distort_features(X, random_state=3)
+        for j in range(X.shape[1]):
+            original_order = np.argsort(X[:, j])
+            transformed_order = np.argsort(out[:, j])
+            np.testing.assert_array_equal(original_order, transformed_order)
+
+    def test_output_finite(self, rng):
+        X = rng.normal(size=(100, 10)) * 5
+        out = distort_features(X, random_state=1)
+        assert np.all(np.isfinite(out))
+
+
+class TestRegistry:
+    def test_45_datasets_registered(self):
+        """The paper evaluates on 45 datasets (Table 9)."""
+        assert len(DATASET_REGISTRY) == 45
+        assert len(list_datasets()) == 45
+
+    def test_motivation_datasets_exist(self):
+        assert set(MOTIVATION_DATASETS) <= set(DATASET_REGISTRY)
+        assert set(BOTTLENECK_DATASETS) <= set(DATASET_REGISTRY)
+
+    def test_binary_and_multiclass_mix(self):
+        """Table 9: 28 binary and 17 multi-class datasets."""
+        binary = sum(info.is_binary for info in DATASET_REGISTRY.values())
+        assert binary == 28
+        assert 45 - binary == 17
+
+    def test_load_dataset_matches_info(self):
+        for name in ("heart", "wine", "christine"):
+            info = get_dataset_info(name)
+            X, y = load_dataset(name)
+            assert X.shape == (info.n_samples, info.n_features)
+            assert np.unique(y).shape[0] == info.n_classes
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("forex")
+        b = load_dataset("forex")
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_scale_changes_row_count_only(self):
+        base_X, _ = load_dataset("blood")
+        bigger_X, _ = load_dataset("blood", scale=2.0)
+        assert bigger_X.shape[0] > base_X.shape[0]
+        assert bigger_X.shape[1] == base_X.shape[1]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(UnknownComponentError):
+            load_dataset("not-a-dataset")
+
+    def test_size_categories_cover_table5_groups(self):
+        categories = {info.size_category for info in DATASET_REGISTRY.values()}
+        assert categories == {"high_dimensional", "small", "medium", "large"}
+
+    def test_statistics_rows(self):
+        stats = dataset_statistics()
+        assert len(stats) == 45
+        assert {"name", "n_samples", "n_features", "n_classes", "binary"} <= set(stats[0])
+
+    def test_every_dataset_loads_and_is_finite(self):
+        for name in list_datasets():
+            X, y = load_dataset(name, scale=0.5)
+            assert np.all(np.isfinite(X))
+            assert X.shape[0] == y.shape[0]
+            assert np.unique(y).shape[0] >= 2

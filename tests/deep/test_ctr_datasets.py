@@ -1,0 +1,104 @@
+"""Tests for the synthetic recommendation / CTR dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.deep import (
+    CTR_DATASET_REGISTRY,
+    get_ctr_dataset_info,
+    list_ctr_datasets,
+    load_ctr_dataset,
+    make_basket_dataset,
+    make_ctr_dataset,
+)
+from repro.exceptions import UnknownComponentError, ValidationError
+
+
+class TestMakeCTRDataset:
+    def test_shapes_and_binary_labels(self):
+        X, y = make_ctr_dataset(200, field_cardinalities=(5, 4), n_numeric=3,
+                                random_state=0)
+        assert X.shape == (200, 5 + 4 + 3)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_one_hot_blocks_have_exactly_one_active_entry(self):
+        X, _ = make_ctr_dataset(150, field_cardinalities=(6, 3), n_numeric=0,
+                                random_state=1)
+        first_block = X[:, :6]
+        second_block = X[:, 6:9]
+        np.testing.assert_array_equal(first_block.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(second_block.sum(axis=1), 1.0)
+
+    def test_deterministic_for_same_seed(self):
+        X1, y1 = make_ctr_dataset(100, random_state=7)
+        X2, y2 = make_ctr_dataset(100, random_state=7)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_distortion_spreads_numeric_scales(self):
+        X, _ = make_ctr_dataset(500, field_cardinalities=(4,), n_numeric=4,
+                                distort_numeric=True, random_state=3)
+        numeric = X[:, 4:]
+        stds = numeric.std(axis=0)
+        assert stds.max() / max(stds.min(), 1e-12) > 10.0
+
+    def test_both_classes_present(self):
+        _, y = make_ctr_dataset(400, random_state=2)
+        assert 0 < y.mean() < 1
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            make_ctr_dataset(5)
+        with pytest.raises(ValidationError):
+            make_ctr_dataset(100, field_cardinalities=())
+        with pytest.raises(ValidationError):
+            make_ctr_dataset(100, field_cardinalities=(1, 3))
+
+
+class TestMakeBasketDataset:
+    def test_features_are_binary(self):
+        X, y = make_basket_dataset(200, n_products=20, random_state=0)
+        assert X.shape == (200, 20)
+        assert set(np.unique(X)) <= {0.0, 1.0}
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_labels_driven_by_patterns(self):
+        # With no label noise, every positive sample contains some complete
+        # positive pattern, so positives have (on average) larger baskets.
+        X, y = make_basket_dataset(500, n_products=25, label_noise=0.0,
+                                   random_state=1)
+        assert 0 < y.mean() < 1
+        assert X[y == 1].sum(axis=1).mean() >= X[y == 0].sum(axis=1).mean()
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            make_basket_dataset(100, n_products=2)
+        with pytest.raises(ValidationError):
+            make_basket_dataset(100, n_patterns=0)
+
+
+class TestRegistry:
+    def test_registry_contains_tmall_and_instacart(self):
+        assert set(list_ctr_datasets()) == {"instacart", "tmall"}
+
+    def test_info_flags_expected_fp_effect(self):
+        assert get_ctr_dataset_info("tmall").fp_expected_to_help is True
+        assert get_ctr_dataset_info("instacart").fp_expected_to_help is False
+
+    def test_load_respects_scale(self):
+        X_small, _ = load_ctr_dataset("tmall", scale=0.25, random_state=0)
+        X_full, _ = load_ctr_dataset("tmall", scale=1.0, random_state=0)
+        assert X_small.shape[0] < X_full.shape[0]
+        assert X_full.shape[0] == CTR_DATASET_REGISTRY["tmall"].n_samples
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownComponentError):
+            load_ctr_dataset("movielens")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            load_ctr_dataset("tmall", scale=0.0)
+
+    def test_instacart_features_are_binary(self):
+        X, _ = load_ctr_dataset("instacart", scale=0.2, random_state=0)
+        assert set(np.unique(X)) <= {0.0, 1.0}

@@ -1,0 +1,121 @@
+"""Tests for experiment configuration, the grid runner and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BottleneckReport
+from repro.experiments import (
+    ExperimentConfig,
+    format_breakdown_table,
+    format_comparison_table,
+    format_ranking_table,
+    format_series,
+    format_table,
+    full_config,
+    histogram,
+    no_fp_vs_random_search,
+    quick_config,
+    run_experiment,
+    run_single,
+)
+
+
+class TestConfig:
+    def test_quick_config_defaults(self):
+        config = quick_config()
+        assert len(config.datasets) == 6
+        assert config.models == ("lr",)
+        assert len(config.algorithms) == 15
+
+    def test_full_config_covers_45_datasets(self):
+        config = full_config()
+        assert len(config.datasets) == 45
+        assert config.models == ("lr", "xgb", "mlp")
+
+    def test_n_runs(self):
+        config = ExperimentConfig(datasets=("heart",), models=("lr", "xgb"),
+                                  algorithms=("rs", "pbt"), n_repeats=3)
+        assert config.n_runs() == 1 * 2 * 2 * 3
+
+    def test_overrides(self):
+        config = quick_config(max_trials=5, algorithms=("rs",))
+        assert config.max_trials == 5
+        assert config.algorithms == ("rs",)
+
+
+class TestRunner:
+    def test_run_single(self):
+        result, baseline = run_single("blood", "lr", "rs", max_trials=6, random_state=0)
+        assert len(result) == 6
+        assert 0.0 <= baseline <= 1.0
+        assert result.baseline_accuracy == baseline
+
+    def test_run_experiment_produces_scenarios_and_bottlenecks(self):
+        config = quick_config(
+            datasets=("heart", "blood"), algorithms=("rs", "tevo_h"), max_trials=6
+        )
+        outcome = run_experiment(config)
+        assert len(outcome.scenarios) == 2
+        assert len(outcome.bottlenecks) == 4
+        assert len(outcome.results) == 4
+        for scenario in outcome.scenarios:
+            assert set(scenario.accuracies) == {"rs", "tevo_h"}
+
+    def test_rankings_from_outcome(self):
+        config = quick_config(datasets=("heart",), algorithms=("rs", "pbt"), max_trials=8)
+        outcome = run_experiment(config)
+        rankings = outcome.rankings(min_improvement=-100.0)  # keep all scenarios
+        assert set(rankings["overall"]) == {"rs", "pbt"}
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        config = quick_config(datasets=("blood",), algorithms=("rs",), max_trials=4)
+        run_experiment(config, progress_callback=lambda *args: calls.append(args))
+        assert len(calls) == 1
+
+    def test_best_pipelines_accessor(self):
+        config = quick_config(datasets=("heart",), algorithms=("rs",), max_trials=5)
+        outcome = run_experiment(config)
+        assert len(outcome.best_pipelines("rs")) == 1
+
+    def test_no_fp_vs_rs_rows(self):
+        rows = no_fp_vs_random_search(("blood",), models=("lr",), max_trials=5)
+        assert len(rows) == 1
+        assert {"dataset", "lr_no_fp", "lr_rs"} <= set(rows[0])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["rs", 0.5], ["pbt", 0.75]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "rs" in lines[2] and "0.5000" in lines[2]
+
+    def test_format_table_handles_nan(self):
+        text = format_table(["a"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_ranking_table(self):
+        rankings = {
+            "overall": {"rs": 2.0, "pbt": 1.0},
+            "per_model": {"lr": {"rs": 2.0, "pbt": 1.0}},
+            "n_scenarios": 1,
+            "n_scenarios_per_model": {"lr": 1},
+        }
+        text = format_ranking_table(rankings, ["pbt", "rs"])
+        assert "pbt" in text and "overall" in text
+
+    def test_format_breakdown_table(self):
+        reports = [BottleneckReport("rs", "heart", "lr", 10.0, 30.0, 60.0)]
+        text = format_breakdown_table(reports)
+        assert "train" in text
+
+    def test_format_series(self):
+        text = format_series("trials", [10, 20], {"one_step": [0.8, 0.85],
+                                                  "two_step": [0.7, 0.9]})
+        assert "one_step" in text and "20" in text
+
+    def test_histogram_bars(self):
+        text = histogram(np.linspace(0, 1, 100), bins=5)
+        assert len(text.splitlines()) == 5
+        assert "#" in text

@@ -1,0 +1,154 @@
+"""Tests for the Section 8 budget-allocation strategies."""
+
+import pytest
+
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.extensions import (
+    AllocatedTwoStepSearch,
+    FixedAllocation,
+    GreedyAdaptiveAllocation,
+    HalvingAllocation,
+    RoundOutcome,
+    compare_allocations,
+    low_cardinality_space,
+    make_allocation,
+)
+from repro.search import RandomSearch, TEVO_H
+
+
+def _history(*flags, trials=5):
+    """Build a RoundOutcome history from improvement flags."""
+    return [
+        RoundOutcome(round_index=i + 1, trials_used=trials, best_accuracy=0.5,
+                     improved_overall_best=flag, configuration_id=i)
+        for i, flag in enumerate(flags)
+    ]
+
+
+class TestFixedAllocation:
+    def test_constant_round_size_and_fresh_configurations(self):
+        allocation = FixedAllocation(trials_per_round=10)
+        plan = allocation.plan_round(_history(True, False), remaining_trials=100)
+        assert plan.trials == 10
+        assert plan.reuse_configuration is False
+
+    def test_round_clipped_to_remaining_budget(self):
+        plan = FixedAllocation(trials_per_round=10).plan_round([], remaining_trials=4)
+        assert plan.trials == 4
+
+    def test_invalid_round_size_rejected(self):
+        with pytest.raises(ValidationError):
+            FixedAllocation(trials_per_round=0)
+
+
+class TestHalvingAllocation:
+    def test_screening_rounds_use_small_budget_and_fresh_configurations(self):
+        allocation = HalvingAllocation(n_screening=3, screening_trials=4)
+        plan = allocation.plan_round(_history(True), remaining_trials=50)
+        assert plan.trials == 4
+        assert plan.reuse_configuration is False
+
+    def test_exploitation_rounds_reuse_best_and_grow_budget(self):
+        allocation = HalvingAllocation(n_screening=2, screening_trials=4, eta=2.0)
+        first_exploit = allocation.plan_round(_history(True, False), remaining_trials=100)
+        second_exploit = allocation.plan_round(
+            _history(True, False, True), remaining_trials=100
+        )
+        assert first_exploit.reuse_configuration is True
+        assert second_exploit.trials > first_exploit.trials
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            HalvingAllocation(n_screening=0)
+        with pytest.raises(ValidationError):
+            HalvingAllocation(eta=1.0)
+
+
+class TestGreedyAdaptiveAllocation:
+    def test_first_round_uses_minimum_budget(self):
+        plan = GreedyAdaptiveAllocation(min_trials=5).plan_round([], remaining_trials=60)
+        assert plan.trials == 5
+        assert plan.reuse_configuration is False
+
+    def test_improvement_doubles_budget_and_reuses_configuration(self):
+        allocation = GreedyAdaptiveAllocation(min_trials=5, max_trials_per_round=30)
+        plan = allocation.plan_round(_history(True, trials=6), remaining_trials=60)
+        assert plan.trials == 12
+        assert plan.reuse_configuration is True
+
+    def test_budget_capped_at_maximum(self):
+        allocation = GreedyAdaptiveAllocation(min_trials=5, max_trials_per_round=10)
+        plan = allocation.plan_round(_history(True, trials=8), remaining_trials=60)
+        assert plan.trials == 10
+
+    def test_no_improvement_falls_back_to_fresh_configuration(self):
+        allocation = GreedyAdaptiveAllocation(min_trials=5)
+        plan = allocation.plan_round(_history(False, trials=20), remaining_trials=60)
+        assert plan.trials == 5
+        assert plan.reuse_configuration is False
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            GreedyAdaptiveAllocation(min_trials=0)
+        with pytest.raises(ValidationError):
+            GreedyAdaptiveAllocation(min_trials=10, max_trials_per_round=5)
+
+
+class TestMakeAllocation:
+    def test_resolves_all_names(self):
+        assert isinstance(make_allocation("fixed"), FixedAllocation)
+        assert isinstance(make_allocation("halving"), HalvingAllocation)
+        assert isinstance(make_allocation("greedy"), GreedyAdaptiveAllocation)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownComponentError):
+            make_allocation("round_robin")
+
+
+class TestAllocatedTwoStepSearch:
+    @pytest.fixture(scope="class")
+    def parameter_space(self):
+        return low_cardinality_space(max_length=3)
+
+    def test_respects_total_budget(self, lr_problem, parameter_space):
+        searcher = AllocatedTwoStepSearch(
+            lambda seed: RandomSearch(random_state=seed),
+            parameter_space, allocation=FixedAllocation(trials_per_round=6),
+            random_state=0,
+        )
+        outcome = searcher.search(lr_problem, max_trials=18)
+        assert len(outcome.result.trials) == 18
+        assert outcome.n_rounds == 3
+
+    def test_greedy_allocation_records_round_history(self, lr_problem, parameter_space):
+        searcher = AllocatedTwoStepSearch(
+            lambda seed: RandomSearch(random_state=seed),
+            parameter_space, allocation=GreedyAdaptiveAllocation(min_trials=4),
+            random_state=0,
+        )
+        outcome = searcher.search(lr_problem, max_trials=20)
+        assert outcome.rounds
+        assert sum(r.trials_used for r in outcome.rounds) == len(outcome.result.trials)
+
+    def test_best_accuracy_at_least_matches_plain_round_best(self, lr_problem,
+                                                             parameter_space):
+        searcher = AllocatedTwoStepSearch(
+            lambda seed: TEVO_H(random_state=seed),
+            parameter_space, allocation=HalvingAllocation(n_screening=2,
+                                                          screening_trials=4),
+            random_state=0,
+        )
+        outcome = searcher.search(lr_problem, max_trials=20)
+        per_round_best = max(r.best_accuracy for r in outcome.rounds)
+        assert outcome.best_accuracy == pytest.approx(per_round_best)
+
+    def test_compare_allocations_runs_all_strategies(self, lr_problem, parameter_space):
+        outcomes = compare_allocations(
+            lr_problem, parameter_space,
+            lambda seed: RandomSearch(random_state=seed),
+            max_trials=15, random_state=0,
+        )
+        assert set(outcomes) == {"fixed", "halving", "greedy"}
+        baseline = lr_problem.baseline_accuracy()
+        for outcome in outcomes.values():
+            assert outcome.best_accuracy >= baseline - 0.25

@@ -1,0 +1,124 @@
+"""Tests for JSON/CSV serialization of pipelines, trials and search results."""
+
+import json
+
+import pytest
+
+from repro.core import Pipeline, SearchResult, TrialRecord
+from repro.exceptions import ValidationError
+from repro.io import (
+    load_search_result,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    read_rows_csv,
+    save_search_result,
+    search_result_from_dict,
+    search_result_to_dict,
+    trial_from_dict,
+    trial_to_dict,
+    write_rows_csv,
+)
+from repro.preprocessing import Binarizer, MinMaxScaler, Normalizer, RobustScaler
+
+
+def _sample_result() -> SearchResult:
+    result = SearchResult(algorithm="rs", baseline_accuracy=0.7)
+    result.add(TrialRecord(
+        pipeline=Pipeline([MinMaxScaler(), Binarizer(threshold=0.5)]),
+        accuracy=0.81, pick_time=0.01, prep_time=0.02, train_time=0.3,
+        fidelity=1.0, iteration=1,
+    ))
+    result.add(TrialRecord(
+        pipeline=Pipeline([Normalizer()]),
+        accuracy=0.76, fidelity=0.5, iteration=2,
+    ))
+    return result
+
+
+class TestPipelineSerialization:
+    def test_round_trip_preserves_spec(self):
+        pipeline = Pipeline([MinMaxScaler(range_min=0.0, range_max=2.0), Binarizer()])
+        restored = pipeline_from_dict(pipeline_to_dict(pipeline))
+        assert restored.spec() == pipeline.spec()
+
+    def test_round_trip_of_extension_preprocessors(self):
+        pipeline = Pipeline([RobustScaler(q_min=10.0, q_max=90.0)])
+        restored = pipeline_from_dict(pipeline_to_dict(pipeline))
+        assert restored.spec() == pipeline.spec()
+
+    def test_empty_pipeline_round_trips(self):
+        restored = pipeline_from_dict(pipeline_to_dict(Pipeline()))
+        assert restored.is_empty()
+
+    def test_unknown_preprocessor_name_rejected(self):
+        with pytest.raises(ValidationError):
+            pipeline_from_dict({"steps": [{"name": "pca", "params": {}}]})
+
+    def test_dict_is_json_serialisable(self):
+        encoded = json.dumps(pipeline_to_dict(Pipeline([Binarizer(threshold=0.3)])))
+        assert "binarizer" in encoded
+
+
+class TestTrialAndResultSerialization:
+    def test_trial_round_trip_preserves_all_fields(self):
+        trial = TrialRecord(
+            pipeline=Pipeline([Normalizer()]), accuracy=0.9,
+            pick_time=0.1, prep_time=0.2, train_time=0.3, fidelity=0.5, iteration=7,
+        )
+        restored = trial_from_dict(trial_to_dict(trial))
+        assert restored.pipeline.spec() == trial.pipeline.spec()
+        assert restored.accuracy == trial.accuracy
+        assert restored.fidelity == trial.fidelity
+        assert restored.iteration == trial.iteration
+        assert restored.total_time == pytest.approx(trial.total_time)
+
+    def test_search_result_round_trip(self):
+        result = _sample_result()
+        restored = search_result_from_dict(search_result_to_dict(result))
+        assert restored.algorithm == "rs"
+        assert restored.baseline_accuracy == 0.7
+        assert len(restored) == len(result)
+        assert restored.best_accuracy == result.best_accuracy
+        assert restored.best_pipeline.spec() == result.best_pipeline.spec()
+
+    def test_save_and_load_from_disk(self, tmp_path):
+        result = _sample_result()
+        path = save_search_result(result, tmp_path / "runs" / "rs.json")
+        assert path.exists()
+        restored = load_search_result(path)
+        assert restored.best_accuracy == result.best_accuracy
+
+    def test_missing_optional_fields_get_defaults(self):
+        restored = trial_from_dict({
+            "pipeline": {"steps": []},
+            "accuracy": 0.5,
+        })
+        assert restored.fidelity == 1.0
+        assert restored.pick_time == 0.0
+
+
+class TestCSVRoundTrip:
+    def test_rows_round_trip_with_type_recovery(self, tmp_path):
+        rows = [
+            {"dataset": "heart", "trials": 40, "accuracy": 0.875},
+            {"dataset": "wine", "trials": 25, "accuracy": 0.64},
+        ]
+        path = write_rows_csv(rows, tmp_path / "summary.csv")
+        restored = read_rows_csv(path)
+        assert restored == rows
+
+    def test_explicit_fieldnames_control_column_order(self, tmp_path):
+        rows = [{"b": 2, "a": 1}]
+        path = write_rows_csv(rows, tmp_path / "ordered.csv", fieldnames=["a", "b"])
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+    def test_missing_keys_become_none_on_read(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        path = write_rows_csv(rows, tmp_path / "gaps.csv", fieldnames=["a", "b"])
+        restored = read_rows_csv(path)
+        assert restored[1]["b"] is None
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_rows_csv([], tmp_path / "empty.csv")

@@ -1,0 +1,59 @@
+"""Property-based round-trip tests for the result serialization layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Pipeline, SearchResult, SearchSpace, TrialRecord
+from repro.io import (
+    pipeline_from_dict,
+    pipeline_to_dict,
+    search_result_from_dict,
+    search_result_to_dict,
+)
+
+_SPACE = SearchSpace(max_length=5)
+
+pipeline_indices = st.lists(
+    st.integers(0, _SPACE.n_candidates - 1), min_size=0, max_size=5
+)
+
+
+def _pipeline_from(indices) -> Pipeline:
+    if not indices:
+        return Pipeline()
+    return _SPACE.pipeline_from_indices(indices)
+
+
+@given(indices=pipeline_indices)
+@settings(max_examples=50, deadline=None)
+def test_every_default_space_pipeline_round_trips(indices):
+    pipeline = _pipeline_from(indices)
+    restored = pipeline_from_dict(pipeline_to_dict(pipeline))
+    assert restored.spec() == pipeline.spec()
+    assert restored.describe() == pipeline.describe()
+
+
+@given(
+    trials=st.lists(
+        st.tuples(
+            pipeline_indices,
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    baseline=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0,
+                                            allow_nan=False)),
+)
+@settings(max_examples=30, deadline=None)
+def test_search_results_round_trip_preserving_best_trial(trials, baseline):
+    result = SearchResult(algorithm="property", baseline_accuracy=baseline)
+    for indices, accuracy, fidelity in trials:
+        result.add(TrialRecord(pipeline=_pipeline_from(indices),
+                               accuracy=accuracy, fidelity=fidelity))
+    restored = search_result_from_dict(search_result_to_dict(result))
+    assert len(restored) == len(result)
+    assert restored.baseline_accuracy == result.baseline_accuracy
+    assert restored.best_trial().accuracy == result.best_trial().accuracy
+    assert restored.best_pipeline.spec() == result.best_pipeline.spec()

@@ -1,0 +1,73 @@
+"""Tests for the directory-backed result store."""
+
+import pytest
+
+from repro.core import Pipeline, SearchResult, TrialRecord
+from repro.exceptions import ValidationError
+from repro.io import ResultStore
+from repro.preprocessing import MinMaxScaler, StandardScaler
+
+
+def _result(algorithm: str, accuracy: float, baseline: float = 0.6) -> SearchResult:
+    result = SearchResult(algorithm=algorithm, baseline_accuracy=baseline)
+    result.add(TrialRecord(pipeline=Pipeline([StandardScaler()]), accuracy=accuracy))
+    result.add(TrialRecord(pipeline=Pipeline([MinMaxScaler()]), accuracy=accuracy - 0.1))
+    return result
+
+
+class TestResultStore:
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        key = store.key("heart", "lr", "pbt")
+        store.save(key, _result("pbt", 0.9))
+        restored = store.load(key)
+        assert restored.algorithm == "pbt"
+        assert restored.best_accuracy == 0.9
+
+    def test_exists_and_len_reflect_saves(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key("wine", "xgb", "rs")
+        assert not store.exists(key)
+        assert len(store) == 0
+        store.save(key, _result("rs", 0.7))
+        assert store.exists(key)
+        assert len(store) == 1
+
+    def test_keys_enumerates_all_saved_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(store.key("heart", "lr", "pbt"), _result("pbt", 0.9))
+        store.save(store.key("heart", "lr", "rs"), _result("rs", 0.85))
+        store.save(store.key("wine", "mlp", "tpe", tag="seed1"), _result("tpe", 0.6))
+        keys = store.keys()
+        assert len(keys) == 3
+        assert {k.dataset for k in keys} == {"heart", "wine"}
+        assert any(k.tag == "seed1" for k in keys)
+
+    def test_summary_rows_contain_improvement(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(store.key("heart", "lr", "pbt"), _result("pbt", 0.9, baseline=0.8))
+        rows = store.summary_rows()
+        assert len(rows) == 1
+        assert rows[0]["best_accuracy"] == 0.9
+        assert rows[0]["improvement_points"] == pytest.approx(10.0)
+
+    def test_loading_missing_key_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValidationError):
+            store.load(store.key("heart", "lr", "missing"))
+
+    def test_invalid_key_components_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValidationError):
+            store.key("heart/../../etc", "lr", "rs")
+        with pytest.raises(ValidationError):
+            store.key("", "lr", "rs")
+
+    def test_tagged_and_untagged_runs_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plain = store.key("heart", "lr", "rs")
+        tagged = store.key("heart", "lr", "rs", tag="rerun")
+        store.save(plain, _result("rs", 0.7))
+        store.save(tagged, _result("rs", 0.75))
+        assert store.load(plain).best_accuracy == 0.7
+        assert store.load(tagged).best_accuracy == 0.75

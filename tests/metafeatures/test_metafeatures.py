@@ -1,0 +1,114 @@
+"""Tests for the 40 auto-sklearn-style meta-features."""
+
+import numpy as np
+import pytest
+
+from repro.metafeatures import (
+    METAFEATURE_NAMES,
+    compute_metafeatures,
+    landmarking_metafeatures,
+    metafeature_matrix,
+    metafeature_vector,
+    simple_metafeatures,
+    statistical_metafeatures,
+)
+
+
+class TestSimpleMetafeatures:
+    def test_counts(self, small_multiclass_data):
+        X, y = small_multiclass_data
+        features = simple_metafeatures(X, y)
+        assert features["NumberOfFeatures"] == X.shape[1]
+        assert features["NumberOfClasses"] == 3
+        assert features["NumberOfMissingValues"] == 0.0
+        assert features["DatasetRatio"] == pytest.approx(X.shape[1] / X.shape[0])
+
+    def test_log_features_consistent(self, small_binary_data):
+        X, y = small_binary_data
+        features = simple_metafeatures(X, y)
+        assert features["LogNumberOfFeatures"] == pytest.approx(
+            np.log(features["NumberOfFeatures"])
+        )
+        assert features["InverseDatasetRatio"] == pytest.approx(
+            1.0 / features["DatasetRatio"]
+        )
+
+    def test_missing_values_detected(self):
+        X = np.array([[1.0, np.nan], [2.0, 3.0], [np.nan, 1.0]])
+        y = np.array([0, 1, 0])
+        features = simple_metafeatures(X, y)
+        assert features["NumberOfMissingValues"] == 2
+        assert features["NumberOfFeaturesWithMissingValues"] == 2
+        assert features["NumberOfInstancesWithMissingValues"] == 2
+
+
+class TestStatisticalMetafeatures:
+    def test_skewness_of_symmetric_data_near_zero(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = rng.integers(0, 2, size=500)
+        features = statistical_metafeatures(X, y)
+        assert abs(features["SkewnessMean"]) < 0.3
+
+    def test_skewness_detects_exponential_features(self, rng):
+        X = rng.exponential(size=(500, 3))
+        y = rng.integers(0, 2, size=500)
+        features = statistical_metafeatures(X, y)
+        assert features["SkewnessMean"] > 1.0
+
+    def test_class_entropy_balanced_binary(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([0, 1] * 50)
+        features = statistical_metafeatures(X, y)
+        assert features["ClassEntropy"] == pytest.approx(1.0)  # log2(2)
+        assert features["ClassProbabilityMax"] == pytest.approx(0.5)
+
+    def test_pca_fraction_in_unit_interval(self, small_binary_data):
+        X, y = small_binary_data
+        features = statistical_metafeatures(X, y)
+        assert 0.0 < features["PCAFractionOfComponentsFor95PercentVariance"] <= 1.0
+
+
+class TestLandmarking:
+    def test_landmarks_are_valid_accuracies(self, small_binary_data):
+        X, y = small_binary_data
+        landmarks = landmarking_metafeatures(X, y, random_state=0)
+        assert len(landmarks) == 6
+        for value in landmarks.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_full_tree_beats_stump_on_structured_data(self, small_multiclass_data):
+        X, y = small_multiclass_data
+        landmarks = landmarking_metafeatures(X, y, random_state=0)
+        assert landmarks["LandmarkDecisionTree"] >= landmarks["LandmarkRandomNodeLearner"]
+
+
+class TestExtractor:
+    def test_exactly_40_metafeatures(self, small_binary_data):
+        """Table 10 lists 40 meta-features."""
+        X, y = small_binary_data
+        assert len(METAFEATURE_NAMES) == 40
+        features = compute_metafeatures(X, y)
+        assert set(features) == set(METAFEATURE_NAMES)
+
+    def test_vector_order_matches_names(self, small_binary_data):
+        X, y = small_binary_data
+        features = compute_metafeatures(X, y, random_state=0)
+        vector = metafeature_vector(X, y, random_state=0)
+        assert vector.shape == (40,)
+        assert vector[METAFEATURE_NAMES.index("NumberOfFeatures")] == features["NumberOfFeatures"]
+
+    def test_landmarks_can_be_skipped(self, small_binary_data):
+        X, y = small_binary_data
+        vector = metafeature_vector(X, y, include_landmarks=False)
+        assert np.all(vector[-6:] == 0.0)
+
+    def test_matrix_shape(self, small_binary_data, small_multiclass_data):
+        matrix = metafeature_matrix(
+            [small_binary_data, small_multiclass_data], include_landmarks=False
+        )
+        assert matrix.shape == (2, 40)
+
+    def test_all_values_finite(self, distorted_data):
+        X, y = distorted_data
+        vector = metafeature_vector(X, y, random_state=0)
+        assert np.all(np.isfinite(vector))

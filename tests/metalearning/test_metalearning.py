@@ -1,0 +1,137 @@
+"""Tests for the meta-knowledge store and warm-started search (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline
+from repro.datasets import make_classification
+from repro.exceptions import ValidationError
+from repro.metalearning import (
+    MetaKnowledgeStore,
+    MetaTask,
+    WarmStartedSearch,
+    record_search_outcome,
+)
+from repro.preprocessing import MinMaxScaler, Normalizer, StandardScaler
+from repro.search import TEVO_H, RandomSearch
+
+
+def _dataset(seed: int, n_features: int = 6):
+    return make_classification(n_samples=100, n_features=n_features,
+                               class_sep=2.0, random_state=seed)
+
+
+def _store_with_tasks() -> MetaKnowledgeStore:
+    store = MetaKnowledgeStore()
+    X0, y0 = _dataset(0)
+    X1, y1 = _dataset(1, n_features=12)
+    store.add_task("task-a", "lr", X0, y0,
+                   [Pipeline([StandardScaler()]), Pipeline([MinMaxScaler()])],
+                   best_accuracy=0.9)
+    store.add_task("task-b", "lr", X1, y1, [Pipeline([Normalizer()])],
+                   best_accuracy=0.8)
+    store.add_task("task-c", "xgb", X0, y0, [Pipeline([MinMaxScaler()])],
+                   best_accuracy=0.85)
+    return store
+
+
+class TestMetaTask:
+    def test_round_trip_through_dict(self):
+        X, y = _dataset(0)
+        store = MetaKnowledgeStore()
+        task = store.add_task("t", "lr", X, y, [Pipeline([StandardScaler()])],
+                              best_accuracy=0.7)
+        restored = MetaTask.from_dict(task.to_dict())
+        assert restored.name == "t"
+        assert restored.best_accuracy == 0.7
+        assert restored.best_pipelines[0].spec() == task.best_pipelines[0].spec()
+        np.testing.assert_allclose(restored.metafeatures, task.metafeatures)
+
+
+class TestMetaKnowledgeStore:
+    def test_add_task_computes_metafeature_vector(self):
+        store = MetaKnowledgeStore()
+        X, y = _dataset(3)
+        task = store.add_task("t", "lr", X, y, [Pipeline([StandardScaler()])])
+        assert task.metafeatures.ndim == 1
+        assert len(store) == 1
+
+    def test_wrong_metafeature_shape_rejected(self):
+        store = MetaKnowledgeStore()
+        X, y = _dataset(3)
+        with pytest.raises(ValidationError):
+            store.add_task("t", "lr", X, y, [Pipeline([StandardScaler()])],
+                           metafeatures=np.zeros(3))
+
+    def test_nearest_task_is_the_identical_dataset(self):
+        store = _store_with_tasks()
+        X0, y0 = _dataset(0)
+        nearest = store.nearest_tasks(X0, y0, model="lr", k=1)
+        assert nearest[0].name == "task-a"
+
+    def test_model_filter_restricts_candidates(self):
+        store = _store_with_tasks()
+        X0, y0 = _dataset(0)
+        nearest = store.nearest_tasks(X0, y0, model="xgb", k=2)
+        assert all(task.model == "xgb" for task in nearest)
+
+    def test_empty_store_returns_no_suggestions(self):
+        store = MetaKnowledgeStore()
+        X0, y0 = _dataset(0)
+        assert store.nearest_tasks(X0, y0) == []
+        assert store.suggested_pipelines(X0, y0) == []
+
+    def test_suggested_pipelines_deduplicate_specs(self):
+        store = _store_with_tasks()
+        X0, y0 = _dataset(0)
+        suggestions = store.suggested_pipelines(X0, y0, model="lr", k=3,
+                                                max_pipelines=10)
+        specs = [p.spec() for p in suggestions]
+        assert len(specs) == len(set(specs))
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = _store_with_tasks()
+        path = tmp_path / "meta.json"
+        store.save(path)
+        restored = MetaKnowledgeStore.load(path)
+        assert len(restored) == len(store)
+        assert restored.tasks[0].best_pipelines[0].spec() == \
+            store.tasks[0].best_pipelines[0].spec()
+
+
+class TestWarmStartedSearch:
+    def test_warm_pipelines_are_evaluated_first(self, lr_problem):
+        store = MetaKnowledgeStore()
+        evaluator = lr_problem.evaluator
+        X = np.vstack([evaluator.X_train, evaluator.X_valid])
+        y = np.concatenate([evaluator.y_train, evaluator.y_valid])
+        seed_pipeline = Pipeline([StandardScaler(), MinMaxScaler()])
+        store.add_task("source", "lr", X, y, [seed_pipeline], best_accuracy=0.9)
+
+        search = WarmStartedSearch(TEVO_H(random_state=0), store, n_warm=3,
+                                   model_name="lr", random_state=0)
+        result = search.search(lr_problem, max_trials=10)
+        assert len(result) == 10
+        assert result.trials[0].pipeline.spec() == seed_pipeline.spec()
+
+    def test_empty_store_falls_back_to_base_initialisation(self, lr_problem):
+        search = WarmStartedSearch(RandomSearch(random_state=0),
+                                   MetaKnowledgeStore(), random_state=0)
+        result = search.search(lr_problem, max_trials=8)
+        assert len(result) == 8
+
+    def test_name_mentions_wrapped_algorithm(self):
+        search = WarmStartedSearch(TEVO_H(), MetaKnowledgeStore())
+        assert "tevo_h" in search.name
+
+
+class TestRecordSearchOutcome:
+    def test_records_top_pipelines_for_future_warm_starts(self, lr_problem):
+        store = MetaKnowledgeStore()
+        result = RandomSearch(random_state=0).search(lr_problem, max_trials=10)
+        record_search_outcome(store, lr_problem, result, model_name="lr", top_k=2)
+        assert len(store) == 1
+        task = store.tasks[0]
+        assert task.model == "lr"
+        assert 1 <= len(task.best_pipelines) <= 2
+        assert task.best_accuracy == pytest.approx(result.best_accuracy)

@@ -1,0 +1,60 @@
+"""Tests for the ROC AUC metric used by the deep-model extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.models import roc_auc_score
+
+
+class TestRocAucScore:
+    def test_perfect_ranking_scores_one(self):
+        y_true = [0, 0, 1, 1]
+        y_score = [0.1, 0.2, 0.8, 0.9]
+        assert roc_auc_score(y_true, y_score) == 1.0
+
+    def test_inverted_ranking_scores_zero(self):
+        y_true = [0, 0, 1, 1]
+        y_score = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc_score(y_true, y_score) == 0.0
+
+    def test_random_constant_scores_give_half(self):
+        y_true = [0, 1, 0, 1, 0, 1]
+        y_score = [0.5] * 6
+        assert roc_auc_score(y_true, y_score) == pytest.approx(0.5)
+
+    def test_ties_use_midranks(self):
+        # One positive tied with one negative, one positive clearly above.
+        y_true = [0, 0, 1, 1]
+        y_score = [0.1, 0.5, 0.5, 0.9]
+        # pairs: (0.1 vs 0.5)=1, (0.1 vs 0.9)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.9)=1
+        assert roc_auc_score(y_true, y_score) == pytest.approx(3.5 / 4.0)
+
+    def test_matches_pairwise_definition_on_random_data(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, size=200)
+        y_score = rng.uniform(size=200)
+        positives = y_score[y_true == 1]
+        negatives = y_score[y_true == 0]
+        wins = (positives[:, None] > negatives[None, :]).sum()
+        ties = (positives[:, None] == negatives[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (positives.size * negatives.size)
+        assert roc_auc_score(y_true, y_score) == pytest.approx(expected)
+
+    def test_label_values_other_than_zero_one_are_supported(self):
+        y_true = ["neg", "neg", "pos", "pos"]
+        # np.unique sorts: "neg" < "pos", so "pos" is the positive class.
+        y_score = [0.1, 0.3, 0.7, 0.9]
+        assert roc_auc_score(np.asarray(y_true), y_score) == 1.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_auc_score([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_three_classes_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_auc_score([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_auc_score([0, 1], [0.1, 0.2, 0.3])

@@ -1,0 +1,135 @@
+"""Tests for classification metrics, splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.models import (
+    DecisionTreeClassifier,
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    error_rate,
+    log_loss,
+    stratified_kfold_indices,
+    train_test_split,
+)
+
+
+class TestAccuracy:
+    def test_perfect_prediction(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy_score([1, 1, 1], [0, 0, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_error_rate_is_complement(self):
+        y_true, y_pred = [1, 0, 1, 0], [1, 1, 1, 0]
+        assert error_rate(y_true, y_pred) == pytest.approx(
+            1.0 - accuracy_score(y_true, y_pred)
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+
+class TestLogLoss:
+    def test_confident_correct_prediction_is_small(self):
+        probs = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert log_loss([0, 1], probs) < 0.05
+
+    def test_confident_wrong_prediction_is_large(self):
+        probs = np.array([[0.01, 0.99]])
+        assert log_loss([0], probs) > 2.0
+
+    def test_uniform_prediction_is_log_n_classes(self):
+        probs = np.full((5, 4), 0.25)
+        assert log_loss([0, 1, 2, 3, 0], probs) == pytest.approx(np.log(4))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_prediction(self):
+        matrix = confusion_matrix([0, 1, 1, 2], [0, 1, 1, 2])
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert matrix[0, 1] == 1  # one true-0 predicted as 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_balanced_accuracy_with_imbalance(self):
+        # Majority predictor on a 90/10 split: balanced accuracy is 0.5.
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 100
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, small_binary_data):
+        X, y = small_binary_data
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2,
+                                                            random_state=0)
+        assert X_train.shape[0] + X_test.shape[0] == X.shape[0]
+        assert X_test.shape[0] == pytest.approx(0.2 * X.shape[0], abs=2)
+
+    def test_stratification_preserves_classes(self, small_multiclass_data):
+        X, y = small_multiclass_data
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert set(y_train.tolist()) == set(y.tolist())
+        assert set(y_test.tolist()) == set(y.tolist())
+
+    def test_deterministic_given_seed(self, small_binary_data):
+        X, y = small_binary_data
+        a = train_test_split(X, y, random_state=3)
+        b = train_test_split(X, y, random_state=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[3], b[3])
+
+    def test_no_row_overlap(self, small_binary_data):
+        X, y = small_binary_data
+        X_train, X_test, _, _ = train_test_split(X, y, random_state=1)
+        train_rows = {tuple(row) for row in X_train}
+        test_rows = {tuple(row) for row in X_test}
+        assert not train_rows & test_rows
+
+    def test_invalid_test_size_raises(self, small_binary_data):
+        X, y = small_binary_data
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestCrossValidation:
+    def test_kfold_indices_partition_dataset(self):
+        y = np.array([0, 1] * 20)
+        seen = []
+        for train_idx, test_idx in stratified_kfold_indices(y, 4, random_state=0):
+            assert len(set(train_idx) & set(test_idx)) == 0
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(40))
+
+    def test_kfold_requires_two_splits(self):
+        with pytest.raises(ValidationError):
+            list(stratified_kfold_indices(np.array([0, 1, 0, 1]), 1))
+
+    def test_cross_val_score_shape_and_range(self, small_binary_data):
+        X, y = small_binary_data
+        scores = cross_val_score(DecisionTreeClassifier(max_depth=3), X, y, cv=3,
+                                 random_state=0)
+        assert scores.shape == (3,)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_cross_val_score_beats_chance_on_separable_data(self, small_binary_data):
+        X, y = small_binary_data
+        scores = cross_val_score(DecisionTreeClassifier(max_depth=4), X, y, cv=3,
+                                 random_state=0)
+        assert scores.mean() > 0.7

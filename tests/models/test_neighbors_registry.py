@@ -1,0 +1,101 @@
+"""Tests for KNN / naive Bayes / majority classifiers and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnknownComponentError
+from repro.models import (
+    DOWNSTREAM_MODEL_NAMES,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MajorityClassClassifier,
+    MLPClassifier,
+    get_classifier_class,
+    make_classifier,
+)
+
+
+class TestKNN:
+    def test_1nn_memorises_training_data(self, small_binary_data):
+        X, y = small_binary_data
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_knn_reasonable_on_separable_data(self, small_multiclass_data):
+        X, y = small_multiclass_data
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_k_larger_than_dataset_is_clipped(self, small_binary_data):
+        X, y = small_binary_data
+        model = KNeighborsClassifier(n_neighbors=10_000).fit(X, y)
+        predictions = model.predict(X)
+        # With k = n the prediction is the global majority class everywhere.
+        assert len(set(predictions.tolist())) == 1
+
+    def test_scale_sensitivity(self, small_binary_data):
+        """KNN predictions change when one feature is blown up by 1e6."""
+        X, y = small_binary_data
+        distorted = X.copy()
+        distorted[:, 0] *= 1e6
+        base = KNeighborsClassifier(n_neighbors=3).fit(X, y).predict(X)
+        skewed = KNeighborsClassifier(n_neighbors=3).fit(distorted, y).predict(distorted)
+        assert not np.array_equal(base, skewed)
+
+
+class TestGaussianNB:
+    def test_fits_gaussian_blobs(self, small_multiclass_data):
+        X, y = small_multiclass_data
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.75
+
+    def test_probabilities_valid(self, small_binary_data):
+        X, y = small_binary_data
+        probs = GaussianNB().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_handles_zero_variance_feature(self, small_binary_data):
+        X, y = small_binary_data
+        X = np.hstack([X, np.ones((X.shape[0], 1))])
+        model = GaussianNB().fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))
+
+
+class TestMajority:
+    def test_predicts_most_frequent_class(self):
+        X = np.zeros((10, 2))
+        y = np.array([0] * 7 + [1] * 3)
+        model = MajorityClassClassifier().fit(X, y)
+        assert set(model.predict(X).tolist()) == {0}
+        assert model.score(X, y) == pytest.approx(0.7)
+
+
+class TestModelRegistry:
+    def test_three_downstream_models(self):
+        assert DOWNSTREAM_MODEL_NAMES == ("lr", "xgb", "mlp")
+
+    def test_paper_model_classes(self):
+        assert get_classifier_class("lr") is LogisticRegression
+        assert get_classifier_class("xgb") is GradientBoostingClassifier
+        assert get_classifier_class("mlp") is MLPClassifier
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownComponentError):
+            get_classifier_class("svm")
+
+    def test_fast_flag_reduces_capacity(self):
+        fast = make_classifier("xgb", fast=True)
+        default = make_classifier("xgb")
+        assert fast.n_estimators < default.n_estimators
+
+    def test_overrides_take_precedence_over_fast(self):
+        model = make_classifier("xgb", fast=True, n_estimators=99)
+        assert model.n_estimators == 99
+
+    @pytest.mark.parametrize("name", DOWNSTREAM_MODEL_NAMES)
+    def test_all_downstream_models_trainable(self, name, small_binary_data):
+        X, y = small_binary_data
+        model = make_classifier(name, fast=True).fit(X, y)
+        assert model.score(X, y) > 0.6

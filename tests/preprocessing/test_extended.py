@@ -1,0 +1,204 @@
+"""Tests for the extension preprocessors (beyond the paper's default seven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.preprocessing import (
+    DEFAULT_PREPROCESSOR_NAMES,
+    EXTENDED_PREPROCESSOR_NAMES,
+    ClippingTransformer,
+    KBinsDiscretizer,
+    LogTransformer,
+    RobustScaler,
+    extended_preprocessors,
+    extended_search_space,
+    get_extended_preprocessor_class,
+)
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 25), st.integers(1, 4)),
+    elements=st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+class TestRobustScaler:
+    def test_centres_on_median_and_scales_by_iqr(self):
+        X = np.array([[1.0], [2.0], [3.0], [4.0], [100.0]])
+        out = RobustScaler().fit_transform(X)
+        median = np.median(X)
+        iqr = np.percentile(X, 75) - np.percentile(X, 25)
+        expected = (X - median) / iqr
+        np.testing.assert_allclose(out, expected)
+
+    def test_outlier_does_not_affect_scale_of_bulk(self):
+        X = np.vstack([np.arange(20.0).reshape(-1, 1), [[1e6]]])
+        out = RobustScaler().fit_transform(X)
+        # The bulk of the data stays within a few robust units even though the
+        # raw range is ~1e6 wide.
+        assert np.abs(out[:-1]).max() < 3.0
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((10, 2), 7.0)
+        out = RobustScaler().fit_transform(X)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_centering_and_scaling_flags(self):
+        X = np.array([[0.0], [2.0], [4.0], [6.0]])
+        no_center = RobustScaler(with_centering=False).fit_transform(X)
+        assert no_center.min() >= 0.0
+        no_scale = RobustScaler(with_scaling=False).fit_transform(X)
+        np.testing.assert_allclose(no_scale, X - np.median(X))
+
+    def test_invalid_quantile_range_rejected(self):
+        with pytest.raises(ValidationError):
+            RobustScaler(q_min=80.0, q_max=20.0)
+
+
+class TestKBinsDiscretizer:
+    def test_uniform_bins_cover_range(self):
+        X = np.linspace(0.0, 1.0, 50).reshape(-1, 1)
+        out = KBinsDiscretizer(n_bins=5, strategy="uniform").fit_transform(X)
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 0.25, 0.5, 0.75, 1.0}
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_quantile_bins_are_roughly_equal_population(self):
+        rng = np.random.default_rng(0)
+        X = rng.exponential(size=(1000, 1))
+        out = KBinsDiscretizer(n_bins=4, strategy="quantile").fit_transform(X)
+        _, counts = np.unique(out, return_counts=True)
+        assert counts.shape[0] == 4
+        assert counts.min() > 150
+
+    def test_number_of_distinct_values_bounded_by_n_bins(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        out = KBinsDiscretizer(n_bins=7).fit_transform(X)
+        for column in out.T:
+            assert np.unique(column).shape[0] <= 7
+
+    def test_constant_feature_single_bin(self):
+        X = np.full((20, 1), 3.0)
+        out = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert np.unique(out).shape[0] == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            KBinsDiscretizer(n_bins=1)
+        with pytest.raises(ValidationError):
+            KBinsDiscretizer(strategy="kmeans")
+
+
+class TestLogTransformer:
+    def test_is_odd_function(self):
+        X = np.array([[-5.0, 5.0], [-0.5, 0.5]])
+        out = LogTransformer().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], -out[:, 1])
+
+    def test_zero_maps_to_zero_and_monotone(self):
+        X = np.array([[-10.0], [-1.0], [0.0], [1.0], [10.0]])
+        out = LogTransformer().fit_transform(X).ravel()
+        assert out[2] == 0.0
+        assert np.all(np.diff(out) > 0)
+
+    def test_base_changes_scale(self):
+        X = np.array([[np.e - 1.0]])
+        natural = LogTransformer().fit_transform(X)
+        base10 = LogTransformer(base=10.0).fit_transform(X)
+        np.testing.assert_allclose(natural, 1.0)
+        np.testing.assert_allclose(base10, 1.0 / np.log(10.0))
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValidationError):
+            LogTransformer(base=1.0)
+
+
+class TestClippingTransformer:
+    def test_clips_extreme_values_to_training_percentiles(self):
+        X = np.arange(100.0).reshape(-1, 1)
+        clipper = ClippingTransformer(q_min=10.0, q_max=90.0).fit(X)
+        out = clipper.transform(np.array([[-50.0], [50.0], [500.0]]))
+        lower = np.percentile(X, 10.0)
+        upper = np.percentile(X, 90.0)
+        np.testing.assert_allclose(out.ravel(), [lower, 50.0, upper])
+
+    def test_values_inside_range_unchanged(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 2))
+        out = ClippingTransformer(q_min=0.0, q_max=100.0).fit_transform(X)
+        np.testing.assert_allclose(out, X)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ClippingTransformer(q_min=99.0, q_max=1.0)
+
+
+class TestExtendedRegistry:
+    def test_extension_names_do_not_overlap_defaults(self):
+        assert not set(EXTENDED_PREPROCESSOR_NAMES) & set(DEFAULT_PREPROCESSOR_NAMES)
+
+    def test_extended_preprocessors_returns_all_four(self):
+        instances = extended_preprocessors()
+        assert [p.name for p in instances] == list(EXTENDED_PREPROCESSOR_NAMES)
+
+    def test_unknown_extension_name_raises(self):
+        with pytest.raises(UnknownComponentError):
+            get_extended_preprocessor_class("missing")
+
+    def test_extended_space_contains_defaults_plus_extensions(self):
+        space = extended_search_space()
+        names = [candidate.name for candidate in space.candidates]
+        assert names[: len(DEFAULT_PREPROCESSOR_NAMES)] == list(DEFAULT_PREPROCESSOR_NAMES)
+        assert names[len(DEFAULT_PREPROCESSOR_NAMES):] == list(EXTENDED_PREPROCESSOR_NAMES)
+        assert space.max_length == space.n_candidates
+
+    def test_extensions_only_space(self):
+        space = extended_search_space(include_defaults=False,
+                                      extension_names=["robust_scaler"],
+                                      max_length=3)
+        assert space.n_candidates == 1
+        assert space.max_length == 3
+
+    def test_extended_space_samples_valid_pipelines(self):
+        space = extended_search_space()
+        pipeline = space.sample_pipeline(random_state=0)
+        assert 1 <= len(pipeline) <= space.max_length
+
+
+@given(X=matrices)
+@settings(max_examples=30, deadline=None)
+def test_extension_preprocessors_preserve_shape_and_finiteness(X):
+    """Every extension preprocessor maps finite input to finite output of equal shape."""
+    for preprocessor in extended_preprocessors():
+        out = preprocessor.fit_transform(X)
+        assert out.shape == X.shape
+        assert np.all(np.isfinite(out))
+
+
+@given(X=matrices)
+@settings(max_examples=30, deadline=None)
+def test_kbins_output_in_unit_interval(X):
+    out = KBinsDiscretizer(n_bins=4).fit_transform(X)
+    assert out.min() >= -1e-9
+    assert out.max() <= 1.0 + 1e-9
+
+
+@given(X=matrices)
+@settings(max_examples=30, deadline=None)
+def test_clipping_never_widens_the_range(X):
+    out = ClippingTransformer().fit_transform(X)
+    assert out.min() >= X.min() - 1e-9
+    assert out.max() <= X.max() + 1e-9
+
+
+@given(X=matrices)
+@settings(max_examples=30, deadline=None)
+def test_log_transform_preserves_sign(X):
+    out = LogTransformer().fit_transform(X)
+    assert np.all(np.sign(out) == np.sign(X))

@@ -1,0 +1,79 @@
+"""Tests for Normalizer and Binarizer (Figure 1(e) and 1(h) examples)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.preprocessing import Binarizer, Normalizer
+
+FIGURE1_COLUMN = np.array([-1.5, 1.0, 1.5, 2.5, 3.0, 4.0, 5.0]).reshape(-1, 1)
+
+
+class TestNormalizer:
+    def test_figure1_example_single_column(self):
+        """Figure 1(e): with a single column every non-zero value maps to +-1."""
+        out = Normalizer().fit_transform(FIGURE1_COLUMN)
+        np.testing.assert_allclose(out.ravel(), [-1, 1, 1, 1, 1, 1, 1])
+
+    def test_l2_rows_have_unit_norm(self, rng):
+        X = rng.normal(size=(50, 4))
+        out = Normalizer(norm="l2").fit_transform(X)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-12)
+
+    def test_l1_rows_have_unit_l1_norm(self, rng):
+        X = rng.normal(size=(50, 4))
+        out = Normalizer(norm="l1").fit_transform(X)
+        np.testing.assert_allclose(np.abs(out).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_max_norm_rows_bounded_by_one(self, rng):
+        X = rng.normal(size=(50, 4))
+        out = Normalizer(norm="max").fit_transform(X)
+        np.testing.assert_allclose(np.abs(out).max(axis=1), 1.0, atol=1e-12)
+
+    def test_zero_row_left_unchanged(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = Normalizer().fit_transform(X)
+        np.testing.assert_allclose(out[0], 0.0)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValidationError):
+            Normalizer(norm="l3")
+
+    def test_row_wise_independence(self, rng):
+        """Normalising a subset of rows gives the same values as the full set."""
+        X = rng.normal(size=(20, 3))
+        full = Normalizer().fit_transform(X)
+        partial = Normalizer().fit(X).transform(X[:5])
+        np.testing.assert_allclose(full[:5], partial)
+
+
+class TestBinarizer:
+    def test_figure1_example(self):
+        """Figure 1(h): -1.5 maps to 0, all other values map to 1."""
+        out = Binarizer().fit_transform(FIGURE1_COLUMN)
+        np.testing.assert_array_equal(out.ravel(), [0, 1, 1, 1, 1, 1, 1])
+
+    def test_zero_maps_to_one_with_default_threshold(self):
+        """The paper: non-negative values map to 1 with the default threshold 0."""
+        out = Binarizer().fit_transform(np.array([[0.0], [-0.1], [0.1]]))
+        np.testing.assert_array_equal(out.ravel(), [1, 0, 1])
+
+    def test_custom_threshold(self):
+        out = Binarizer(threshold=2.0).fit_transform(FIGURE1_COLUMN)
+        np.testing.assert_array_equal(out.ravel(), [0, 0, 0, 1, 1, 1, 1])
+
+    def test_output_is_binary(self, rng):
+        X = rng.normal(size=(100, 5))
+        out = Binarizer(threshold=0.3).fit_transform(X)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_idempotent_for_midpoint_threshold(self, rng):
+        """Binarizing already-binary data with threshold 0.5 changes nothing."""
+        X = rng.normal(size=(40, 3))
+        once = Binarizer(threshold=0.5).fit_transform(X)
+        twice = Binarizer(threshold=0.5).fit_transform(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_threshold_is_a_parameter(self):
+        assert Binarizer(threshold=0.4).get_params() == {"threshold": 0.4}
+        assert Binarizer(threshold=0.4) != Binarizer(threshold=0.6)

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the preprocessor invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.preprocessing import (
+    Binarizer,
+    MaxAbsScaler,
+    MinMaxScaler,
+    Normalizer,
+    QuantileTransformer,
+    StandardScaler,
+    default_preprocessors,
+)
+
+# Feature matrices with bounded finite values, 2-30 rows, 1-5 columns.
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+    elements=st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_all_preprocessors_preserve_shape_and_finiteness(X):
+    """Every default preprocessor maps finite input to finite output of the same shape."""
+    for preprocessor in default_preprocessors():
+        out = preprocessor.fit_transform(X)
+        assert out.shape == X.shape
+        assert np.all(np.isfinite(out))
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_minmax_output_always_in_unit_interval(X):
+    out = MinMaxScaler().fit_transform(X)
+    assert out.min() >= -1e-9
+    assert out.max() <= 1.0 + 1e-9
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_maxabs_output_bounded_by_one(X):
+    out = MaxAbsScaler().fit_transform(X)
+    assert np.abs(out).max() <= 1.0 + 1e-9
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_binarizer_output_is_binary(X):
+    out = Binarizer().fit_transform(X)
+    assert set(np.unique(out)).issubset({0.0, 1.0})
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_normalizer_rows_have_at_most_unit_l2_norm(X):
+    out = Normalizer().fit_transform(X)
+    norms = np.linalg.norm(out, axis=1)
+    # Zero rows keep norm 0; all other rows have norm 1.
+    assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms < 1e-12))
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_quantile_uniform_output_in_unit_interval(X):
+    out = QuantileTransformer(n_quantiles=10).fit_transform(X)
+    assert out.min() >= -1e-9
+    assert out.max() <= 1.0 + 1e-9
+
+
+@given(X=matrices, shift=st.floats(-100.0, 100.0), scale=st.floats(0.1, 100.0))
+@settings(max_examples=40, deadline=None)
+def test_standard_scaler_invariant_to_affine_shift_and_scale(X, shift, scale):
+    """StandardScaler output is unchanged by positive affine feature rescaling."""
+    # Only well-conditioned columns: near-constant columns hit the
+    # zero-variance guard, where the invariance deliberately does not hold.
+    assume(np.all(X.std(axis=0) > 1e-3 * (1.0 + np.abs(X).max(axis=0))))
+    base = StandardScaler().fit_transform(X)
+    shifted = StandardScaler().fit_transform(X * scale + shift)
+    np.testing.assert_allclose(base, shifted, atol=1e-5)
+
+
+@given(X=matrices)
+@settings(max_examples=40, deadline=None)
+def test_fit_transform_equals_fit_then_transform(X):
+    """fit_transform and fit().transform() agree for every preprocessor."""
+    for preprocessor in default_preprocessors():
+        combined = preprocessor.clone().fit_transform(X)
+        separate = preprocessor.clone().fit(X).transform(X)
+        np.testing.assert_allclose(combined, separate, atol=1e-9)

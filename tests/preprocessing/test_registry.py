@@ -1,0 +1,91 @@
+"""Tests for the preprocessor registry and parameter-grid expansion."""
+
+import pytest
+
+from repro.exceptions import UnknownComponentError
+from repro.preprocessing import (
+    DEFAULT_PREPROCESSOR_NAMES,
+    PREPROCESSOR_CLASSES,
+    Binarizer,
+    default_preprocessors,
+    expand_parameter_grid,
+    get_preprocessor_class,
+    make_preprocessor,
+)
+
+
+class TestRegistry:
+    def test_exactly_seven_default_preprocessors(self):
+        """The paper studies exactly seven preprocessors (Section 2.1)."""
+        assert len(DEFAULT_PREPROCESSOR_NAMES) == 7
+        assert len(PREPROCESSOR_CLASSES) == 7
+
+    def test_expected_names_present(self):
+        expected = {
+            "standard_scaler", "minmax_scaler", "maxabs_scaler", "normalizer",
+            "power_transformer", "quantile_transformer", "binarizer",
+        }
+        assert set(DEFAULT_PREPROCESSOR_NAMES) == expected
+
+    def test_get_class_by_name(self):
+        assert get_preprocessor_class("binarizer") is Binarizer
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownComponentError):
+            get_preprocessor_class("pca")
+
+    def test_make_preprocessor_with_params(self):
+        preprocessor = make_preprocessor("binarizer", threshold=0.5)
+        assert preprocessor.threshold == 0.5
+
+    def test_default_preprocessors_are_fresh_instances(self):
+        first = default_preprocessors()
+        second = default_preprocessors()
+        assert all(a is not b for a, b in zip(first, second))
+        assert [type(a) for a in first] == [type(b) for b in second]
+
+    def test_default_preprocessors_subset(self):
+        subset = default_preprocessors(["binarizer", "normalizer"])
+        assert [p.name for p in subset] == ["binarizer", "normalizer"]
+
+
+class TestExpandParameterGrid:
+    def test_empty_params_give_single_instance(self):
+        instances = expand_parameter_grid({"maxabs_scaler": {}})
+        assert len(instances) == 1
+
+    def test_single_parameter_expansion(self):
+        instances = expand_parameter_grid(
+            {"binarizer": {"threshold": [0.0, 0.5, 1.0]}}
+        )
+        assert len(instances) == 3
+        assert sorted(p.threshold for p in instances) == [0.0, 0.5, 1.0]
+
+    def test_cartesian_product_of_parameters(self):
+        instances = expand_parameter_grid(
+            {"quantile_transformer": {
+                "n_quantiles": [10, 100],
+                "output_distribution": ["uniform", "normal"],
+            }}
+        )
+        assert len(instances) == 4
+
+    def test_low_cardinality_space_size_matches_paper(self):
+        """Section 6.2: the low-cardinality One-step expansion has 31 preprocessors."""
+        grid = {
+            "binarizer": {"threshold": [0, 0.2, 0.4, 0.6, 0.8, 1.0]},
+            "minmax_scaler": {},
+            "maxabs_scaler": {},
+            "normalizer": {"norm": ["l1", "l2", "max"]},
+            "standard_scaler": {"with_mean": [True, False]},
+            "power_transformer": {"standardize": [True, False]},
+            "quantile_transformer": {
+                "n_quantiles": [10, 100, 200, 500, 1000, 1200, 1500, 2000],
+                "output_distribution": ["uniform", "normal"],
+            },
+        }
+        assert len(expand_parameter_grid(grid)) == 31
+
+    def test_instances_are_distinct_objects(self):
+        instances = expand_parameter_grid({"binarizer": {"threshold": [0.0, 0.0]}})
+        assert instances[0] is not instances[1]

@@ -1,0 +1,145 @@
+"""Tests for StandardScaler, MinMaxScaler and MaxAbsScaler.
+
+Includes the worked example from Figure 1 of the paper: the feature column
+[-1.5, 1, 1.5, 2.5, 3, 4, 5] and its transformed values under each scaler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.preprocessing import MaxAbsScaler, MinMaxScaler, StandardScaler
+
+#: the example feature column of Figure 1(a)
+FIGURE1_COLUMN = np.array([-1.5, 1.0, 1.5, 2.5, 3.0, 4.0, 5.0]).reshape(-1, 1)
+
+
+class TestStandardScaler:
+    def test_figure1_example(self):
+        """Figure 1(b): -1.5 maps to about -1.87 under StandardScaler."""
+        out = StandardScaler().fit_transform(FIGURE1_COLUMN)
+        assert out[0, 0] == pytest.approx(-1.87, abs=0.01)
+
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((10, 2), 7.0)
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_with_mean_false_keeps_offset(self, rng):
+        X = rng.normal(loc=10.0, size=(50, 2))
+        out = StandardScaler(with_mean=False).fit_transform(X)
+        assert out.mean() > 1.0  # data not centred
+
+    def test_with_std_false_only_centres(self, rng):
+        X = rng.normal(scale=5.0, size=(50, 2))
+        out = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert out.std() > 2.0
+
+    def test_transform_uses_training_statistics(self, rng):
+        X_train = rng.normal(size=(100, 3))
+        X_test = rng.normal(loc=100.0, size=(10, 3))
+        scaler = StandardScaler().fit(X_train)
+        out = scaler.transform(X_test)
+        assert out.mean() > 10.0  # test data far from training mean stays far
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(FIGURE1_COLUMN)
+
+    def test_feature_count_mismatch_raises(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(20, 3)))
+        with pytest.raises(ValidationError):
+            scaler.transform(rng.normal(size=(5, 4)))
+
+
+class TestMinMaxScaler:
+    def test_figure1_example(self):
+        """Figure 1(d): value 1 maps to 0.38 with min=-1.5, max=5."""
+        out = MinMaxScaler().fit_transform(FIGURE1_COLUMN)
+        assert out[1, 0] == pytest.approx(0.38, abs=0.01)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_output_within_range(self, rng):
+        X = rng.normal(scale=50.0, size=(100, 5))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        out = MinMaxScaler(range_min=-1.0, range_max=1.0).fit_transform(X)
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_feature_maps_to_range_min(self):
+        X = np.full((10, 1), 3.0)
+        out = MinMaxScaler(range_min=0.25).fit_transform(X)
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValidationError):
+            MinMaxScaler(range_min=1.0, range_max=0.0)
+
+    def test_unseen_values_can_exceed_range(self, rng):
+        X_train = rng.uniform(0, 1, size=(50, 1))
+        scaler = MinMaxScaler().fit(X_train)
+        out = scaler.transform(np.array([[10.0]]))
+        assert out[0, 0] > 1.0
+
+
+class TestMaxAbsScaler:
+    def test_figure1_example(self):
+        """Figure 1(c): -1.5 maps to -0.3 when the max absolute value is 5."""
+        out = MaxAbsScaler().fit_transform(FIGURE1_COLUMN)
+        assert out[0, 0] == pytest.approx(-0.3, abs=1e-9)
+        assert out[-1, 0] == pytest.approx(1.0)
+
+    def test_output_bounded_by_one(self, rng):
+        X = rng.normal(scale=100.0, size=(200, 4))
+        out = MaxAbsScaler().fit_transform(X)
+        assert np.abs(out).max() <= 1.0 + 1e-12
+
+    def test_zero_feature_unchanged(self):
+        X = np.zeros((10, 2))
+        out = MaxAbsScaler().fit_transform(X)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_sign_preserved(self, rng):
+        X = rng.normal(size=(50, 3))
+        out = MaxAbsScaler().fit_transform(X)
+        np.testing.assert_array_equal(np.sign(out), np.sign(X))
+
+    def test_has_no_parameters(self):
+        assert MaxAbsScaler().get_params() == {}
+
+
+class TestScalerProtocol:
+    @pytest.mark.parametrize("cls", [StandardScaler, MinMaxScaler, MaxAbsScaler])
+    def test_clone_is_unfitted_copy(self, cls, rng):
+        scaler = cls().fit(rng.normal(size=(20, 2)))
+        clone = scaler.clone()
+        assert not clone.is_fitted()
+        assert clone.get_params() == cls().get_params()
+
+    @pytest.mark.parametrize("cls", [StandardScaler, MinMaxScaler, MaxAbsScaler])
+    def test_shape_preserved(self, cls, rng):
+        X = rng.normal(size=(30, 5))
+        assert cls().fit_transform(X).shape == X.shape
+
+    @pytest.mark.parametrize("cls", [StandardScaler, MinMaxScaler, MaxAbsScaler])
+    def test_output_is_finite(self, cls, rng):
+        X = rng.normal(scale=1e6, size=(30, 3))
+        assert np.all(np.isfinite(cls().fit_transform(X)))
+
+    @pytest.mark.parametrize("cls", [StandardScaler, MinMaxScaler, MaxAbsScaler])
+    def test_equality_by_params(self, cls):
+        assert cls() == cls()
+        assert hash(cls()) == hash(cls())

@@ -1,0 +1,108 @@
+"""Tests for the UCB / Thompson-sampling extension searchers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.search import (
+    EXTENSION_ALGORITHM_CLASSES,
+    SEARCH_ALGORITHM_CLASSES,
+    ThompsonSamplingSearch,
+    UCBSearch,
+    make_search_algorithm,
+)
+from repro.search.bandit_extra import _ArmStatistics
+
+
+class TestArmStatistics:
+    def test_counts_and_means_track_updates(self):
+        arms = _ArmStatistics(3)
+        arms.update(0, 0.5)
+        arms.update(0, 1.0)
+        arms.update(2, 0.2)
+        np.testing.assert_array_equal(arms.counts, [2, 0, 1])
+        np.testing.assert_allclose(arms.means()[[0, 2]], [0.75, 0.2])
+
+    def test_variance_is_positive_even_for_single_pull(self):
+        arms = _ArmStatistics(2)
+        arms.update(1, 0.7)
+        assert arms.variances()[1] > 0
+
+
+class TestRegistryIntegration:
+    def test_extension_algorithms_not_in_the_15_algorithm_table(self):
+        assert "ucb" not in SEARCH_ALGORITHM_CLASSES
+        assert "thompson" not in SEARCH_ALGORITHM_CLASSES
+        assert set(EXTENSION_ALGORITHM_CLASSES) == {"ucb", "thompson"}
+
+    def test_make_search_algorithm_resolves_extension_names(self):
+        assert isinstance(make_search_algorithm("ucb"), UCBSearch)
+        assert isinstance(make_search_algorithm("thompson"), ThompsonSamplingSearch)
+
+    def test_unknown_name_still_raises(self):
+        with pytest.raises(UnknownComponentError):
+            make_search_algorithm("epsilon_greedy")
+
+
+@pytest.mark.parametrize("name", ["ucb", "thompson"])
+class TestSearchBehaviour:
+    def test_respects_trial_budget(self, name, lr_problem):
+        result = make_search_algorithm(name, random_state=0).search(
+            lr_problem, max_trials=12
+        )
+        assert len(result) == 12
+
+    def test_best_pipeline_beats_or_matches_worst_trial(self, name, lr_problem):
+        result = make_search_algorithm(name, random_state=0).search(
+            lr_problem, max_trials=15
+        )
+        accuracies = [trial.accuracy for trial in result.trials]
+        assert result.best_accuracy == max(accuracies)
+
+    def test_search_is_deterministic_given_seed(self, name, lr_problem):
+        first = make_search_algorithm(name, random_state=3).search(
+            lr_problem, max_trials=10
+        )
+        second = make_search_algorithm(name, random_state=3).search(
+            lr_problem, max_trials=10
+        )
+        assert [t.pipeline.spec() for t in first.trials] == \
+            [t.pipeline.spec() for t in second.trials]
+
+    def test_taxonomy_row_reports_bandit_category(self, name, lr_problem):
+        row = make_search_algorithm(name).taxonomy_row()
+        assert row["category"] == "bandit"
+
+
+class TestArmLearning:
+    def test_ucb_prefers_the_better_arm_after_enough_pulls(self):
+        rng = np.random.default_rng(0)
+        search = UCBSearch(random_state=0)
+
+        class _Problem:
+            pass
+
+        # Minimal stand-in exposing only what _setup needs.
+        from repro.core import SearchSpace
+
+        problem = _Problem()
+        problem.space = SearchSpace(max_length=1)
+        search._setup(problem, rng)
+
+        # Feed synthetic rewards: arm 0 is good, all others are poor.
+        from repro.core.result import TrialRecord
+
+        space = problem.space
+        for _ in range(30):
+            arm = search._select_arm(search._position_arms[0], rng)
+            accuracy = 0.9 if arm == 0 else 0.3
+            pipeline = space.pipeline_from_indices([arm])
+            record = TrialRecord(pipeline=pipeline, accuracy=accuracy)
+            search._observe(record)
+        assert search._position_arms[0].counts[0] == search._position_arms[0].counts.max()
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValidationError):
+            UCBSearch(exploration=0.0)
+        with pytest.raises(ValidationError):
+            ThompsonSamplingSearch(prior_variance=-1.0)

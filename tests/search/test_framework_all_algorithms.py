@@ -1,0 +1,111 @@
+"""Integration tests of the unified framework across all 15 search algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrialBudget
+from repro.search import (
+    ALGORITHM_CATEGORIES,
+    ALL_ALGORITHM_NAMES,
+    SEARCH_ALGORITHM_CLASSES,
+    category_of,
+    get_search_algorithm_class,
+    make_search_algorithm,
+    taxonomy_table,
+)
+from repro.exceptions import UnknownComponentError
+
+
+class TestRegistry:
+    def test_fifteen_algorithms(self):
+        """The paper extends exactly 15 search algorithms to Auto-FP."""
+        assert len(ALL_ALGORITHM_NAMES) == 15
+
+    def test_five_categories_cover_all_algorithms(self):
+        members = [name for names in ALGORITHM_CATEGORIES.values() for name in names]
+        assert sorted(members) == sorted(ALL_ALGORITHM_NAMES)
+        assert len(ALGORITHM_CATEGORIES) == 5
+
+    def test_category_sizes_match_table3(self):
+        assert len(ALGORITHM_CATEGORIES["traditional"]) == 2
+        assert len(ALGORITHM_CATEGORIES["surrogate"]) == 6
+        assert len(ALGORITHM_CATEGORIES["evolution"]) == 3
+        assert len(ALGORITHM_CATEGORIES["rl"]) == 2
+        assert len(ALGORITHM_CATEGORIES["bandit"]) == 2
+
+    def test_category_of(self):
+        assert category_of("pbt") == "evolution"
+        assert category_of("bohb") == "bandit"
+        with pytest.raises(UnknownComponentError):
+            category_of("gradient_descent")
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(UnknownComponentError):
+            get_search_algorithm_class("grid_search")
+
+    def test_taxonomy_table_rows(self):
+        rows = taxonomy_table()
+        assert len(rows) == 15
+        for row in rows:
+            assert row["category"] in {"traditional", "surrogate", "evolution", "rl", "bandit"}
+            assert row["area"] in {"hpo", "nas"}
+            assert row["samples_per_iteration"] in {"=1", ">1"}
+
+    def test_taxonomy_matches_paper_columns(self):
+        rows = {row["name"]: row for row in taxonomy_table()}
+        assert rows["smac"]["surrogate_model"] == "Random Forest"
+        assert rows["tpe"]["surrogate_model"] == "KDE"
+        assert rows["rs"]["initialization"] == "None"
+        assert rows["pbt"]["initialization"] == "Random Search"
+        assert rows["pmne"]["initialization"] == "Single Preprocessors"
+        assert rows["hyperband"]["evaluations_per_iteration"] == ">1"
+
+
+class TestAllAlgorithmsRun:
+    @pytest.mark.parametrize("name", ALL_ALGORITHM_NAMES)
+    def test_search_returns_valid_result(self, name, lr_problem):
+        """Every algorithm runs end-to-end and returns a valid best pipeline."""
+        algorithm = make_search_algorithm(name, random_state=0)
+        result = algorithm.search(lr_problem, max_trials=10)
+        assert result.algorithm == name
+        assert len(result) >= 1
+        assert 0.0 <= result.best_accuracy <= 1.0
+        assert 1 <= len(result.best_pipeline) <= lr_problem.space.max_length
+
+    @pytest.mark.parametrize("name", ["rs", "pbt", "tevo_h", "tpe"])
+    def test_deterministic_given_seed(self, name, lr_problem):
+        first = make_search_algorithm(name, random_state=11).search(lr_problem, max_trials=8)
+        second = make_search_algorithm(name, random_state=11).search(lr_problem, max_trials=8)
+        assert first.best_pipeline == second.best_pipeline
+        assert first.best_accuracy == second.best_accuracy
+
+    @pytest.mark.parametrize("name", ["rs", "anneal", "tevo_h", "tevo_y", "reinforce",
+                                      "smac", "tpe", "enas"])
+    def test_trial_budget_respected_for_single_eval_algorithms(self, name, lr_problem):
+        result = make_search_algorithm(name, random_state=0).search(lr_problem, max_trials=9)
+        assert len(result) == 9
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHM_NAMES)
+    def test_budget_object_accepted(self, name, lr_problem):
+        budget = TrialBudget(6)
+        make_search_algorithm(name, random_state=0).search(lr_problem, budget=budget)
+        assert budget.exhausted() or budget.remaining() < 1
+
+    def test_search_beats_no_fp_baseline_on_distorted_data(self, lr_problem):
+        """On scale-distorted data the searched pipeline beats no preprocessing.
+
+        This is the paper's core motivation (Figure 2): good pipelines
+        substantially improve accuracy for a scale-sensitive model.
+        """
+        baseline = lr_problem.baseline_accuracy()
+        result = make_search_algorithm("rs", random_state=0).search(lr_problem, max_trials=20)
+        assert result.best_accuracy >= baseline
+
+    def test_pick_time_recorded_by_framework(self, lr_problem):
+        result = make_search_algorithm("smac", random_state=0).search(lr_problem, max_trials=12)
+        assert any(t.pick_time > 0 for t in result.trials)
+
+    def test_results_track_iteration_numbers(self, lr_problem):
+        result = make_search_algorithm("rs", random_state=0).search(lr_problem, max_trials=5)
+        iterations = [t.iteration for t in result.trials]
+        assert iterations == sorted(iterations)

@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the same code paths the benchmark harnesses use, at a
+much smaller scale, and assert the qualitative *shape* of the paper's
+findings that is stable even on tiny synthetic data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AutoFPProblem, Pipeline, SearchSpace, make_search_algorithm
+from repro.analysis import average_rankings, mine_pipeline_patterns
+from repro.automl import compare_automl_context
+from repro.datasets import load_dataset
+from repro.experiments import quick_config, run_experiment
+from repro.extensions import low_cardinality_space, OneStepSearch
+from repro.metafeatures import metafeature_vector
+from repro.models import DecisionTreeClassifier, cross_val_score
+from repro.search import PBT, RandomSearch
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_quickstart(self):
+        X, y = load_dataset("heart")
+        problem = AutoFPProblem.from_arrays(X, y, model="lr")
+        result = make_search_algorithm("pbt", random_state=0).search(problem, max_trials=20)
+        assert result.best_accuracy >= problem.baseline_accuracy()
+        assert 1 <= len(result.best_pipeline) <= 7
+        # The pipeline can be re-applied to fresh data.
+        fitted = result.best_pipeline.fit(problem.evaluator.X_train)
+        transformed = fitted.transform(problem.evaluator.X_valid)
+        assert transformed.shape == problem.evaluator.X_valid.shape
+
+
+class TestFpMatters:
+    """Figure 2 in miniature: different pipelines give very different accuracy."""
+
+    def test_pipeline_accuracy_spread(self):
+        X, y = load_dataset("heart")
+        problem = AutoFPProblem.from_arrays(
+            X, y, model="lr", space=SearchSpace(max_length=2)
+        )
+        accuracies = [
+            problem.evaluator.evaluate(p).accuracy
+            for p in problem.space.sample_pipelines(25, random_state=0)
+        ]
+        assert max(accuracies) - min(accuracies) > 0.05
+
+    def test_best_pipeline_beats_no_fp(self):
+        X, y = load_dataset("pd")
+        problem = AutoFPProblem.from_arrays(X, y, model="lr")
+        baseline = problem.baseline_accuracy()
+        best = max(
+            problem.evaluator.evaluate(p).accuracy
+            for p in problem.space.sample_pipelines(30, random_state=1)
+        )
+        assert best >= baseline
+
+
+class TestRankingShape:
+    """A miniature Table 4: the ranking machinery runs over a real grid."""
+
+    def test_small_grid_ranking(self):
+        config = quick_config(
+            datasets=("heart", "blood", "wine"),
+            algorithms=("rs", "pbt", "tevo_h", "anneal"),
+            max_trials=12,
+        )
+        outcome = run_experiment(config)
+        rankings = outcome.rankings(min_improvement=-100.0)
+        order = sorted(rankings["overall"], key=rankings["overall"].get)
+        assert len(order) == 4
+        # All ranks are within the valid range.
+        assert all(1.0 <= rankings["overall"][name] <= 4.0 for name in order)
+
+
+class TestMetafeatureRuleAnalysis:
+    """Table 1 in miniature: meta-features do not perfectly predict FP benefit."""
+
+    def test_decision_tree_on_metafeatures_runs(self):
+        datasets = ["heart", "blood", "vehicle", "wine", "australian", "ionosphere"]
+        features = []
+        labels = []
+        for i, name in enumerate(datasets):
+            X, y = load_dataset(name, scale=0.5)
+            features.append(metafeature_vector(X, y, include_landmarks=False))
+            problem = AutoFPProblem.from_arrays(X, y, model="lr")
+            baseline = problem.baseline_accuracy()
+            best = max(
+                problem.evaluator.evaluate(p).accuracy
+                for p in problem.space.sample_pipelines(8, random_state=i)
+            )
+            labels.append(int((best - baseline) > 0.015))
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if len(set(labels.tolist())) < 2:
+            pytest.skip("labels degenerate on this tiny subset")
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=2), features, labels, cv=2, random_state=0
+        )
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+
+class TestExtendedAndAutoML:
+    def test_one_step_on_low_cardinality_space(self):
+        X, y = load_dataset("australian")
+        problem = AutoFPProblem.from_arrays(X, y, model="lr")
+        outcome = OneStepSearch(PBT(random_state=0), low_cardinality_space()).search(
+            problem, max_trials=15
+        )
+        assert outcome.best_accuracy >= 0.0
+        assert outcome.result.baseline_accuracy is not None
+
+    def test_automl_context_comparison(self):
+        X, y = load_dataset("blood")
+        comparison = compare_automl_context(X, y, "lr", dataset_name="blood",
+                                            max_trials=10, random_state=0)
+        assert comparison.auto_fp_accuracy >= comparison.baseline_accuracy - 1e-9
+
+    def test_frequent_patterns_over_best_pipelines(self):
+        pipelines = []
+        for i, name in enumerate(("heart", "blood", "wine")):
+            X, y = load_dataset(name, scale=0.5)
+            problem = AutoFPProblem.from_arrays(X, y, model="lr")
+            result = RandomSearch(random_state=i).search(problem, max_trials=8)
+            pipelines.append(result.best_pipeline)
+        patterns = mine_pipeline_patterns(pipelines, min_support=0.5)
+        for support in patterns.values():
+            assert 0.0 < support <= 1.0
+
+
+class TestDownstreamModelContrast:
+    """Tree ensembles benefit less from FP than scale-sensitive models."""
+
+    def test_xgb_baseline_already_strong_on_distorted_data(self, distorted_data):
+        X, y = distorted_data
+        lr_problem = AutoFPProblem.from_arrays(X, y, model="lr", random_state=0)
+        xgb_problem = AutoFPProblem.from_arrays(X, y, model="xgb", random_state=0)
+        lr_baseline = lr_problem.baseline_accuracy()
+        xgb_baseline = xgb_problem.baseline_accuracy()
+        # Trees handle unscaled features much better than LR out of the box.
+        assert xgb_baseline >= lr_baseline

@@ -1,0 +1,78 @@
+"""Tests for the synthetic text corpora."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.text import (
+    TEXT_DATASET_REGISTRY,
+    list_text_datasets,
+    load_text_dataset,
+    make_text_classification,
+)
+
+
+class TestMakeTextClassification:
+    def test_returns_documents_and_aligned_labels(self):
+        documents, labels = make_text_classification(60, n_classes=3, random_state=0)
+        assert len(documents) == 60
+        assert labels.shape == (60,)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_documents_are_nonempty_strings(self):
+        documents, _ = make_text_classification(40, random_state=1)
+        assert all(isinstance(d, str) and d for d in documents)
+
+    def test_deterministic_for_same_seed(self):
+        documents_a, labels_a = make_text_classification(30, random_state=5)
+        documents_b, labels_b = make_text_classification(30, random_state=5)
+        assert documents_a == documents_b
+        np.testing.assert_array_equal(labels_a, labels_b)
+
+    def test_different_seeds_differ(self):
+        documents_a, _ = make_text_classification(30, random_state=0)
+        documents_b, _ = make_text_classification(30, random_state=1)
+        assert documents_a != documents_b
+
+    def test_classes_use_distinct_signal_vocabulary(self):
+        documents, labels = make_text_classification(
+            200, n_classes=2, signal_strength=0.5, label_noise=0.0, random_state=2
+        )
+        class0_words = set(" ".join(d for d, l in zip(documents, labels) if l == 0).split())
+        class1_words = set(" ".join(d for d, l in zip(documents, labels) if l == 1).split())
+        # Signal words are class-exclusive, so neither class's vocabulary is a
+        # subset of the other's.
+        assert class0_words - class1_words
+        assert class1_words - class0_words
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            make_text_classification(1, n_classes=2)
+        with pytest.raises(ValidationError):
+            make_text_classification(50, n_classes=1)
+        with pytest.raises(ValidationError):
+            make_text_classification(50, signal_strength=0.0)
+        with pytest.raises(ValidationError):
+            make_text_classification(50, document_length=(10, 5))
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(list_text_datasets()) == set(TEXT_DATASET_REGISTRY)
+
+    def test_load_scales_document_count(self):
+        small, _ = load_text_dataset("reviews", scale=0.25, random_state=0)
+        full, _ = load_text_dataset("reviews", scale=1.0, random_state=0)
+        assert len(small) < len(full)
+
+    def test_newsgroups_is_multiclass(self):
+        _, labels = load_text_dataset("newsgroups", scale=0.2, random_state=0)
+        assert np.unique(labels).shape[0] == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownComponentError):
+            load_text_dataset("imdb")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            load_text_dataset("reviews", scale=-1.0)

@@ -1,0 +1,56 @@
+"""Tests for the tokenisation helpers."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.text import DEFAULT_STOP_WORDS, analyze, ngrams, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits_on_non_word_characters(self):
+        assert tokenize("Hello, WORLD! 42 times.") == ["hello", "world", "42", "times"]
+
+    def test_keeps_apostrophes_inside_words(self):
+        assert tokenize("it's Bob's idea") == ["it's", "bob's", "idea"]
+
+    def test_lowercase_can_be_disabled(self):
+        assert tokenize("Ham and Eggs", lowercase=False) == ["Ham", "and", "Eggs"]
+
+    def test_stop_words_removed_when_requested(self):
+        tokens = tokenize("the cat and the hat", stop_words=DEFAULT_STOP_WORDS)
+        assert tokens == ["cat", "hat"]
+
+    def test_empty_document_gives_empty_list(self):
+        assert tokenize("") == []
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValidationError):
+            tokenize(42)  # type: ignore[arg-type]
+
+
+class TestNgrams:
+    def test_unigrams_are_identity(self):
+        assert ngrams(["a", "b", "c"], (1, 1)) == ["a", "b", "c"]
+
+    def test_unigrams_and_bigrams(self):
+        assert ngrams(["a", "b", "c"], (1, 2)) == ["a", "b", "c", "a b", "b c"]
+
+    def test_bigrams_only(self):
+        assert ngrams(["a", "b", "c"], (2, 2)) == ["a b", "b c"]
+
+    def test_short_sequence_yields_no_higher_ngrams(self):
+        assert ngrams(["a"], (2, 3)) == []
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ngrams(["a"], (0, 1))
+        with pytest.raises(ValidationError):
+            ngrams(["a"], (3, 2))
+
+
+class TestAnalyze:
+    def test_combines_tokenisation_and_ngrams(self):
+        result = analyze("Big data, big models", ngram_range=(1, 2))
+        assert "big data" in result
+        assert "big models" in result
+        assert result.count("big") == 2

@@ -1,0 +1,137 @@
+"""Tests for the text vectorizers (count, TF-IDF, hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.text import CountVectorizer, HashingVectorizer, TfidfVectorizer
+
+CORPUS = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "cats and dogs are friends",
+    "the mat was red",
+]
+
+
+class TestCountVectorizer:
+    def test_counts_match_manual_expectation(self):
+        vectorizer = CountVectorizer(remove_stop_words=False)
+        matrix = vectorizer.fit_transform(["a b b c", "c c a"])
+        names = vectorizer.get_feature_names()
+        assert names == ["a", "b", "c"]
+        np.testing.assert_array_equal(matrix, [[1, 2, 1], [1, 0, 2]])
+
+    def test_stop_words_removed_by_default(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(CORPUS)
+        assert "the" not in vectorizer.vocabulary_
+        assert "on" not in vectorizer.vocabulary_
+
+    def test_unknown_terms_ignored_at_transform_time(self):
+        vectorizer = CountVectorizer(remove_stop_words=False).fit(["alpha beta"])
+        matrix = vectorizer.transform(["alpha gamma delta"])
+        assert matrix.shape == (1, 2)
+        assert matrix.sum() == 1.0
+
+    def test_min_df_filters_rare_terms(self):
+        vectorizer = CountVectorizer(remove_stop_words=False, min_df=2)
+        vectorizer.fit(["a b", "a c", "a d"])
+        assert list(vectorizer.vocabulary_) == ["a"]
+
+    def test_max_features_keeps_most_frequent_terms(self):
+        vectorizer = CountVectorizer(remove_stop_words=False, max_features=2)
+        vectorizer.fit(["a a a b b c", "a b c"])
+        assert set(vectorizer.vocabulary_) == {"a", "b"}
+
+    def test_binary_mode_caps_counts_at_one(self):
+        vectorizer = CountVectorizer(remove_stop_words=False, binary=True)
+        matrix = vectorizer.fit_transform(["a a a b"])
+        assert matrix.max() == 1.0
+
+    def test_bigrams_included_when_requested(self):
+        vectorizer = CountVectorizer(remove_stop_words=False, ngram_range=(1, 2))
+        vectorizer.fit(["red cat", "red dog"])
+        assert "red cat" in vectorizer.vocabulary_
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CountVectorizer().transform(CORPUS)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            CountVectorizer().fit([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CountVectorizer(min_df=0)
+        with pytest.raises(ValidationError):
+            CountVectorizer(max_features=0)
+
+
+class TestTfidfVectorizer:
+    def test_rows_are_l2_normalised_by_default(self):
+        matrix = TfidfVectorizer(remove_stop_words=False).fit_transform(CORPUS)
+        norms = np.linalg.norm(matrix, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_receive_higher_idf_than_common_terms(self):
+        vectorizer = TfidfVectorizer(remove_stop_words=False).fit(
+            ["common rare", "common", "common other"]
+        )
+        idf = vectorizer.idf_
+        vocabulary = vectorizer.vocabulary_
+        assert idf[vocabulary["rare"]] > idf[vocabulary["common"]]
+
+    def test_norm_none_keeps_raw_tfidf(self):
+        vectorizer = TfidfVectorizer(remove_stop_words=False, norm=None)
+        matrix = vectorizer.fit_transform(["a a b", "a b b"])
+        assert not np.allclose(np.linalg.norm(matrix, axis=1), 1.0)
+
+    def test_l1_norm_rows_sum_to_one(self):
+        matrix = TfidfVectorizer(remove_stop_words=False, norm="l1").fit_transform(CORPUS)
+        sums = np.abs(matrix).sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValidationError):
+            TfidfVectorizer(norm="max")
+
+
+class TestHashingVectorizer:
+    def test_output_has_requested_width_and_needs_no_fit(self):
+        matrix = HashingVectorizer(n_features=32).transform(CORPUS)
+        assert matrix.shape == (len(CORPUS), 32)
+
+    def test_deterministic_across_calls(self):
+        vectorizer = HashingVectorizer(n_features=64)
+        np.testing.assert_array_equal(
+            vectorizer.transform(CORPUS), vectorizer.fit_transform(CORPUS)
+        )
+
+    def test_same_document_maps_to_same_row(self):
+        vectorizer = HashingVectorizer(n_features=16)
+        matrix = vectorizer.transform(["cat dog", "cat dog"])
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValidationError):
+            HashingVectorizer(n_features=0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            HashingVectorizer().transform([])
+
+
+class TestVectorizersFeedDownstreamModels:
+    def test_tfidf_features_train_a_better_than_chance_classifier(self):
+        from repro.models import make_classifier, train_test_split
+        from repro.text import load_text_dataset
+
+        documents, labels = load_text_dataset("reviews", scale=0.5, random_state=0)
+        features = TfidfVectorizer(max_features=80).fit_transform(documents)
+        X_train, X_valid, y_train, y_valid = train_test_split(
+            features, labels, test_size=0.25, random_state=0
+        )
+        model = make_classifier("lr").fit(X_train, y_train)
+        assert model.score(X_valid, y_valid) > 0.7

@@ -1,0 +1,55 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state, spawn_rng
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        seed = np.int64(7)
+        a = check_random_state(seed).random(3)
+        b = check_random_state(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ValidationError):
+            check_random_state("not-a-seed")
+
+
+class TestSpawnRng:
+    def test_spawn_single(self):
+        child = spawn_rng(check_random_state(0), 1)
+        assert isinstance(child, np.random.Generator)
+
+    def test_spawn_many_are_independent(self):
+        children = spawn_rng(check_random_state(0), 3)
+        assert len(children) == 3
+        draws = [child.random(4) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_is_deterministic_in_parent_seed(self):
+        first = spawn_rng(check_random_state(5), 2)
+        second = spawn_rng(check_random_state(5), 2)
+        np.testing.assert_array_equal(first[0].random(3), second[0].random(3))
+        np.testing.assert_array_equal(first[1].random(3), second[1].random(3))

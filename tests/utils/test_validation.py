@@ -1,0 +1,87 @@
+"""Tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array, check_is_fitted, check_X_y, column_or_1d
+
+
+class TestCheckArray:
+    def test_list_converted_to_float_array(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_1d_reshaped_to_column(self):
+        arr = check_array([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            check_array([[1.0, np.nan]])
+
+    def test_nan_allowed_when_requested(self):
+        arr = check_array([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(arr[0, 1])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([[np.inf, 1.0]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValidationError):
+            check_array([[1.0, 2.0]], min_rows=2)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((3, 0)))
+
+
+class TestColumnOr1d:
+    def test_flattens_column_vector(self):
+        out = column_or_1d(np.array([[1], [2], [3]]))
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            column_or_1d(np.zeros((3, 2)))
+
+    def test_accepts_list(self):
+        out = column_or_1d([1, 2, 3])
+        assert out.shape == (3,)
+
+
+class TestCheckXy:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            check_X_y(np.zeros((3, 2)), [0, 1])
+
+    def test_returns_validated_pair(self):
+        X, y = check_X_y([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+
+class TestCheckIsFitted:
+    class _Dummy:
+        pass
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(self._Dummy(), "coef_")
+
+    def test_present_attribute_passes(self):
+        obj = self._Dummy()
+        obj.coef_ = 1
+        check_is_fitted(obj, "coef_")
+
+    def test_accepts_list_of_attributes(self):
+        obj = self._Dummy()
+        obj.a_ = 1
+        with pytest.raises(NotFittedError):
+            check_is_fitted(obj, ["a_", "b_"])
