@@ -10,6 +10,9 @@ The package provides:
 * the Auto-FP problem abstraction: pipelines, search space, evaluator and
   budgets (``repro.core``),
 * the 15 search algorithms of the paper (``repro.search``),
+* a parallel execution engine with pluggable serial / thread / process
+  backends for batch evaluation and experiment-grid fan-out
+  (``repro.engine``),
 * parameter-extended search (``repro.extensions``), the AutoML-context
   comparisons (``repro.automl``), meta-features (``repro.metafeatures``),
   result analysis (``repro.analysis``) and experiment harnesses
@@ -36,12 +39,14 @@ from repro.core import (
     TrialBudget,
     TrialRecord,
 )
+from repro.engine import ExecutionEngine
 from repro.search import make_search_algorithm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoFPProblem",
+    "ExecutionEngine",
     "Pipeline",
     "PipelineEvaluator",
     "SearchSpace",

@@ -13,7 +13,13 @@ driven without writing Python:
   optionally save the result as JSON,
 * ``python -m repro compare`` — run several algorithms on one dataset under
   an equal budget and print their ranking,
+* ``python -m repro experiment`` — run a (dataset x model x algorithm)
+  grid, optionally fanned out across parallel workers,
 * ``python -m repro metafeatures`` — print the 40 meta-features of a dataset.
+
+``search``, ``compare`` and ``experiment`` accept ``--n-jobs`` and
+``--backend`` (serial / thread / process) to run evaluation batches or the
+experiment grid in parallel; results are identical for every worker count.
 
 Every command writes plain text to stdout and returns a process exit code,
 so the CLI composes with shell pipelines and CI jobs.
@@ -50,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     algorithms.add_argument("--category", default=None,
                             help="only show algorithms of this category")
 
+    def add_parallel_options(command, what: str) -> None:
+        from repro.engine import BACKEND_NAMES
+
+        command.add_argument("--n-jobs", type=int, default=1,
+                             help=f"parallel workers for {what} "
+                                  "(-1 = all cores, default 1 = serial)")
+        command.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                             help="execution backend (default: process when "
+                                  "--n-jobs asks for parallelism)")
+
     search = subparsers.add_parser("search", help="run one Auto-FP search")
     search.add_argument("--dataset", required=True, help="registry dataset name")
     search.add_argument("--model", default="lr", help="downstream model (lr/xgb/mlp/...)")
@@ -61,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0, help="random seed")
     search.add_argument("--output", default=None,
                         help="optional path for the JSON result")
+    add_parallel_options(search, "evaluation batches")
 
     compare = subparsers.add_parser(
         "compare", help="compare several algorithms on one dataset")
@@ -74,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=1.0,
                          help="dataset scale factor (default 1.0)")
     compare.add_argument("--seed", type=int, default=0, help="random seed")
+    add_parallel_options(compare, "evaluation batches")
+
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="run a (dataset x model x algorithm) grid, optionally in parallel")
+    experiment.add_argument("--datasets", nargs="+", required=True,
+                            help="registry dataset names")
+    experiment.add_argument("--models", nargs="+", default=["lr"],
+                            help="downstream models (default: lr)")
+    experiment.add_argument("--algorithms", nargs="+",
+                            default=["rs", "pbt", "tevo_h"],
+                            help="search algorithms (default: rs pbt tevo_h)")
+    experiment.add_argument("--max-trials", type=int, default=15,
+                            help="evaluation budget per run (default 15)")
+    experiment.add_argument("--repeats", type=int, default=1,
+                            help="independent repetitions per cell (default 1)")
+    experiment.add_argument("--scale", type=float, default=1.0,
+                            help="dataset scale factor (default 1.0)")
+    experiment.add_argument("--seed", type=int, default=0, help="base random seed")
+    add_parallel_options(experiment, "the grid fan-out")
 
     metafeatures = subparsers.add_parser(
         "metafeatures", help="print the 40 meta-features of a dataset")
@@ -162,12 +199,16 @@ def _cmd_search(args, out) -> int:
     from repro.search import make_search_algorithm
 
     problem = AutoFPProblem.from_registry(
-        args.dataset, args.model, scale=args.scale, random_state=args.seed
+        args.dataset, args.model, scale=args.scale, random_state=args.seed,
+        n_jobs=args.n_jobs, backend=args.backend,
     )
     baseline = problem.baseline_accuracy()
     algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
     result = algorithm.search(problem, max_trials=args.max_trials)
     result.baseline_accuracy = baseline
+
+    if problem.evaluator.engine is not None:
+        problem.evaluator.engine.close()
 
     out.write(f"dataset      : {args.dataset} (scale {args.scale})\n")
     out.write(f"model        : {args.model}\n")
@@ -191,7 +232,8 @@ def _cmd_compare(args, out) -> int:
     from repro.search import make_search_algorithm
 
     problem = AutoFPProblem.from_registry(
-        args.dataset, args.model, scale=args.scale, random_state=args.seed
+        args.dataset, args.model, scale=args.scale, random_state=args.seed,
+        n_jobs=args.n_jobs, backend=args.backend,
     )
     baseline = problem.baseline_accuracy()
     accuracies: dict[str, float] = {}
@@ -200,6 +242,8 @@ def _cmd_compare(args, out) -> int:
             problem, max_trials=args.max_trials
         )
         accuracies[name] = result.best_accuracy
+    if problem.evaluator.engine is not None:
+        problem.evaluator.engine.close()
 
     out.write(f"dataset {args.dataset}, model {args.model}, "
               f"budget {args.max_trials} trials, baseline {baseline:.4f}\n\n")
@@ -209,6 +253,47 @@ def _cmd_compare(args, out) -> int:
 
     ranking = rank_with_ties(accuracies)
     out.write("\n" + format_ranking_table(ranking, title="ranking (1 = best):") + "\n")
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from repro.analysis import format_ranking_table
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    from repro.engine import resolve_backend_name
+
+    config = ExperimentConfig(
+        datasets=tuple(args.datasets),
+        models=tuple(args.models),
+        algorithms=tuple(args.algorithms),
+        max_trials=args.max_trials,
+        n_repeats=args.repeats,
+        random_state=args.seed,
+        dataset_scale=args.scale,
+        n_jobs=args.n_jobs,
+        backend=resolve_backend_name(args.n_jobs, args.backend),
+    )
+    out.write(f"grid         : {len(config.datasets)} datasets x "
+              f"{len(config.models)} models x {len(config.algorithms)} "
+              f"algorithms x {config.n_repeats} repeats = {config.n_runs()} runs\n")
+    out.write(f"execution    : backend {config.backend}, n_jobs {config.n_jobs}\n\n")
+
+    outcome = run_experiment(config)
+
+    header = f"{'dataset':<16} {'model':<6} {'baseline':>9}"
+    for algorithm in config.algorithms:
+        header += f" {algorithm:>10}"
+    out.write(header + "\n")
+    for scenario in outcome.scenarios:
+        row = (f"{scenario.dataset:<16} {scenario.model:<6} "
+               f"{scenario.baseline_accuracy:>9.4f}")
+        for algorithm in config.algorithms:
+            row += f" {scenario.accuracies[algorithm]:>10.4f}"
+        out.write(row + "\n")
+
+    rankings = outcome.rankings(min_improvement=-100.0)  # rank every scenario
+    out.write("\n" + format_ranking_table(rankings["overall"],
+                                          title="average ranking (1 = best):") + "\n")
     return 0
 
 
@@ -230,6 +315,7 @@ _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "search": _cmd_search,
     "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
     "metafeatures": _cmd_metafeatures,
 }
 

@@ -8,11 +8,28 @@ returns the validation accuracy — the pipeline error of Equation 2 is just
 separately so the bottleneck analysis (Section 5.3) can be reproduced, and
 supports low-fidelity evaluations (a fraction of the training rows) for the
 bandit-based algorithms.
+
+Evaluation is deterministic and memoized:
+
+* results (including *failed* evaluations — degenerate pipelines would
+  otherwise re-pay the full preprocessing cost on every retry) are cached
+  in a bounded LRU keyed by ``(pipeline spec, fidelity)``, with hit/miss
+  counters for the bottleneck analysis;
+* low-fidelity subsample seeds are derived from ``(random_state, pipeline
+  spec, fidelity)`` rather than a shared RNG, so the result of a trial does
+  not depend on evaluation order — the property that lets the execution
+  engine (:mod:`repro.engine`) run batches on serial, thread or process
+  backends with bit-for-bit identical outcomes;
+* ``evaluate_many`` / ``evaluate_tasks`` route whole batches through an
+  optional :class:`~repro.engine.engine.ExecutionEngine` for parallel
+  execution.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -38,33 +55,81 @@ class PipelineEvaluator:
     cache:
         When True (default) repeated evaluations of the same pipeline
         specification at the same fidelity return the cached result without
-        re-training.
+        re-training.  Failed evaluations are cached too.
+    cache_size:
+        Optional bound on the number of cached entries.  When set, the
+        least-recently-used entry is evicted once the bound is exceeded, so
+        long-running grids don't grow memory without limit.  ``None``
+        (default) keeps the cache unbounded.
     random_state:
-        Seed controlling low-fidelity subsampling.
+        Seed controlling low-fidelity subsampling.  Each subsample is drawn
+        from a generator seeded by ``(random_state, pipeline spec,
+        fidelity)``, so results are identical regardless of evaluation
+        order or execution backend.
+    engine:
+        Optional :class:`~repro.engine.engine.ExecutionEngine` used by
+        :meth:`evaluate_many` / :meth:`evaluate_tasks` to run batches in
+        parallel.  ``None`` evaluates batches serially.
     """
 
     def __init__(self, X_train, y_train, X_valid, y_valid, model: Classifier,
-                 *, cache: bool = True, random_state=None) -> None:
+                 *, cache: bool = True, cache_size: int | None = None,
+                 random_state=None, engine=None) -> None:
         self.X_train, self.y_train = check_X_y(X_train, y_train)
         self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
         if self.X_train.shape[1] != self.X_valid.shape[1]:
             raise ValidationError("train and valid splits have different feature counts")
         self.model = model
         self.cache_enabled = cache
-        self._cache: dict = {}
+        if cache_size is not None:
+            cache_size = int(cache_size)
+            if cache_size < 1:
+                raise ValidationError(f"cache_size must be at least 1, got {cache_size}")
+        self.cache_size = cache_size
+        self._cache: OrderedDict = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
         self._rng = check_random_state(random_state)
+        if isinstance(random_state, (int, np.integer)):
+            self._subsample_seed = int(random_state)
+        else:
+            # Fix the subsample seed once so evaluation order never matters.
+            self._subsample_seed = int(self._rng.integers(0, 2**32 - 1))
+        self._engine = engine
         self.n_evaluations = 0
 
     # ----------------------------------------------------------- factories
     @classmethod
     def from_dataset(cls, X, y, model: Classifier, *, valid_size: float = 0.2,
-                     cache: bool = True, random_state=0) -> "PipelineEvaluator":
+                     cache: bool = True, cache_size: int | None = None,
+                     random_state=0, engine=None) -> "PipelineEvaluator":
         """Split ``(X, y)`` 80:20 (stratified) and build an evaluator."""
         X_train, X_valid, y_train, y_valid = train_test_split(
             X, y, test_size=valid_size, random_state=random_state
         )
         return cls(X_train, y_train, X_valid, y_valid, model,
-                   cache=cache, random_state=random_state)
+                   cache=cache, cache_size=cache_size,
+                   random_state=random_state, engine=engine)
+
+    # ------------------------------------------------------------- engine
+    @property
+    def engine(self):
+        """The execution engine used for batch evaluation (``None`` = serial)."""
+        return self._engine
+
+    def set_engine(self, engine) -> None:
+        """Attach (or detach, with ``None``) an execution engine."""
+        self._engine = engine
+
+    def __getstate__(self) -> dict:
+        # Workers evaluate serially and start with a cold cache: shipping
+        # the parent's (potentially large) cache or its engine would only
+        # inflate the pickle and risk nested worker pools.
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        state["_cache"] = OrderedDict()
+        return state
 
     # ----------------------------------------------------------- evaluation
     def baseline_accuracy(self) -> float:
@@ -91,20 +156,95 @@ class PipelineEvaluator:
         if not 0.0 < fidelity <= 1.0:
             raise ValidationError(f"fidelity must be in (0, 1], got {fidelity}")
 
-        key = (pipeline.spec(), round(fidelity, 6))
-        if self.cache_enabled and key in self._cache:
-            cached = self._cache[key]
-            return TrialRecord(
-                pipeline=pipeline,
-                accuracy=cached["accuracy"],
-                pick_time=pick_time,
-                prep_time=cached["prep_time"],
-                train_time=cached["train_time"],
-                fidelity=fidelity,
-                iteration=iteration,
-            )
+        key = self.cache_key(pipeline, fidelity)
+        entry = self.cache_lookup(key)
+        if entry is None:
+            entry = self._evaluate_uncached(pipeline, fidelity)
+            self.n_evaluations += 1
+            self.cache_store(key, entry)
+        return self._make_record(pipeline, entry, fidelity=fidelity,
+                                 pick_time=pick_time, iteration=iteration)
 
-        X_train, y_train = self._training_subset(fidelity)
+    def evaluate_many(self, pipelines, *, fidelity: float = 1.0,
+                      iteration: int = 0) -> list[TrialRecord]:
+        """Evaluate a batch of pipelines at the same fidelity.
+
+        The batch is routed through the attached execution engine when one
+        is set (see :meth:`set_engine`), running on its backend's workers;
+        otherwise the pipelines are evaluated serially.  Either way the
+        records come back in input order with identical contents.
+        """
+        from repro.engine.tasks import EvalTask
+
+        tasks = [EvalTask(pipeline, fidelity=fidelity, iteration=iteration)
+                 for pipeline in pipelines]
+        return self.evaluate_tasks(tasks)
+
+    def evaluate_tasks(self, tasks) -> list[TrialRecord]:
+        """Evaluate a batch of :class:`~repro.engine.tasks.EvalTask` objects.
+
+        Records are returned in task order.  With no engine attached the
+        tasks run serially through :meth:`evaluate`.
+        """
+        if self._engine is None:
+            return [
+                self.evaluate(task.pipeline, fidelity=task.fidelity,
+                              pick_time=task.pick_time, iteration=task.iteration)
+                for task in tasks
+            ]
+        return self._engine.run(self, tasks)
+
+    # --------------------------------------------------------------- cache
+    def cache_key(self, pipeline: Pipeline, fidelity: float) -> tuple:
+        """Memoization key: ``(pipeline spec, rounded fidelity)``."""
+        return (pipeline.spec(), round(fidelity, 6))
+
+    def cache_lookup(self, key: tuple) -> dict | None:
+        """Return the cached entry for ``key`` (LRU-refreshing) or ``None``."""
+        if not self.cache_enabled:
+            return None
+        entry = self._cache.get(key)
+        if entry is None:
+            self.cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.cache_hits += 1
+        return entry
+
+    def cache_store(self, key: tuple, entry: dict) -> None:
+        """Insert ``entry`` under ``key``, evicting LRU entries over the bound."""
+        if not self.cache_enabled:
+            return
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        if self.cache_size is not None:
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters and current size, for bottleneck reports."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "size": len(self._cache),
+            "maxsize": self.cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all cached evaluations (counters keep accumulating)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------ internals
+    def _evaluate_uncached(self, pipeline: Pipeline, fidelity: float) -> dict:
+        """Run one evaluation and return its cache entry.
+
+        Pure with respect to the evaluator: reads the split and the model
+        prototype, mutates nothing — which is what makes it safe to call
+        concurrently from thread or process workers.
+        """
+        X_train, y_train = self._training_subset(fidelity, pipeline)
 
         prep_start = time.perf_counter()
         try:
@@ -112,12 +252,11 @@ class PipelineEvaluator:
             X_valid_t = fitted.transform(self.X_valid)
         except (FloatingPointError, ValueError, ValidationError):
             # A numerically degenerate pipeline scores as bad as possible.
+            # The failure is cached like any result so repeat evaluations
+            # don't re-pay the preprocessing cost.
             prep_time = time.perf_counter() - prep_start
-            record = TrialRecord(pipeline, accuracy=0.0, pick_time=pick_time,
-                                 prep_time=prep_time, train_time=0.0,
-                                 fidelity=fidelity, iteration=iteration)
-            self.n_evaluations += 1
-            return record
+            return {"accuracy": 0.0, "prep_time": prep_time,
+                    "train_time": 0.0, "failed": True}
         prep_time = time.perf_counter() - prep_start
 
         train_start = time.perf_counter()
@@ -127,39 +266,42 @@ class PipelineEvaluator:
         accuracy = accuracy_score(self.y_valid, predictions)
         train_time = time.perf_counter() - train_start
 
-        self.n_evaluations += 1
-        if self.cache_enabled:
-            self._cache[key] = {
-                "accuracy": accuracy,
-                "prep_time": prep_time,
-                "train_time": train_time,
-            }
+        return {"accuracy": accuracy, "prep_time": prep_time,
+                "train_time": train_time, "failed": False}
+
+    def _make_record(self, pipeline: Pipeline, entry: dict, *, fidelity: float,
+                     pick_time: float, iteration: int) -> TrialRecord:
         return TrialRecord(
             pipeline=pipeline,
-            accuracy=accuracy,
+            accuracy=entry["accuracy"],
             pick_time=pick_time,
-            prep_time=prep_time,
-            train_time=train_time,
+            prep_time=entry["prep_time"],
+            train_time=entry["train_time"],
             fidelity=fidelity,
             iteration=iteration,
         )
 
-    def evaluate_many(self, pipelines, *, fidelity: float = 1.0,
-                      iteration: int = 0) -> list[TrialRecord]:
-        """Evaluate a batch of pipelines at the same fidelity."""
-        return [
-            self.evaluate(pipeline, fidelity=fidelity, iteration=iteration)
-            for pipeline in pipelines
-        ]
+    def record_from_entry(self, task, entry: dict) -> TrialRecord:
+        """Build the trial record for ``task`` from a cache entry (engine API)."""
+        return self._make_record(task.pipeline, entry, fidelity=task.fidelity,
+                                 pick_time=task.pick_time, iteration=task.iteration)
 
-    # ------------------------------------------------------------ internals
-    def _training_subset(self, fidelity: float):
+    def _subsample_rng(self, pipeline: Pipeline | None,
+                       fidelity: float) -> np.random.Generator:
+        """Generator seeded by ``(random_state, pipeline spec, fidelity)``."""
+        spec = () if pipeline is None else pipeline.spec()
+        token = repr((spec, round(fidelity, 6))).encode("utf-8")
+        seed = (self._subsample_seed * 0x9E3779B1 + zlib.crc32(token)) % 2**32
+        return np.random.default_rng(seed)
+
+    def _training_subset(self, fidelity: float, pipeline: Pipeline | None = None):
         if fidelity >= 1.0:
             return self.X_train, self.y_train
         n_samples = self.X_train.shape[0]
         size = max(int(round(fidelity * n_samples)), 10)
         size = min(size, n_samples)
-        indices = self._rng.choice(n_samples, size=size, replace=False)
+        rng = self._subsample_rng(pipeline, fidelity)
+        indices = rng.choice(n_samples, size=size, replace=False)
         # Make sure at least two classes survive the subsample.
         if np.unique(self.y_train[indices]).shape[0] < 2:
             return self.X_train, self.y_train
@@ -169,10 +311,6 @@ class PipelineEvaluator:
     def _sanitize(X: np.ndarray) -> np.ndarray:
         """Replace NaN / inf produced by extreme transformations with finite values."""
         return np.nan_to_num(X, nan=0.0, posinf=1e12, neginf=-1e12)
-
-    def clear_cache(self) -> None:
-        """Drop all cached evaluations."""
-        self._cache.clear()
 
     def __repr__(self) -> str:
         return (

@@ -39,23 +39,35 @@ class AutoFPProblem:
     def from_arrays(cls, X, y, model: Classifier | str, *,
                     space: SearchSpace | None = None, valid_size: float = 0.2,
                     fast_model: bool = True, random_state=0,
-                    name: str = "auto-fp") -> "AutoFPProblem":
+                    name: str = "auto-fp", n_jobs: int | None = None,
+                    backend: str | None = None) -> "AutoFPProblem":
         """Build a problem from raw arrays.
 
         ``model`` may be a classifier instance or a registry name
-        (``"lr"``, ``"xgb"``, ``"mlp"``).
+        (``"lr"``, ``"xgb"``, ``"mlp"``).  ``n_jobs`` / ``backend`` attach a
+        parallel execution engine to the evaluator (see
+        :func:`repro.engine.resolve_engine`); by default evaluation is
+        serial.  A process-backed engine keeps a worker pool alive between
+        batches — call ``problem.evaluator.engine.close()`` when done with
+        the problem to release it eagerly (it is also released at
+        interpreter exit).
         """
+        from repro.engine import resolve_engine
+
         if isinstance(model, str):
             model = make_classifier(model, fast=fast_model)
         evaluator = PipelineEvaluator.from_dataset(
-            X, y, model, valid_size=valid_size, random_state=random_state
+            X, y, model, valid_size=valid_size, random_state=random_state,
+            engine=resolve_engine(n_jobs, backend),
         )
         return cls(evaluator=evaluator, space=space or SearchSpace(), name=name)
 
     @classmethod
     def from_registry(cls, dataset_name: str, model: Classifier | str, *,
                       space: SearchSpace | None = None, scale: float = 1.0,
-                      fast_model: bool = True, random_state=0) -> "AutoFPProblem":
+                      fast_model: bool = True, random_state=0,
+                      n_jobs: int | None = None,
+                      backend: str | None = None) -> "AutoFPProblem":
         """Build a problem from a named dataset of the benchmark registry."""
         from repro.datasets.registry import load_dataset
 
@@ -67,6 +79,8 @@ class AutoFPProblem:
             fast_model=fast_model,
             random_state=random_state,
             name=f"{dataset_name}/{model_name}",
+            n_jobs=n_jobs,
+            backend=backend,
         )
 
     def baseline_accuracy(self) -> float:

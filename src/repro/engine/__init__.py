@@ -1,0 +1,52 @@
+"""Parallel execution engine: pluggable backends for batch evaluation.
+
+The paper's bottleneck analysis (Section 5.3) shows Auto-FP search is
+evaluation-bound, and most search algorithms produce whole batches of
+independent evaluations (population generations, successive-halving rungs,
+random batches).  This subsystem executes such batches — and whole
+experiment grids — on a pluggable backend:
+
+* :class:`~repro.engine.backends.SerialBackend` — inline execution, the
+  deterministic reference;
+* :class:`~repro.engine.backends.ThreadBackend` — a thread pool, sharing
+  the evaluator's memory;
+* :class:`~repro.engine.backends.ProcessBackend` — a process pool for true
+  CPU parallelism.
+
+All backends preserve task order and the engine merges results back into
+the evaluator's memoization cache, so every backend produces bit-for-bit
+identical search results.  See :mod:`repro.engine.engine` for the dispatch
+logic and :func:`resolve_engine` for CLI-style option handling.
+"""
+
+from repro.engine.backends import (
+    BACKEND_CLASSES,
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_worker_count,
+    make_backend,
+)
+from repro.engine.engine import (
+    ExecutionEngine,
+    resolve_backend_name,
+    resolve_engine,
+)
+from repro.engine.tasks import EvalTask
+
+__all__ = [
+    "EvalTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKEND_CLASSES",
+    "BACKEND_NAMES",
+    "default_worker_count",
+    "make_backend",
+    "ExecutionEngine",
+    "resolve_backend_name",
+    "resolve_engine",
+]

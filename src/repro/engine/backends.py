@@ -1,0 +1,195 @@
+"""Pluggable execution backends: serial, thread-pool and process-pool.
+
+A backend does exactly one thing: map a function over a list of items and
+return the results *in input order*.  That ordering guarantee is what lets
+the rest of the library stay bit-for-bit deterministic regardless of which
+backend executes the work — the engine submits tasks in a stable order and
+merges results positionally.
+
+``run_evaluations`` is the evaluation-specific entry point: it receives a
+:class:`~repro.core.evaluation.PipelineEvaluator` plus ``(pipeline,
+fidelity)`` work items and returns the raw cache entries.  The default
+implementation closes over the evaluator (fine for threads, which share
+memory); :class:`ProcessBackend` overrides it to ship the evaluator to each
+worker process once via the pool initializer instead of once per task.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.exceptions import UnknownComponentError, ValidationError
+
+
+def default_worker_count() -> int:
+    """Number of workers used when ``n_workers`` is not given."""
+    return os.cpu_count() or 1
+
+
+class ExecutionBackend:
+    """Backend protocol: ordered ``map`` plus evaluation dispatch.
+
+    Parameters
+    ----------
+    n_workers:
+        Maximum number of concurrent workers.  ``None`` (or ``-1``) means
+        one worker per CPU core.
+    """
+
+    #: registry name, e.g. ``"serial"`` or ``"process"``
+    name: str = "base"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is None or n_workers == -1:
+            n_workers = default_worker_count()
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be at least 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    # ------------------------------------------------------------------ API
+    def map(self, fn, items: list) -> list:
+        """Apply ``fn`` to every item; results are returned in input order."""
+        raise NotImplementedError
+
+    def run_evaluations(self, evaluator, work: list) -> list:
+        """Evaluate ``(pipeline, fidelity)`` work items; return cache entries."""
+        return self.map(
+            lambda pair: evaluator._evaluate_uncached(pair[0], pair[1]), work
+        )
+
+    def close(self) -> None:
+        """Release any pooled workers (no-op for poolless backends)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline in the calling thread (the reference backend)."""
+
+    name = "serial"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__(n_workers=1)
+
+    def map(self, fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Dispatch tasks to a thread pool.
+
+    Threads share the evaluator's memory, so nothing is pickled.  Workers
+    only ever *read* shared state (the train/valid split); all cache writes
+    happen in the calling thread after the batch completes, so no locking
+    is needed.  Useful when evaluations release the GIL (numpy-heavy
+    preprocessing / training) or block on I/O.
+    """
+
+    name = "thread"
+
+    def map(self, fn, items: list) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.n_workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+# --------------------------------------------------------------- processes
+#: per-process evaluator installed by the pool initializer (fork or spawn)
+_WORKER_EVALUATOR = None
+
+
+def _init_evaluation_worker(evaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_in_worker(pair):
+    pipeline, fidelity = pair
+    return _WORKER_EVALUATOR._evaluate_uncached(pipeline, fidelity)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Dispatch tasks to a process pool (true CPU parallelism).
+
+    The evaluator is shipped to each worker exactly once through the pool
+    initializer, and the pool is *reused* across batches of the same
+    evaluator (a search submits one batch per iteration — re-forking and
+    re-pickling the training data every generation would dominate the
+    parallel gain).  Per-task traffic is just the ``(pipeline, fidelity)``
+    pair and the returned cache entry.  The evaluator drops its engine
+    reference and cache when pickled (see
+    ``PipelineEvaluator.__getstate__``), so workers never recursively
+    spawn pools and the snapshot stays valid for the evaluator's lifetime:
+    workers only ever receive work the parent's cache has never seen.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__(n_workers=n_workers)
+        self._eval_pool: ProcessPoolExecutor | None = None
+        self._eval_pool_owner = None  # weakref to the pool's evaluator
+
+    def map(self, fn, items: list) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.n_workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def _evaluation_pool(self, evaluator) -> ProcessPoolExecutor:
+        owner = self._eval_pool_owner() if self._eval_pool_owner else None
+        if self._eval_pool is None or owner is not evaluator:
+            self.close()
+            self._eval_pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_evaluation_worker,
+                initargs=(evaluator,),
+            )
+            self._eval_pool_owner = weakref.ref(evaluator)
+        return self._eval_pool
+
+    def run_evaluations(self, evaluator, work: list) -> list:
+        work = list(work)
+        if len(work) <= 1:
+            # A single evaluation is cheaper inline than one IPC round-trip.
+            return [
+                evaluator._evaluate_uncached(pipeline, fidelity)
+                for pipeline, fidelity in work
+            ]
+        pool = self._evaluation_pool(evaluator)
+        return list(pool.map(_evaluate_in_worker, work))
+
+    def close(self) -> None:
+        if self._eval_pool is not None:
+            self._eval_pool.shutdown()
+            self._eval_pool = None
+            self._eval_pool_owner = None
+
+
+#: backends keyed by their registry name
+BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+BACKEND_NAMES: tuple[str, ...] = tuple(BACKEND_CLASSES)
+
+
+def make_backend(backend, *, n_workers: int | None = None) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend not in BACKEND_CLASSES:
+        raise UnknownComponentError(
+            f"Unknown execution backend {backend!r}. "
+            f"Known backends: {sorted(BACKEND_CLASSES)}"
+        )
+    return BACKEND_CLASSES[backend](n_workers=n_workers)

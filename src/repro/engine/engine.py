@@ -1,0 +1,161 @@
+"""The execution engine: batch evaluation with pluggable backends.
+
+:class:`ExecutionEngine` sits between callers that produce batches of
+independent :class:`~repro.engine.tasks.EvalTask` objects (the evaluator's
+``evaluate_many``, the search framework's batched proposal loop, the
+experiment runner's grid fan-out) and an
+:class:`~repro.engine.backends.ExecutionBackend` that actually executes
+them.  For every batch it
+
+1. answers cached tasks straight from the evaluator's memoization cache,
+2. deduplicates the remaining tasks by cache key so each unique
+   ``(pipeline spec, fidelity)`` is evaluated exactly once,
+3. dispatches the unique work to the backend in a stable order,
+4. merges the results back into the evaluator's cache, and
+5. returns trial records in the original task order.
+
+Determinism: tasks are dispatched and merged in submission order, and the
+evaluator derives every low-fidelity subsample seed from the task itself
+(seed, pipeline spec, fidelity) rather than from a shared RNG, so the
+serial, thread and process backends produce bit-for-bit identical results.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import TrialRecord
+from repro.engine.backends import ExecutionBackend, make_backend
+from repro.engine.tasks import EvalTask
+
+
+class ExecutionEngine:
+    """Dispatch batches of evaluation tasks to a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``) or an
+        :class:`~repro.engine.backends.ExecutionBackend` instance.
+    n_workers:
+        Worker count for named backends; ``None`` or ``-1`` uses one
+        worker per CPU core.
+    """
+
+    def __init__(self, backend: str | ExecutionBackend = "serial", *,
+                 n_workers: int | None = None) -> None:
+        self.backend = make_backend(backend, n_workers=n_workers)
+
+    @property
+    def n_workers(self) -> int:
+        return self.backend.n_workers
+
+    # ------------------------------------------------------------- generic
+    def map(self, fn, items) -> list:
+        """Map ``fn`` over ``items`` on the backend, preserving input order.
+
+        Used for coarse-grained fan-out (e.g. whole experiment-grid cells);
+        with a process backend ``fn`` must be a picklable module-level
+        function.
+        """
+        return self.backend.map(fn, list(items))
+
+    # ---------------------------------------------------------- evaluation
+    def run(self, evaluator, tasks) -> list[TrialRecord]:
+        """Evaluate a batch of tasks and return records in task order.
+
+        Cached tasks never reach the backend; duplicate uncached tasks
+        within the batch are evaluated once and fanned back out (matching
+        what the evaluator's cache would have done serially).  When the
+        evaluator's cache is disabled every task is executed individually,
+        mirroring serial semantics.
+        """
+        tasks = [task if isinstance(task, EvalTask) else EvalTask(task)
+                 for task in tasks]
+        records: list[TrialRecord | None] = [None] * len(tasks)
+
+        # Partition into cache hits and groups of identical pending work.
+        pending: dict = {}
+        for index, task in enumerate(tasks):
+            key = evaluator.cache_key(task.pipeline, task.fidelity)
+            if evaluator.cache_enabled and key in pending:
+                # A duplicate of work already queued in this batch: it will
+                # be served by that evaluation's entry, which serially would
+                # have been a cache hit — count it as one.
+                pending[key].append(index)
+                evaluator.cache_hits += 1
+                continue
+            entry = evaluator.cache_lookup(key)
+            if entry is not None:
+                records[index] = evaluator.record_from_entry(task, entry)
+            elif evaluator.cache_enabled:
+                pending[key] = [index]
+            else:
+                # No cache: no dedup either — every task runs, like serial.
+                pending[(key, index)] = [index]
+
+        if pending:
+            groups = list(pending.values())
+            work = [
+                (tasks[group[0]].pipeline, tasks[group[0]].fidelity)
+                for group in groups
+            ]
+            entries = self.backend.run_evaluations(evaluator, work)
+            for group, entry in zip(groups, entries):
+                first = tasks[group[0]]
+                evaluator.cache_store(
+                    evaluator.cache_key(first.pipeline, first.fidelity), entry
+                )
+                evaluator.n_evaluations += 1
+                for index in group:
+                    records[index] = evaluator.record_from_entry(tasks[index], entry)
+
+        return records
+
+    def close(self) -> None:
+        """Release pooled workers held by the backend (safe to call twice).
+
+        Backends also release their pools at interpreter exit, so calling
+        this is only needed to free workers eagerly mid-process.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ExecutionEngine(backend={self.backend!r})"
+
+
+def resolve_backend_name(n_jobs: int | None = None,
+                         backend: str | None = None) -> str:
+    """The single defaulting rule for CLI-style ``n_jobs``/``backend`` options.
+
+    An unset backend (``None``) resolves to ``"process"`` when ``n_jobs``
+    asks for parallelism, because pipeline evaluation is CPU-bound, and to
+    ``"serial"`` otherwise.  An explicitly chosen backend — including
+    ``"serial"`` — is returned unchanged.
+    """
+    if backend is not None:
+        return backend
+    return "process" if n_jobs not in (None, 1) else "serial"
+
+
+def resolve_engine(n_jobs: int | None = None,
+                   backend: str | ExecutionBackend | None = None
+                   ) -> ExecutionEngine | None:
+    """Build an engine from CLI-style ``n_jobs`` / ``backend`` options.
+
+    Returns ``None`` (meaning: plain serial evaluation, no engine overhead)
+    when the options resolve to single-worker serial execution (see
+    :func:`resolve_backend_name`).  ``n_jobs=-1`` means one worker per CPU
+    core.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return ExecutionEngine(backend)
+    name = resolve_backend_name(n_jobs, backend)
+    if name == "serial":
+        return None
+    n_workers = None if n_jobs in (None, -1) else n_jobs
+    return ExecutionEngine(name, n_workers=n_workers)

@@ -35,6 +35,16 @@ class ExperimentConfig:
         Base seed; repetition ``r`` of algorithm ``a`` derives its own seed.
     fast_models:
         Use reduced-capacity downstream models (recommended for laptops).
+    n_jobs:
+        Parallel workers used to fan out the independent
+        (dataset, model, algorithm, repeat) grid cells.  ``1`` (default)
+        runs the grid serially; ``-1`` uses one worker per CPU core.
+        Results are identical for every worker count.
+    backend:
+        Execution backend for the fan-out: ``"serial"``, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.engine`).  The default ``None``
+        auto-selects: process when ``n_jobs != 1``, serial otherwise; an
+        explicit choice (including ``"serial"``) is always honoured.
     """
 
     datasets: tuple[str, ...]
@@ -45,6 +55,8 @@ class ExperimentConfig:
     random_state: int = 0
     fast_models: bool = True
     dataset_scale: float = 1.0
+    n_jobs: int = 1
+    backend: str | None = None
 
     def n_runs(self) -> int:
         """Total number of search runs the configuration implies."""

@@ -5,11 +5,20 @@ the raw material of the paper's tables: one :class:`Scenario` per
 (dataset, model) pair with the best accuracy of every algorithm, plus
 per-run :class:`BottleneckReport` objects and the underlying
 :class:`SearchResult` objects for deeper analysis.
+
+Every (dataset, model, algorithm, repeat) cell of the grid is independent:
+it loads its own data, builds its own problem and derives its own seed from
+the configuration.  ``run_experiment`` therefore fans the cells out across
+an :class:`~repro.engine.engine.ExecutionEngine` (``n_jobs`` workers on a
+serial/thread/process backend) and merges the results back in grid order —
+the outcome is bit-for-bit identical for every worker count and backend.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +29,7 @@ from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult
 from repro.core.search_space import SearchSpace
 from repro.datasets.registry import load_dataset
+from repro.engine import ExecutionEngine, resolve_backend_name
 from repro.experiments.config import ExperimentConfig
 from repro.models.registry import make_classifier
 from repro.search.registry import make_search_algorithm
@@ -50,63 +60,156 @@ class ExperimentOutcome:
 def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25,
                random_state: int = 0, fast_model: bool = True,
                dataset_scale: float = 1.0,
-               space: SearchSpace | None = None) -> tuple[SearchResult, float]:
-    """Run one search and return ``(result, baseline_accuracy)``."""
+               space: SearchSpace | None = None, n_jobs: int | None = None,
+               backend: str | None = None) -> tuple[SearchResult, float]:
+    """Run one search and return ``(result, baseline_accuracy)``.
+
+    ``n_jobs`` / ``backend`` parallelise the *within-search* evaluation
+    batches (generations, rungs) via the execution engine.
+    """
     X, y = load_dataset(dataset, scale=dataset_scale)
     classifier = make_classifier(model, fast=fast_model)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, space=space, random_state=random_state,
-        name=f"{dataset}/{model}",
+        name=f"{dataset}/{model}", n_jobs=n_jobs, backend=backend,
     )
-    baseline = problem.baseline_accuracy()
-    searcher = make_search_algorithm(algorithm, random_state=random_state)
-    result = searcher.search(problem, max_trials=max_trials)
+    try:
+        baseline = problem.baseline_accuracy()
+        searcher = make_search_algorithm(algorithm, random_state=random_state)
+        result = searcher.search(problem, max_trials=max_trials)
+    finally:
+        if problem.evaluator.engine is not None:
+            problem.evaluator.engine.close()
     result.baseline_accuracy = baseline
     return result, baseline
 
 
-def run_experiment(config: ExperimentConfig, *, progress_callback=None) -> ExperimentOutcome:
+def _cell_seed(config: ExperimentConfig, algorithm: str, repeat: int) -> int:
+    # zlib.crc32 keeps the per-algorithm seed deterministic across
+    # processes (Python's hash() is salted per run).
+    return config.random_state + 1000 * repeat + zlib.crc32(algorithm.encode()) % 97
+
+
+#: per-thread memo of (problem, baseline) per (dataset, model) so cells of
+#: the same group share one evaluator — and hence its memoization cache —
+#: exactly like the pre-fan-out serial runner did.  Thread-local because an
+#: evaluator's cache is not safe to mutate from concurrent grid workers;
+#: process workers each get their own copy of the module state anyway.
+_CELL_PROBLEMS = threading.local()
+_CELL_PROBLEM_MEMO_SIZE = 8
+
+
+def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
+    memo = getattr(_CELL_PROBLEMS, "memo", None)
+    if memo is None:
+        memo = _CELL_PROBLEMS.memo = OrderedDict()
+    key = (dataset, model, config.dataset_scale, config.fast_models,
+           config.random_state)
+    cached = memo.get(key)
+    if cached is not None:
+        memo.move_to_end(key)
+        return cached
+    X, y = load_dataset(dataset, scale=config.dataset_scale)
+    classifier = make_classifier(model, fast=config.fast_models)
+    problem = AutoFPProblem.from_arrays(
+        X, y, classifier, random_state=config.random_state,
+        name=f"{dataset}/{model}",
+    )
+    baseline = problem.baseline_accuracy()
+    memo[key] = (problem, baseline)
+    while len(memo) > _CELL_PROBLEM_MEMO_SIZE:
+        memo.popitem(last=False)
+    return problem, baseline
+
+
+def _run_cell(cell: tuple) -> tuple:
+    """Run one independent (dataset, model, algorithm, repeat) grid cell.
+
+    Module-level so a process backend can pickle it.  Returns
+    ``(baseline, best_accuracy, result-or-None)``; the full search result
+    is only shipped back for the first repeat (the only one the outcome
+    retains), keeping inter-process traffic small.
+    """
+    config, dataset, model, algorithm, repeat = cell
+    problem, baseline = _cell_problem(config, dataset, model)
+    searcher = make_search_algorithm(
+        algorithm, random_state=_cell_seed(config, algorithm, repeat)
+    )
+    result = searcher.search(problem, max_trials=config.max_trials)
+    result.baseline_accuracy = baseline
+    return baseline, result.best_accuracy, (result if repeat == 0 else None)
+
+
+def run_experiment(config: ExperimentConfig, *, progress_callback=None,
+                   n_jobs: int | None = None,
+                   backend: str | None = None) -> ExperimentOutcome:
     """Run the full (dataset x model x algorithm x repeat) grid of ``config``.
 
     Repetitions of the same (dataset, model, algorithm) cell are averaged:
     the scenario stores the mean best accuracy, and only the first repeat's
     search result / bottleneck report is retained.
+
+    The independent grid cells are fanned out across ``n_jobs`` workers on
+    the chosen execution backend (defaults come from ``config.n_jobs`` /
+    ``config.backend``); cell seeds are derived from the configuration and
+    results are merged in grid order, so the outcome does not depend on the
+    worker count or backend.  ``progress_callback(dataset, model,
+    algorithm, mean_accuracy)`` fires in grid order during the merge.
     """
+    n_jobs = config.n_jobs if n_jobs is None else n_jobs
+    backend = resolve_backend_name(
+        n_jobs, config.backend if backend is None else backend
+    )
+    engine = ExecutionEngine(backend, n_workers=None if n_jobs == -1 else n_jobs)
+
+    cells = [
+        (config, dataset, model, algorithm, repeat)
+        for dataset in config.datasets
+        for model in config.models
+        for algorithm in config.algorithms
+        for repeat in range(config.n_repeats)
+    ]
     outcome = ExperimentOutcome(config=config)
-
-    for dataset in config.datasets:
-        X, y = load_dataset(dataset, scale=config.dataset_scale)
-        for model in config.models:
-            classifier = make_classifier(model, fast=config.fast_models)
-            problem = AutoFPProblem.from_arrays(
-                X, y, classifier, random_state=config.random_state,
-                name=f"{dataset}/{model}",
-            )
-            baseline = problem.baseline_accuracy()
-            scenario = Scenario(dataset=dataset, model=model,
-                                baseline_accuracy=baseline)
-
-            for algorithm in config.algorithms:
-                accuracies = []
-                for repeat in range(config.n_repeats):
-                    # zlib.crc32 keeps the per-algorithm seed deterministic
-                    # across processes (Python's hash() is salted per run).
-                    seed = config.random_state + 1000 * repeat + zlib.crc32(algorithm.encode()) % 97
-                    searcher = make_search_algorithm(algorithm, random_state=seed)
-                    result = searcher.search(problem, max_trials=config.max_trials)
-                    result.baseline_accuracy = baseline
-                    accuracies.append(result.best_accuracy)
-                    if repeat == 0:
-                        outcome.results[(dataset, model, algorithm)] = result
-                        outcome.bottlenecks.append(
-                            analyze_result(result, dataset=dataset, model=model)
-                        )
-                scenario.accuracies[algorithm] = float(np.mean(accuracies))
-                if progress_callback is not None:
-                    progress_callback(dataset, model, algorithm,
-                                      scenario.accuracies[algorithm])
-
-            outcome.scenarios.append(scenario)
+    try:
+        cell_outputs = dict(zip(
+            ((d, m, a, r) for _, d, m, a, r in cells),
+            engine.map(_run_cell, cells),
+        ))
+        for dataset in config.datasets:
+            for model in config.models:
+                if config.algorithms:
+                    baseline = cell_outputs[
+                        (dataset, model, config.algorithms[0], 0)
+                    ][0]
+                else:
+                    # No algorithms: still report baseline-only scenarios.
+                    _, baseline = _cell_problem(config, dataset, model)
+                scenario = Scenario(dataset=dataset, model=model,
+                                    baseline_accuracy=baseline)
+                for algorithm in config.algorithms:
+                    accuracies = []
+                    for repeat in range(config.n_repeats):
+                        _, best_accuracy, result = cell_outputs[
+                            (dataset, model, algorithm, repeat)
+                        ]
+                        accuracies.append(best_accuracy)
+                        if repeat == 0:
+                            outcome.results[(dataset, model, algorithm)] = result
+                            outcome.bottlenecks.append(
+                                analyze_result(result, dataset=dataset,
+                                               model=model)
+                            )
+                    scenario.accuracies[algorithm] = float(np.mean(accuracies))
+                    if progress_callback is not None:
+                        progress_callback(dataset, model, algorithm,
+                                          scenario.accuracies[algorithm])
+                outcome.scenarios.append(scenario)
+    finally:
+        engine.close()
+        # Release this thread's (problem, baseline) memo: the datasets and
+        # warm evaluator caches should not outlive the experiment.  Worker
+        # threads/processes release theirs when the pool winds down.
+        _CELL_PROBLEMS.memo = OrderedDict()
     return outcome
 
 

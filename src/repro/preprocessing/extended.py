@@ -60,7 +60,11 @@ class RobustScaler(Preprocessor):
         low = np.percentile(X, self.q_min, axis=0)
         high = np.percentile(X, self.q_max, axis=0)
         scale = (high - low).astype(np.float64)
-        scale[~np.isfinite(scale) | (scale == 0.0)] = 1.0
+        # A denormal quantile range (< tiny) overflows the division in
+        # _transform just like an exact zero would; both mean the feature
+        # is constant at float precision, so leave it unscaled.
+        tiny = np.finfo(np.float64).tiny
+        scale[~np.isfinite(scale) | (scale < tiny)] = 1.0
         self.scale_ = scale
 
     def _transform(self, X: np.ndarray) -> np.ndarray:
@@ -68,7 +72,12 @@ class RobustScaler(Preprocessor):
         if self.with_centering:
             out -= self.center_
         if self.with_scaling:
-            out /= self.scale_
+            with np.errstate(over="ignore"):
+                out /= self.scale_
+            # Extreme outliers over a near-zero quantile range can still
+            # overflow; keep finite input mapping to finite output.
+            out = np.nan_to_num(out, posinf=np.finfo(np.float64).max,
+                                neginf=-np.finfo(np.float64).max)
         return out
 
 

@@ -40,7 +40,13 @@ class Normalizer(Preprocessor):
         if self.norm == "l1":
             norms = np.abs(X).sum(axis=1)
         elif self.norm == "l2":
-            norms = np.sqrt((X * X).sum(axis=1))
+            # Rescale each row by its max magnitude before squaring: tiny
+            # rows would otherwise underflow to denormals in X*X and lose
+            # the precision of the resulting norm (and huge rows overflow).
+            peak = np.abs(X).max(axis=1, keepdims=True)
+            safe_peak = np.where(peak == 0.0, 1.0, peak)
+            scaled = X / safe_peak
+            norms = safe_peak[:, 0] * np.sqrt((scaled * scaled).sum(axis=1))
         else:  # max
             norms = np.abs(X).max(axis=1)
         norms = norms.copy()

@@ -12,6 +12,14 @@ Every search algorithm follows the same iterative skeleton:
 override four hooks — ``_initial_pipelines``, ``_update``, ``_propose`` and
 ``_observe`` — and inherit budget accounting, pick-time measurement (the
 "Pick" component of the bottleneck analysis) and result collection.
+
+Step 4 evaluates each iteration's proposals as *one batch* through
+``evaluator.evaluate_tasks``: algorithms that propose whole generations or
+rungs (PBT, Hyperband/BOHB, batched random search via the
+:meth:`SearchAlgorithm._propose_batch` hook) therefore parallelise
+automatically when the problem's evaluator carries an execution engine
+(:mod:`repro.engine`).  Records are observed in proposal order, so batched
+and serial execution produce identical search trajectories.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult, TrialRecord
 from repro.core.search_space import SearchSpace
+from repro.engine.tasks import EvalTask
 from repro.utils.random import check_random_state
 
 
@@ -85,23 +94,22 @@ class SearchAlgorithm:
 
         self._setup(problem, rng)
 
-        # Step 1: initial pipelines.
-        for pipeline in self._initial_pipelines(space, rng):
-            if budget.exhausted():
-                break
-            record = evaluator.evaluate(pipeline, iteration=0)
-            result.add(record)
-            budget.consume(1.0)
-            self._observe(record)
+        # Step 1: initial pipelines, evaluated as one batch.
+        self._evaluate_proposals(
+            self._initial_pipelines(space, rng), evaluator, budget, result,
+            pick_per_proposal=0.0, iteration=0,
+        )
 
-        # Steps 2-4: the iterative loop.
+        # Steps 2-4: the iterative loop.  Each iteration's proposals form
+        # one evaluation batch; the evaluator's engine (if any) decides
+        # whether the batch runs serially or on parallel workers.
         iteration = 0
         stalled = 0
         while not budget.exhausted():
             iteration += 1
             pick_start = time.perf_counter()
             self._update(result.trials, space, rng)
-            proposals = list(self._propose(space, rng, result.trials))
+            proposals = list(self._propose_batch(space, rng, result.trials))
             pick_time = time.perf_counter() - pick_start
 
             if not proposals:
@@ -115,22 +123,51 @@ class SearchAlgorithm:
                     continue
             stalled = 0
 
-            pick_per_proposal = pick_time / len(proposals)
+            self._evaluate_proposals(
+                proposals, evaluator, budget, result,
+                pick_per_proposal=pick_time / len(proposals),
+                iteration=iteration,
+            )
+
+        return result
+
+    def _evaluate_proposals(self, proposals, evaluator, budget: Budget,
+                            result: SearchResult, *, pick_per_proposal: float,
+                            iteration: int) -> None:
+        """Evaluate one iteration's proposals, honouring the budget.
+
+        Without an engine the proposals run one at a time with the budget
+        checked between evaluations (so wall-clock budgets stop mid-batch
+        exactly as before batching existed).  With an engine the batch is
+        truncated to what the budget admits up front and dispatched whole —
+        identical trial sets for count-based budgets; time budgets are
+        checked at the batch boundary, the price of parallelism.
+        """
+        if evaluator.engine is None:
             for item in proposals:
                 pipeline, fidelity = self._unpack_proposal(item)
                 if budget.exhausted():
                     break
                 record = evaluator.evaluate(
-                    pipeline,
-                    fidelity=fidelity,
-                    pick_time=pick_per_proposal,
-                    iteration=iteration,
+                    pipeline, fidelity=fidelity,
+                    pick_time=pick_per_proposal, iteration=iteration,
                 )
                 result.add(record)
                 budget.consume(fidelity)
                 self._observe(record)
-
-        return result
+            return
+        tasks = []
+        for item in proposals:
+            pipeline, fidelity = self._unpack_proposal(item)
+            if budget.exhausted():
+                break
+            tasks.append(EvalTask(pipeline, fidelity=fidelity,
+                                  pick_time=pick_per_proposal,
+                                  iteration=iteration))
+            budget.consume(fidelity)
+        for record in evaluator.evaluate_tasks(tasks):
+            result.add(record)
+            self._observe(record)
 
     # ------------------------------------------------------------- taxonomy
     @classmethod
@@ -165,6 +202,22 @@ class SearchAlgorithm:
                  trials: list[TrialRecord]) -> Iterable:
         """Step 3: return pipelines (or ``(pipeline, fidelity)`` pairs) to evaluate."""
         raise NotImplementedError
+
+    def _propose_batch(self, space: SearchSpace, rng: np.random.Generator,
+                       trials: list[TrialRecord]) -> Iterable:
+        """Step 3, batch form: all proposals evaluated together as one batch.
+
+        The default simply delegates to :meth:`_propose` — algorithms that
+        already emit whole generations or rungs (PBT, Hyperband) get batch
+        evaluation for free.  Algorithms whose single proposals are mutually
+        independent can override this to emit several per iteration (e.g.
+        :class:`~repro.search.traditional.RandomSearch` with
+        ``batch_size > 1``), widening the batch the execution engine can
+        fan out to parallel workers.  Algorithms whose next proposal depends
+        on the previous observation (annealing, tournament evolution) must
+        NOT batch across proposals and should leave this untouched.
+        """
+        return self._propose(space, rng, trials)
 
     def _observe(self, record: TrialRecord) -> None:
         """Step 4 callback: incorporate one freshly evaluated trial."""

@@ -18,8 +18,20 @@ from repro.search.base import SearchAlgorithm
 class RandomSearch(SearchAlgorithm):
     """Uniform random search over the pipeline space.
 
-    Every iteration draws a pipeline uniformly (first a length, then each
-    position) and evaluates it.
+    Every iteration draws ``batch_size`` pipelines uniformly (first a
+    length, then each position) and evaluates them as one batch.  Random
+    draws are mutually independent, so with ``batch_size > 1`` the batch
+    can be fanned out to parallel workers by an execution engine without
+    changing the sampled sequence: ``batch_size=k`` consumes the RNG
+    exactly like ``k`` iterations of the paper's one-sample-per-iteration
+    variant (the default, ``batch_size=1``).
+
+    Parameters
+    ----------
+    batch_size:
+        Pipelines proposed (and evaluated as one batch) per iteration.
+    random_state:
+        Seed for all of the algorithm's randomness.
     """
 
     name = "rs"
@@ -30,8 +42,16 @@ class RandomSearch(SearchAlgorithm):
     samples_per_iteration = "=1"
     evaluations_per_iteration = "=1"
 
+    def __init__(self, batch_size: int = 1, random_state: int | None = 0) -> None:
+        super().__init__(random_state=random_state)
+        if batch_size < 1:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError("batch_size must be at least 1")
+        self.batch_size = int(batch_size)
+
     def _propose(self, space: SearchSpace, rng: np.random.Generator, trials):
-        return [space.sample_pipeline(rng)]
+        return [space.sample_pipeline(rng) for _ in range(self.batch_size)]
 
 
 class Anneal(SearchAlgorithm):

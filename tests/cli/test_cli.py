@@ -109,6 +109,44 @@ class TestCompareCommand:
         assert "rs" in output and "tevo_h" in output
 
 
+class TestExperimentCommand:
+    def test_experiment_prints_grid_and_ranking(self):
+        code, output = run_cli(
+            "experiment", "--datasets", "blood", "wine",
+            "--algorithms", "rs", "tevo_h", "--max-trials", "5",
+            "--scale", "0.5",
+        )
+        assert code == 0
+        assert "4 runs" in output
+        assert "average ranking" in output
+        assert "rs" in output and "tevo_h" in output
+
+    def test_experiment_parallel_matches_serial(self):
+        args = ("experiment", "--datasets", "blood", "--algorithms",
+                "rs", "pbt", "--max-trials", "5", "--scale", "0.5")
+        code_serial, serial_output = run_cli(*args)
+        code_parallel, parallel_output = run_cli(
+            *args, "--n-jobs", "2", "--backend", "thread")
+        assert code_serial == code_parallel == 0
+        # Identical accuracies and ranking; only the execution line differs.
+        strip = lambda text: text.splitlines()[2:]
+        assert strip(serial_output) == strip(parallel_output)
+
+    def test_search_accepts_parallel_options(self):
+        code, output = run_cli(
+            "search", "--dataset", "blood", "--algorithm", "pbt",
+            "--max-trials", "6", "--scale", "0.5",
+            "--n-jobs", "2", "--backend", "thread",
+        )
+        assert code == 0
+        assert "best pipeline" in output
+
+    def test_invalid_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "--datasets", "blood", "--backend", "gpu"])
+
+
 class TestMetafeaturesCommand:
     def test_prints_all_forty_metafeatures(self):
         code, output = run_cli("metafeatures", "--dataset", "blood", "--scale", "0.5")

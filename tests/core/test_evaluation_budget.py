@@ -139,6 +139,144 @@ class TestPipelineEvaluator:
         assert len(records) == 3
 
 
+def _failing_pipeline():
+    from repro.preprocessing.base import Preprocessor
+
+    class Exploding(Preprocessor):
+        name = "exploding"
+
+        def __init__(self):
+            super().__init__()
+
+        def _fit(self, X, y=None):
+            raise ValueError("synthetic numerical failure")
+
+        def _transform(self, X):  # pragma: no cover - fit always fails first
+            return X
+
+    return Pipeline([Exploding()])
+
+
+class TestFailureCaching:
+    def _evaluator(self, distorted_data, **kwargs):
+        X, y = distorted_data
+        return PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=30), random_state=0, **kwargs
+        )
+
+    def test_failed_evaluation_is_cached(self, distorted_data):
+        evaluator = self._evaluator(distorted_data)
+        pipeline = _failing_pipeline()
+        first = evaluator.evaluate(pipeline)
+        assert first.accuracy == 0.0
+        assert evaluator.n_evaluations == 1
+        # The repeat evaluation must come from the cache: the degenerate
+        # pipeline's prep cost is paid exactly once.
+        second = evaluator.evaluate(pipeline)
+        assert second.accuracy == 0.0
+        assert evaluator.n_evaluations == 1
+        assert evaluator.cache_hits == 1
+
+    def test_failed_entry_records_prep_time(self, distorted_data):
+        evaluator = self._evaluator(distorted_data)
+        record = evaluator.evaluate(_failing_pipeline())
+        assert record.train_time == 0.0
+        assert record.prep_time >= 0.0
+
+
+class TestBoundedCache:
+    def _evaluator(self, distorted_data, **kwargs):
+        X, y = distorted_data
+        return PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=30), random_state=0, **kwargs
+        )
+
+    def test_lru_eviction_respects_bound(self, distorted_data):
+        evaluator = self._evaluator(distorted_data, cache_size=3)
+        names = ["standard_scaler", "minmax_scaler", "maxabs_scaler",
+                 "normalizer", "binarizer"]
+        for name in names:
+            evaluator.evaluate(Pipeline.from_names([name]))
+        info = evaluator.cache_info()
+        assert info["size"] == 3
+        assert info["maxsize"] == 3
+        assert info["evictions"] == 2
+
+    def test_lru_keeps_recently_used_entries(self, distorted_data):
+        evaluator = self._evaluator(distorted_data, cache_size=2)
+        a = Pipeline.from_names(["standard_scaler"])
+        b = Pipeline.from_names(["minmax_scaler"])
+        c = Pipeline.from_names(["maxabs_scaler"])
+        evaluator.evaluate(a)
+        evaluator.evaluate(b)
+        evaluator.evaluate(a)  # refresh a: b is now least-recently-used
+        evaluator.evaluate(c)  # evicts b
+        evaluations_before = evaluator.n_evaluations
+        evaluator.evaluate(a)
+        assert evaluator.n_evaluations == evaluations_before  # hit
+        evaluator.evaluate(b)
+        assert evaluator.n_evaluations == evaluations_before + 1  # evicted
+
+    def test_hit_miss_counters(self, distorted_data):
+        evaluator = self._evaluator(distorted_data)
+        pipeline = Pipeline.from_names(["standard_scaler"])
+        evaluator.evaluate(pipeline)
+        evaluator.evaluate(pipeline)
+        evaluator.evaluate(pipeline, fidelity=0.5)  # different key
+        info = evaluator.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+        assert info["size"] == 2
+
+    def test_invalid_cache_size_rejected(self, distorted_data):
+        X, y = distorted_data
+        with pytest.raises(ValidationError):
+            PipelineEvaluator.from_dataset(
+                X, y, LogisticRegression(max_iter=30), cache_size=0
+            )
+
+
+class TestDeterministicSubsampling:
+    def _evaluator(self, distorted_data, random_state=0):
+        X, y = distorted_data
+        return PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=30), cache=False,
+            random_state=random_state,
+        )
+
+    def test_low_fidelity_result_independent_of_evaluation_order(self, distorted_data):
+        pipeline_a = Pipeline.from_names(["standard_scaler"])
+        pipeline_b = Pipeline.from_names(["minmax_scaler"])
+
+        forward = self._evaluator(distorted_data)
+        a_first = forward.evaluate(pipeline_a, fidelity=0.4)
+        b_second = forward.evaluate(pipeline_b, fidelity=0.4)
+
+        backward = self._evaluator(distorted_data)
+        b_first = backward.evaluate(pipeline_b, fidelity=0.4)
+        a_second = backward.evaluate(pipeline_a, fidelity=0.4)
+
+        assert a_first.accuracy == a_second.accuracy
+        assert b_first.accuracy == b_second.accuracy
+
+    def test_subsample_seed_differs_per_pipeline_and_fidelity(self, distorted_data):
+        evaluator = self._evaluator(distorted_data)
+        rng_a = evaluator._subsample_rng(Pipeline.from_names(["standard_scaler"]), 0.4)
+        rng_b = evaluator._subsample_rng(Pipeline.from_names(["minmax_scaler"]), 0.4)
+        rng_c = evaluator._subsample_rng(Pipeline.from_names(["standard_scaler"]), 0.5)
+        draws = {tuple(rng.integers(0, 1000, size=3).tolist())
+                 for rng in (rng_a, rng_b, rng_c)}
+        assert len(draws) == 3
+
+    def test_different_random_state_changes_subsample(self, distorted_data):
+        pipeline = Pipeline.from_names(["standard_scaler"])
+        one = self._evaluator(distorted_data, random_state=0)
+        two = self._evaluator(distorted_data, random_state=1)
+        rng_one = one._subsample_rng(pipeline, 0.4)
+        rng_two = two._subsample_rng(pipeline, 0.4)
+        assert rng_one.integers(0, 10**9) != rng_two.integers(0, 10**9)
+
+
 class TestSearchResult:
     def _record(self, accuracy, fidelity=1.0, **times):
         return TrialRecord(Pipeline(), accuracy=accuracy, fidelity=fidelity, **times)

@@ -1,0 +1,197 @@
+"""Tests for the execution backends and the engine's dispatch logic."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, PipelineEvaluator
+from repro.core.search_space import SearchSpace
+from repro.datasets.synthetic import distort_features, make_classification
+from repro.engine import (
+    BACKEND_NAMES,
+    EvalTask,
+    ExecutionEngine,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_engine,
+)
+from repro.exceptions import UnknownComponentError, ValidationError
+from repro.models.linear import LogisticRegression
+
+
+def _double(x):
+    return 2 * x
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    X, y = make_classification(n_samples=120, n_features=6, class_sep=2.0,
+                               random_state=3)
+    X = distort_features(X, random_state=3)
+    return PipelineEvaluator.from_dataset(X, y, LogisticRegression(max_iter=40),
+                                          random_state=0)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(max_length=3)
+
+
+class TestBackendRegistry:
+    def test_all_three_backends_registered(self):
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread", n_workers=2), ThreadBackend)
+        assert isinstance(make_backend("process", n_workers=2), ProcessBackend)
+
+    def test_make_backend_passes_instances_through(self):
+        backend = ThreadBackend(n_workers=3)
+        assert make_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(UnknownComponentError):
+            make_backend("gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ThreadBackend(n_workers=0)
+
+    def test_minus_one_means_all_cores(self):
+        assert ThreadBackend(n_workers=-1).n_workers >= 1
+
+
+class TestBackendMap:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_map_preserves_input_order(self, name):
+        backend = make_backend(name, n_workers=2)
+        assert backend.map(_double, list(range(7))) == [2 * i for i in range(7)]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_map_empty_input(self, name):
+        backend = make_backend(name, n_workers=2)
+        assert backend.map(_double, []) == []
+
+
+class TestEvalTask:
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValidationError):
+            EvalTask(Pipeline(), fidelity=0.0)
+        with pytest.raises(ValidationError):
+            EvalTask(Pipeline(), fidelity=1.5)
+
+    def test_metadata_carried_into_record(self, evaluator):
+        engine = ExecutionEngine("serial")
+        task = EvalTask(Pipeline.from_names(["standard_scaler"]),
+                        pick_time=0.125, iteration=7)
+        [record] = engine.run(evaluator, [task])
+        assert record.pick_time == 0.125
+        assert record.iteration == 7
+        assert record.fidelity == 1.0
+
+
+class TestEngineDispatch:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_batch_matches_serial_evaluate(self, name, space):
+        X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                   random_state=1)
+        pipelines = space.sample_pipelines(5, np.random.default_rng(0))
+
+        reference = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=40), random_state=0)
+        expected = [reference.evaluate(p) for p in pipelines]
+
+        parallel = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=40), random_state=0,
+            engine=ExecutionEngine(name, n_workers=2))
+        records = parallel.evaluate_many(pipelines)
+
+        assert [r.accuracy for r in records] == [r.accuracy for r in expected]
+        assert [r.pipeline.spec() for r in records] == \
+            [r.pipeline.spec() for r in expected]
+
+    def test_duplicates_evaluated_once(self, space):
+        X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                   random_state=1)
+        evaluator = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=40), random_state=0)
+        pipeline = Pipeline.from_names(["standard_scaler"])
+        engine = ExecutionEngine("thread", n_workers=2)
+        records = engine.run(evaluator, [EvalTask(pipeline)] * 4)
+        assert evaluator.n_evaluations == 1
+        assert len({r.accuracy for r in records}) == 1
+        # Counter parity with the serial path: 1 miss, 3 in-batch hits.
+        assert evaluator.cache_info()["misses"] == 1
+        assert evaluator.cache_info()["hits"] == 3
+
+    def test_cached_tasks_skip_the_backend(self, space):
+        X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                   random_state=1)
+        evaluator = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=40), random_state=0)
+        pipeline = Pipeline.from_names(["minmax_scaler"])
+        first = evaluator.evaluate(pipeline)
+
+        class ExplodingBackend(SerialBackend):
+            def run_evaluations(self, evaluator, work):
+                raise AssertionError("cached task reached the backend")
+
+        engine = ExecutionEngine(ExplodingBackend())
+        [record] = engine.run(evaluator, [EvalTask(pipeline)])
+        assert record.accuracy == first.accuracy
+
+    def test_cache_disabled_runs_every_task(self):
+        X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                   random_state=1)
+        evaluator = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=40), random_state=0, cache=False)
+        pipeline = Pipeline.from_names(["standard_scaler"])
+        engine = ExecutionEngine("serial")
+        engine.run(evaluator, [EvalTask(pipeline)] * 3)
+        assert evaluator.n_evaluations == 3
+
+
+class TestResolveEngine:
+    def test_serial_defaults_resolve_to_none(self):
+        assert resolve_engine() is None
+        assert resolve_engine(1, None) is None
+
+    def test_n_jobs_implies_process_backend(self):
+        engine = resolve_engine(2)
+        assert engine.backend.name == "process"
+        assert engine.n_workers == 2
+
+    def test_explicit_backend_respected(self):
+        engine = resolve_engine(3, "thread")
+        assert engine.backend.name == "thread"
+        assert engine.n_workers == 3
+
+    def test_explicit_serial_is_not_upgraded(self):
+        from repro.engine import resolve_backend_name
+
+        assert resolve_backend_name(4, "serial") == "serial"
+        assert resolve_backend_name(4, None) == "process"
+        assert resolve_engine(4, "serial") is None  # serial = no engine
+
+    def test_engine_context_manager_closes_backend(self):
+        closed = []
+
+        class Recording(SerialBackend):
+            def close(self):
+                closed.append(True)
+
+        with ExecutionEngine(Recording()) as engine:
+            assert engine.map(_double, [1]) == [2]
+        assert closed == [True]
+
+    def test_evaluator_pickles_without_engine_or_cache(self, evaluator):
+        import pickle
+
+        evaluator.set_engine(ExecutionEngine("thread", n_workers=2))
+        evaluator.evaluate(Pipeline.from_names(["standard_scaler"]))
+        clone = pickle.loads(pickle.dumps(evaluator))
+        assert clone.engine is None
+        assert clone.cache_info()["size"] == 0
+        evaluator.set_engine(None)

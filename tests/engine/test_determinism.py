@@ -1,0 +1,105 @@
+"""Engine determinism: every backend produces identical search results.
+
+This is the core guarantee of the execution engine (and of the
+order-independent subsample seeding in the evaluator): running the same
+searcher on the same problem must yield the same ``best_accuracy`` and the
+same trial set whether the evaluation batches run serially, on a thread
+pool or on a process pool.
+"""
+
+import pytest
+
+from repro.core.problem import AutoFPProblem
+from repro.core.search_space import SearchSpace
+from repro.datasets.synthetic import distort_features, make_classification
+from repro.engine import ExecutionEngine
+from repro.models.linear import LogisticRegression
+from repro.search import make_search_algorithm
+
+#: (algorithm name, constructor kwargs) — one batched searcher per category
+SEARCHERS = [
+    ("rs", {"batch_size": 4}),
+    ("pbt", {}),
+    ("hyperband", {}),
+]
+
+
+def _make_problem(engine=None):
+    X, y = make_classification(n_samples=140, n_features=8, n_classes=2,
+                               class_sep=2.0, random_state=2)
+    X = distort_features(X, random_state=2)
+    problem = AutoFPProblem.from_arrays(
+        X, y, LogisticRegression(max_iter=60), space=SearchSpace(max_length=3),
+        random_state=0, name="determinism/lr",
+    )
+    problem.evaluator.set_engine(engine)
+    return problem
+
+
+def _trial_set(result):
+    return [(t.pipeline.spec(), round(t.fidelity, 6), t.accuracy, t.iteration)
+            for t in result.trials]
+
+
+def _run(algorithm, kwargs, engine):
+    searcher = make_search_algorithm(algorithm, random_state=0, **kwargs)
+    result = searcher.search(_make_problem(engine), max_trials=14)
+    if engine is not None:
+        engine.close()  # release pooled workers eagerly between runs
+    return result
+
+
+class TestBackendDeterminism:
+    @pytest.mark.parametrize("algorithm,kwargs", SEARCHERS)
+    def test_thread_backend_matches_serial(self, algorithm, kwargs):
+        serial = _run(algorithm, kwargs, None)
+        threaded = _run(algorithm, kwargs, ExecutionEngine("thread", n_workers=2))
+        assert threaded.best_accuracy == serial.best_accuracy
+        assert _trial_set(threaded) == _trial_set(serial)
+
+    @pytest.mark.parametrize("algorithm,kwargs", SEARCHERS)
+    def test_process_backend_matches_serial(self, algorithm, kwargs):
+        serial = _run(algorithm, kwargs, None)
+        processed = _run(algorithm, kwargs, ExecutionEngine("process", n_workers=2))
+        assert processed.best_accuracy == serial.best_accuracy
+        assert _trial_set(processed) == _trial_set(serial)
+
+    def test_serial_engine_matches_no_engine(self):
+        # The explicit serial backend must be indistinguishable from the
+        # evaluator's plain serial path.
+        for algorithm, kwargs in SEARCHERS:
+            bare = _run(algorithm, kwargs, None)
+            engined = _run(algorithm, kwargs, ExecutionEngine("serial"))
+            assert _trial_set(engined) == _trial_set(bare)
+
+
+class TestSerialTimeBudgetSemantics:
+    def test_time_budget_stops_mid_batch_without_engine(self):
+        """The no-engine path checks wall-clock budgets between evaluations."""
+        from repro.core.budget import TimeBudget
+
+        problem = _make_problem(None)
+        now = [0.0]
+        original_evaluate = problem.evaluator.evaluate
+
+        def ticking_evaluate(*args, **kwargs):
+            now[0] += 1.0  # each evaluation "takes" one fake second
+            return original_evaluate(*args, **kwargs)
+
+        problem.evaluator.evaluate = ticking_evaluate
+        searcher = make_search_algorithm("pbt", random_state=0)  # n_init = 8
+        result = searcher.search(problem, budget=TimeBudget(3.5,
+                                                            clock=lambda: now[0]))
+        # The budget expires inside PBT's initial population batch: only
+        # the evaluations that fit ran, not the whole batch of 8.
+        assert len(result) == 4
+
+
+class TestBatchedRandomSearchEquivalence:
+    def test_batched_rs_samples_the_same_pipelines(self):
+        """batch_size=k consumes the RNG exactly like k single iterations."""
+        single = _run("rs", {"batch_size": 1}, None)
+        batched = _run("rs", {"batch_size": 7}, None)
+        assert [t.pipeline.spec() for t in single.trials] == \
+            [t.pipeline.spec() for t in batched.trials]
+        assert batched.best_accuracy == single.best_accuracy

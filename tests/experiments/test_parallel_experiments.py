@@ -1,0 +1,91 @@
+"""Parallel experiment-grid fan-out: every backend yields the same outcome.
+
+Also runs the smoke mode of ``benchmarks/bench_parallel_speedup.py`` so the
+execution engine's grid fan-out is exercised by the tier-1 suite on every
+run (the full speedup measurement stays in the benchmark harness).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import quick_config, run_experiment, run_single
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_parallel_speedup.py"
+)
+
+
+def _tiny_config():
+    return quick_config(datasets=("blood", "wine"), algorithms=("rs", "tevo_h"),
+                        max_trials=5, dataset_scale=0.5)
+
+
+def _accuracies(outcome):
+    return [(s.dataset, s.model, s.baseline_accuracy, sorted(s.accuracies.items()))
+            for s in outcome.scenarios]
+
+
+class TestParallelGrid:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_outcome_identical_to_serial(self, backend):
+        config = _tiny_config()
+        serial = run_experiment(config)
+        parallel = run_experiment(config, n_jobs=2, backend=backend)
+        assert _accuracies(parallel) == _accuracies(serial)
+        assert parallel.rankings(min_improvement=-100.0) == \
+            serial.rankings(min_improvement=-100.0)
+        assert set(parallel.results) == set(serial.results)
+
+    def test_config_carries_parallel_options(self):
+        config = quick_config(datasets=("blood",), algorithms=("rs",),
+                              max_trials=4, n_jobs=2, backend="thread")
+        outcome = run_experiment(config)  # options read from the config
+        assert len(outcome.scenarios) == 1
+
+    def test_bottlenecks_and_results_present_in_parallel_run(self):
+        config = _tiny_config()
+        outcome = run_experiment(config, n_jobs=2, backend="thread")
+        assert len(outcome.bottlenecks) == 4
+        assert all(result is not None for result in outcome.results.values())
+
+    def test_progress_callback_fires_in_grid_order(self):
+        calls = []
+        config = _tiny_config()
+        run_experiment(config, n_jobs=2, backend="thread",
+                       progress_callback=lambda d, m, a, acc: calls.append((d, m, a)))
+        expected = [(d, m, a) for d in config.datasets for m in config.models
+                    for a in config.algorithms]
+        assert calls == expected
+
+    def test_empty_algorithms_yields_baseline_only_scenarios(self):
+        config = quick_config(datasets=("blood",), algorithms=(), max_trials=4,
+                              dataset_scale=0.5)
+        outcome = run_experiment(config)
+        assert len(outcome.scenarios) == 1
+        assert outcome.scenarios[0].accuracies == {}
+        assert 0.0 <= outcome.scenarios[0].baseline_accuracy <= 1.0
+
+    def test_run_single_accepts_parallel_options(self):
+        serial, baseline_s = run_single("blood", "lr", "pbt", max_trials=6,
+                                        dataset_scale=0.5)
+        threaded, baseline_t = run_single("blood", "lr", "pbt", max_trials=6,
+                                          dataset_scale=0.5, n_jobs=2,
+                                          backend="thread")
+        assert baseline_t == baseline_s
+        assert threaded.best_accuracy == serial.best_accuracy
+
+
+class TestBenchmarkSmokeMode:
+    def test_bench_parallel_speedup_smoke(self):
+        """The benchmark's fast smoke mode runs under tier-1 pytest."""
+        spec = importlib.util.spec_from_file_location(
+            "bench_parallel_speedup", BENCH_PATH
+        )
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        serial, parallel = bench.smoke_check(backend="thread", n_jobs=2)
+        assert bench.scenario_accuracies(serial) == \
+            bench.scenario_accuracies(parallel)
+        assert len(serial.scenarios) == 2
