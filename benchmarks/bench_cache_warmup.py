@@ -1,0 +1,115 @@
+"""E-cache — persistent evaluation cache: warm-run speedup vs a cold run.
+
+The paper's experimental grid re-pays every pipeline's Prep+Train cost on
+every invocation.  With a ``cache_dir``, the first (cold) run writes every
+evaluation through to the persistent cache and a repeated (warm) run
+answers all of them from disk: zero uncached evaluations, bit-for-bit
+identical scenarios, and wall-clock dominated by I/O instead of training.
+
+Expected shape: ``warm.uncached_evaluations == 0``, identical scenario
+accuracies, and a large (>2x) wall-clock speedup for the warm run.
+
+``smoke_check()`` is the fast variant exercised by the tier-1 test-suite on
+every run (see ``tests/experiments/test_persistent_cache.py``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.experiments import ExperimentConfig, format_table, run_experiment
+
+#: 3 datasets x 1 model x 2 algorithms = 6 grid cells, enough to matter
+WARMUP_GRID = ExperimentConfig(
+    datasets=("heart", "blood", "wine"),
+    models=("lr",),
+    algorithms=("rs", "tevo_h"),
+    max_trials=12,
+    random_state=0,
+)
+
+#: tiny grid for the tier-1 smoke mode (2 cells, ~seconds)
+SMOKE_GRID = ExperimentConfig(
+    datasets=("blood",),
+    models=("lr",),
+    algorithms=("rs", "tevo_h"),
+    max_trials=6,
+    dataset_scale=0.5,
+    random_state=0,
+)
+
+
+def scenario_accuracies(outcome) -> list:
+    """Canonical, comparable view of an outcome's scenario accuracies."""
+    return [
+        (scenario.dataset, scenario.model, scenario.baseline_accuracy,
+         sorted(scenario.accuracies.items()))
+        for scenario in outcome.scenarios
+    ]
+
+
+def timed_grid(config: ExperimentConfig, *, cache_dir=None):
+    """Run the grid and return ``(outcome, wall_seconds)``."""
+    start = time.perf_counter()
+    outcome = run_experiment(config, cache_dir=cache_dir)
+    return outcome, time.perf_counter() - start
+
+
+def smoke_check(config: ExperimentConfig = SMOKE_GRID, *, cache_dir=None):
+    """Fast cache exercise: a warm run must do zero uncached evaluations.
+
+    Returns the (cold, warm) outcomes so callers can assert further.
+    """
+    with tempfile.TemporaryDirectory() as fallback:
+        root = fallback if cache_dir is None else cache_dir
+        cold = run_experiment(config, cache_dir=root)
+        warm = run_experiment(config, cache_dir=root)
+    assert cold.uncached_evaluations > 0, "cold run executed nothing"
+    assert warm.uncached_evaluations == 0, (
+        f"warm run re-executed {warm.uncached_evaluations} evaluations "
+        "instead of answering them from the persistent cache"
+    )
+    assert scenario_accuracies(warm) == scenario_accuracies(cold), (
+        "the persistent cache changed the experiment outcome"
+    )
+    return cold, warm
+
+
+def test_cache_warmup(once, artifact, tmp_path):
+    cold, cold_seconds = once(timed_grid, WARMUP_GRID,
+                              cache_dir=str(tmp_path / "evalcache"))
+    warm, warm_seconds = timed_grid(WARMUP_GRID,
+                                    cache_dir=str(tmp_path / "evalcache"))
+
+    identical = scenario_accuracies(warm) == scenario_accuracies(cold)
+    rows = [
+        ["cold", cold_seconds, cold.uncached_evaluations, "yes"],
+        ["warm", warm_seconds, warm.uncached_evaluations,
+         "yes" if identical else "NO"],
+    ]
+    artifact("cache_warmup",
+             format_table(["run", "seconds", "uncached_evals", "identical"],
+                          rows))
+
+    # Hard requirements on every machine: warm run hits the cache for every
+    # evaluation and reproduces the cold outcome bit-for-bit.
+    assert warm.uncached_evaluations == 0
+    assert identical
+    assert warm_seconds < cold_seconds, (
+        f"warm run ({warm_seconds:.2f}s) not faster than cold "
+        f"({cold_seconds:.2f}s)"
+    )
+
+
+if __name__ == "__main__":
+    cold, warm = smoke_check()
+    print("smoke check passed: warm run did zero uncached evaluations")
+    with tempfile.TemporaryDirectory() as root:
+        cold, cold_seconds = timed_grid(WARMUP_GRID, cache_dir=root)
+        warm, warm_seconds = timed_grid(WARMUP_GRID, cache_dir=root)
+        print(f"cold: {cold_seconds:.2f}s "
+              f"({cold.uncached_evaluations} uncached evaluations)")
+        print(f"warm: {warm_seconds:.2f}s "
+              f"({warm.uncached_evaluations} uncached evaluations, "
+              f"speedup {cold_seconds / max(warm_seconds, 1e-9):.2f}x)")

@@ -20,6 +20,10 @@ driven without writing Python:
 ``search``, ``compare`` and ``experiment`` accept ``--n-jobs`` and
 ``--backend`` (serial / thread / process) to run evaluation batches or the
 experiment grid in parallel; results are identical for every worker count.
+``search`` and ``experiment`` also accept ``--cache-dir`` to persist every
+pipeline evaluation across runs: repeating a command with the same cache
+directory answers previously seen evaluations from disk (bit-for-bit
+identical results, zero re-training).
 
 Every command writes plain text to stdout and returns a process exit code,
 so the CLI composes with shell pipelines and CI jobs.
@@ -66,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="execution backend (default: process when "
                                   "--n-jobs asks for parallelism)")
 
+    def add_cache_option(command) -> None:
+        command.add_argument("--cache-dir", default=None,
+                             help="directory for the persistent cross-run "
+                                  "evaluation cache (default: no persistence)")
+
     search = subparsers.add_parser("search", help="run one Auto-FP search")
     search.add_argument("--dataset", required=True, help="registry dataset name")
     search.add_argument("--model", default="lr", help="downstream model (lr/xgb/mlp/...)")
@@ -78,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--output", default=None,
                         help="optional path for the JSON result")
     add_parallel_options(search, "evaluation batches")
+    add_cache_option(search)
 
     compare = subparsers.add_parser(
         "compare", help="compare several algorithms on one dataset")
@@ -111,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="dataset scale factor (default 1.0)")
     experiment.add_argument("--seed", type=int, default=0, help="base random seed")
     add_parallel_options(experiment, "the grid fan-out")
+    add_cache_option(experiment)
 
     metafeatures = subparsers.add_parser(
         "metafeatures", help="print the 40 meta-features of a dataset")
@@ -200,7 +211,7 @@ def _cmd_search(args, out) -> int:
 
     problem = AutoFPProblem.from_registry(
         args.dataset, args.model, scale=args.scale, random_state=args.seed,
-        n_jobs=args.n_jobs, backend=args.backend,
+        n_jobs=args.n_jobs, backend=args.backend, cache_dir=args.cache_dir,
     )
     baseline = problem.baseline_accuracy()
     algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
@@ -217,6 +228,11 @@ def _cmd_search(args, out) -> int:
     out.write(f"baseline acc : {baseline:.4f}\n")
     out.write(f"best acc     : {result.best_accuracy:.4f}\n")
     out.write(f"best pipeline: {result.best_pipeline.describe()}\n")
+    if args.cache_dir:
+        info = problem.evaluator.cache_info()
+        out.write(f"eval cache   : {info['misses']} uncached, "
+                  f"{info['hits']} cached "
+                  f"({info.get('disk_hits', 0)} from {args.cache_dir})\n")
 
     if args.output:
         from repro.io import save_search_result
@@ -272,6 +288,7 @@ def _cmd_experiment(args, out) -> int:
         dataset_scale=args.scale,
         n_jobs=args.n_jobs,
         backend=resolve_backend_name(args.n_jobs, args.backend),
+        cache_dir=args.cache_dir,
     )
     out.write(f"grid         : {len(config.datasets)} datasets x "
               f"{len(config.models)} models x {len(config.algorithms)} "
@@ -279,6 +296,9 @@ def _cmd_experiment(args, out) -> int:
     out.write(f"execution    : backend {config.backend}, n_jobs {config.n_jobs}\n\n")
 
     outcome = run_experiment(config)
+    if config.cache_dir:
+        out.write(f"eval cache   : {outcome.uncached_evaluations} uncached "
+                  f"evaluations (cache {config.cache_dir})\n\n")
 
     header = f"{'dataset':<16} {'model':<6} {'baseline':>9}"
     for algorithm in config.algorithms:

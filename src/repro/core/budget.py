@@ -14,7 +14,17 @@ import time
 
 
 class Budget:
-    """Budget protocol: ``remaining()``, ``exhausted()``, ``consume()``."""
+    """Budget protocol: ``remaining()``, ``exhausted()``, ``consume()``.
+
+    Two batch-admission hooks make budgets *engine-aware* (the execution
+    engine dispatches whole batches, so per-trial checks alone would let a
+    batch overshoot): :meth:`admits` answers "does one more task of this
+    size fit?" at admission time, and :meth:`interrupted` answers "should
+    already-admitted work stop?" between dispatch chunks.  Count-based
+    budgets clip at admission and never interrupt (keeping results
+    bit-for-bit identical across backends); wall-clock budgets admit freely
+    while time remains and interrupt once it runs out.
+    """
 
     def exhausted(self) -> bool:
         raise NotImplementedError
@@ -25,6 +35,47 @@ class Budget:
 
     def remaining(self) -> float:
         raise NotImplementedError
+
+    def admits(self, amount: float = 1.0) -> bool:
+        """Whether ``amount`` more trial-units fit in the remaining budget.
+
+        The default admits anything while the budget is not exhausted —
+        right for wall-clock budgets, whose cost per task is unknowable in
+        advance.  Count-based budgets override this to clip batch admission
+        to ``remaining()`` so a batch of k proposals can never over-admit.
+        """
+        return not self.exhausted()
+
+    def admissible(self, amount: float = 1.0) -> float:
+        """How much of ``amount`` trial-units may actually be charged.
+
+        Equals ``amount`` when the work fits outright (and always for
+        wall-clock budgets, which have no trial dimension); count-based
+        budgets cap it at their remaining trial count.  This is the charge
+        for the fractional-leftover case: it stays in trial units even
+        inside a :class:`CompositeBudget`, where ``remaining()`` may be
+        measured in seconds.
+        """
+        return float(amount)
+
+    def interrupted(self) -> bool:
+        """Whether already-admitted batch work should stop early.
+
+        Checked between tasks (serial) or dispatch chunks (engine).  Only
+        wall-clock budgets interrupt: a count-based budget's admission is
+        settled up front, and cutting a dispatched batch short would make
+        results depend on timing.
+        """
+        return False
+
+    def can_interrupt(self) -> bool:
+        """Whether :meth:`interrupted` can ever become True for this budget.
+
+        ``False`` (count-only budgets) lets the evaluator dispatch an
+        admitted batch to the engine whole, instead of splitting it into
+        chunks whose between-chunk checks could never fire.
+        """
+        return False
 
     def check(self) -> None:
         """Raise :class:`BudgetExhaustedError` if the budget is spent."""
@@ -41,6 +92,11 @@ class TrialBudget(Budget):
     fractional amounts.
     """
 
+    #: float tolerance shared by exhausted() and admits(): fractional-fidelity
+    #: sums (e.g. ten 0.1 rungs) may land one ulp short of max_trials, and a
+    #: crumb that small must neither keep the budget alive nor buy a trial
+    TOLERANCE = 1e-9
+
     def __init__(self, max_trials: int) -> None:
         if max_trials < 1:
             from repro.exceptions import ValidationError
@@ -50,13 +106,24 @@ class TrialBudget(Budget):
         self.used = 0.0
 
     def exhausted(self) -> bool:
-        return self.used >= self.max_trials
+        return self.used + self.TOLERANCE >= self.max_trials
 
     def consume(self, amount: float = 1.0) -> None:
         self.used += float(amount)
 
     def remaining(self) -> float:
         return max(0.0, self.max_trials - self.used)
+
+    def admits(self, amount: float = 1.0) -> bool:
+        """Clip admission to the remaining trial count (no over-admission).
+
+        The tolerance absorbs float error from fractional-fidelity sums
+        (e.g. three 1/3-fidelity rungs must still admit a full trial).
+        """
+        return float(amount) <= self.remaining() + self.TOLERANCE
+
+    def admissible(self, amount: float = 1.0) -> float:
+        return min(float(amount), self.remaining())
 
     def __repr__(self) -> str:
         return f"TrialBudget(used={self.used:g}, max={self.max_trials:g})"
@@ -87,6 +154,13 @@ class TimeBudget(Budget):
     def remaining(self) -> float:
         return max(0.0, self.max_seconds - self.elapsed())
 
+    def interrupted(self) -> bool:
+        """Stop in-flight batch work as soon as the wall clock expires."""
+        return self.exhausted()
+
+    def can_interrupt(self) -> bool:
+        return True
+
     def __repr__(self) -> str:
         return f"TimeBudget(elapsed={self.elapsed():.2f}s, max={self.max_seconds:g}s)"
 
@@ -110,6 +184,18 @@ class CompositeBudget(Budget):
 
     def remaining(self) -> float:
         return min(budget.remaining() for budget in self.budgets)
+
+    def admits(self, amount: float = 1.0) -> bool:
+        return all(budget.admits(amount) for budget in self.budgets)
+
+    def admissible(self, amount: float = 1.0) -> float:
+        return min(budget.admissible(amount) for budget in self.budgets)
+
+    def interrupted(self) -> bool:
+        return any(budget.interrupted() for budget in self.budgets)
+
+    def can_interrupt(self) -> bool:
+        return any(budget.can_interrupt() for budget in self.budgets)
 
     def __repr__(self) -> str:
         return f"CompositeBudget({', '.join(repr(b) for b in self.budgets)})"

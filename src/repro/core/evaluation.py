@@ -15,6 +15,11 @@ Evaluation is deterministic and memoized:
   otherwise re-pay the full preprocessing cost on every retry) are cached
   in a bounded LRU keyed by ``(pipeline spec, fidelity)``, with hit/miss
   counters for the bottleneck analysis;
+* with ``cache_dir`` set, a persistent, process-safe disk cache
+  (:class:`~repro.io.evalcache.PersistentEvalCache`) sits below the LRU:
+  it is keyed by the evaluator :meth:`fingerprint` — data split, model and
+  subsample seed — plus the in-memory key, so repeated runs over the same
+  problem answer every previously seen evaluation from disk;
 * low-fidelity subsample seeds are derived from ``(random_state, pipeline
   spec, fidelity)`` rather than a shared RNG, so the result of a trial does
   not depend on evaluation order — the property that lets the execution
@@ -27,6 +32,7 @@ Evaluation is deterministic and memoized:
 
 from __future__ import annotations
 
+import hashlib
 import time
 import zlib
 from collections import OrderedDict
@@ -70,11 +76,20 @@ class PipelineEvaluator:
         Optional :class:`~repro.engine.engine.ExecutionEngine` used by
         :meth:`evaluate_many` / :meth:`evaluate_tasks` to run batches in
         parallel.  ``None`` evaluates batches serially.
+    cache_dir:
+        Optional directory for a persistent cross-run evaluation cache.
+        Results are written through to disk (scoped by :meth:`fingerprint`)
+        and read back on in-memory misses, so a second run over the same
+        data/model/seed performs zero uncached evaluations.  Requires
+        ``cache=True``; safe to share between concurrent processes.  Note
+        the disk cache keeps its own small in-memory index of every entry
+        it has seen, which ``cache_size`` does not bound (entries are four
+        scalars each; see :mod:`repro.io.evalcache`).
     """
 
     def __init__(self, X_train, y_train, X_valid, y_valid, model: Classifier,
                  *, cache: bool = True, cache_size: int | None = None,
-                 random_state=None, engine=None) -> None:
+                 random_state=None, engine=None, cache_dir=None) -> None:
         self.X_train, self.y_train = check_X_y(X_train, y_train)
         self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
         if self.X_train.shape[1] != self.X_valid.shape[1]:
@@ -98,19 +113,30 @@ class PipelineEvaluator:
             self._subsample_seed = int(self._rng.integers(0, 2**32 - 1))
         self._engine = engine
         self.n_evaluations = 0
+        self.cache_dir = cache_dir
+        if cache and cache_dir is not None:
+            # Guarded so the default (no cache_dir) path never pays the
+            # fingerprint hash over the full train/valid arrays.
+            from repro.io.evalcache import open_eval_cache
+
+            self._disk_cache = open_eval_cache(cache_dir, self.fingerprint())
+        else:
+            self._disk_cache = None
 
     # ----------------------------------------------------------- factories
     @classmethod
     def from_dataset(cls, X, y, model: Classifier, *, valid_size: float = 0.2,
                      cache: bool = True, cache_size: int | None = None,
-                     random_state=0, engine=None) -> "PipelineEvaluator":
+                     random_state=0, engine=None,
+                     cache_dir=None) -> "PipelineEvaluator":
         """Split ``(X, y)`` 80:20 (stratified) and build an evaluator."""
         X_train, X_valid, y_train, y_valid = train_test_split(
             X, y, test_size=valid_size, random_state=random_state
         )
         return cls(X_train, y_train, X_valid, y_valid, model,
                    cache=cache, cache_size=cache_size,
-                   random_state=random_state, engine=engine)
+                   random_state=random_state, engine=engine,
+                   cache_dir=cache_dir)
 
     # ------------------------------------------------------------- engine
     @property
@@ -122,14 +148,44 @@ class PipelineEvaluator:
         """Attach (or detach, with ``None``) an execution engine."""
         self._engine = engine
 
+    @property
+    def disk_cache(self):
+        """The persistent cross-run cache (``None`` when ``cache_dir`` unset)."""
+        return self._disk_cache
+
     def __getstate__(self) -> dict:
         # Workers evaluate serially and start with a cold cache: shipping
         # the parent's (potentially large) cache or its engine would only
-        # inflate the pickle and risk nested worker pools.
+        # inflate the pickle and risk nested worker pools.  The disk-cache
+        # handle is dropped too — workers only run _evaluate_uncached, and
+        # the parent merges their results back to disk after each batch.
         state = self.__dict__.copy()
         state["_engine"] = None
         state["_cache"] = OrderedDict()
+        state["_disk_cache"] = None
         return state
+
+    # -------------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Hex digest identifying this evaluation context.
+
+        Covers the exact train/valid split (bytes, shapes, dtypes), the
+        downstream model (class and parameters) and the subsample seed —
+        everything a cache entry's validity depends on.  Two evaluators with
+        the same fingerprint produce bit-for-bit identical results for every
+        ``(pipeline spec, fidelity)``, which is what makes the persistent
+        cache (``cache_dir``) safe to share across runs and processes.
+        """
+        digest = hashlib.sha256()
+        for array in (self.X_train, self.y_train, self.X_valid, self.y_valid):
+            array = np.ascontiguousarray(array)
+            digest.update(repr((array.shape, str(array.dtype))).encode())
+            digest.update(array.tobytes())
+        model_spec = (type(self.model).__name__,
+                      tuple(sorted(self.model.get_params().items())))
+        digest.update(repr(model_spec).encode())
+        digest.update(repr(self._subsample_seed).encode())
+        return digest.hexdigest()
 
     # ----------------------------------------------------------- evaluation
     def baseline_accuracy(self) -> float:
@@ -180,19 +236,48 @@ class PipelineEvaluator:
                  for pipeline in pipelines]
         return self.evaluate_tasks(tasks)
 
-    def evaluate_tasks(self, tasks) -> list[TrialRecord]:
+    def evaluate_tasks(self, tasks, *, budget=None) -> list[TrialRecord]:
         """Evaluate a batch of :class:`~repro.engine.tasks.EvalTask` objects.
 
         Records are returned in task order.  With no engine attached the
         tasks run serially through :meth:`evaluate`.
+
+        When ``budget`` is given, dispatch is *budget-aware*: a wall-clock
+        budget (:class:`~repro.core.budget.TimeBudget`) is consulted between
+        tasks — or, with an engine attached, between chunks of
+        ``engine.n_workers`` tasks, the granularity at which parallel work
+        can stop — and the batch is cut short once it expires.  The returned
+        list is then a prefix of the tasks; callers account for the
+        undispatched remainder (see ``SearchAlgorithm._evaluate_proposals``).
+        Count-based budgets never interrupt a batch: their admission is
+        settled up front, so results stay bit-for-bit identical across
+        backends and worker counts.
         """
+        tasks = list(tasks)
+        interruptible = budget is not None and budget.can_interrupt()
         if self._engine is None:
-            return [
-                self.evaluate(task.pipeline, fidelity=task.fidelity,
-                              pick_time=task.pick_time, iteration=task.iteration)
-                for task in tasks
-            ]
-        return self._engine.run(self, tasks)
+            records = []
+            for task in tasks:
+                if interruptible and records and budget.interrupted():
+                    break
+                records.append(
+                    self.evaluate(task.pipeline, fidelity=task.fidelity,
+                                  pick_time=task.pick_time,
+                                  iteration=task.iteration)
+                )
+            return records
+        if not interruptible:
+            # Count-only budgets settle admission up front and can never
+            # interrupt: dispatch the whole batch in one engine call rather
+            # than paying per-chunk barriers that could not fire anyway.
+            return self._engine.run(self, tasks)
+        records = []
+        chunk = max(1, self._engine.n_workers)
+        for start in range(0, len(tasks), chunk):
+            if start and budget.interrupted():
+                break
+            records.extend(self._engine.run(self, tasks[start:start + chunk]))
+        return records
 
     # --------------------------------------------------------------- cache
     def cache_key(self, pipeline: Pipeline, fidelity: float) -> tuple:
@@ -200,21 +285,53 @@ class PipelineEvaluator:
         return (pipeline.spec(), round(fidelity, 6))
 
     def cache_lookup(self, key: tuple) -> dict | None:
-        """Return the cached entry for ``key`` (LRU-refreshing) or ``None``."""
+        """Return the cached entry for ``key`` or ``None``.
+
+        Looks in the in-memory LRU first, then (on a miss) in the
+        persistent disk cache; a disk hit is promoted into the LRU so
+        repeats stay memory-speed.  Both layers count as ``hits`` in
+        :meth:`cache_info`; disk traffic is additionally itemised there.
+        """
         if not self.cache_enabled:
             return None
         entry = self._cache.get(key)
-        if entry is None:
-            self.cache_misses += 1
-            return None
-        self._cache.move_to_end(key)
-        self.cache_hits += 1
-        return entry
+        if entry is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return entry
+        if self._disk_cache is not None:
+            entry = self._disk_cache.get(key)
+            if entry is not None:
+                self._memory_store(key, entry)
+                self.cache_hits += 1
+                return entry
+        self.cache_misses += 1
+        return None
 
     def cache_store(self, key: tuple, entry: dict) -> None:
-        """Insert ``entry`` under ``key``, evicting LRU entries over the bound."""
+        """Insert ``entry`` under ``key`` in the LRU and the disk cache."""
         if not self.cache_enabled:
             return
+        self._memory_store(key, entry)
+        if self._disk_cache is not None:
+            self._disk_cache.put(key, entry)
+
+    def cache_store_batch(self, items) -> None:
+        """Insert a batch of ``(key, entry)`` pairs (one disk append per shard).
+
+        The execution engine merges every parallel batch back through this
+        method, so results computed by thread or process workers land in the
+        persistent cache in a handful of appends instead of one per task.
+        """
+        if not self.cache_enabled:
+            return
+        items = list(items)
+        for key, entry in items:
+            self._memory_store(key, entry)
+        if self._disk_cache is not None:
+            self._disk_cache.put_many(items)
+
+    def _memory_store(self, key: tuple, entry: dict) -> None:
         self._cache[key] = entry
         self._cache.move_to_end(key)
         if self.cache_size is not None:
@@ -223,17 +340,33 @@ class PipelineEvaluator:
                 self.cache_evictions += 1
 
     def cache_info(self) -> dict:
-        """Hit/miss/eviction counters and current size, for bottleneck reports."""
-        return {
+        """Hit/miss/eviction counters and current size, for bottleneck reports.
+
+        With a persistent cache attached (``cache_dir``), the disk layer's
+        own counters are itemised under ``disk_*`` keys; ``disk_hits`` > 0
+        with ``misses`` == 0 is the signature of a fully warm run.
+        """
+        info = {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
             "size": len(self._cache),
             "maxsize": self.cache_size,
+            "persistent": self._disk_cache is not None,
         }
+        if self._disk_cache is not None:
+            disk = self._disk_cache.info()
+            info.update({
+                "disk_hits": disk["hits"],
+                "disk_misses": disk["misses"],
+                "disk_writes": disk["writes"],
+                "disk_entries": disk["entries"],
+                "disk_path": disk["path"],
+            })
+        return info
 
     def clear_cache(self) -> None:
-        """Drop all cached evaluations (counters keep accumulating)."""
+        """Drop the in-memory cache (counters accumulate; disk entries stay)."""
         self._cache.clear()
 
     # ------------------------------------------------------------ internals

@@ -40,7 +40,8 @@ class AutoFPProblem:
                     space: SearchSpace | None = None, valid_size: float = 0.2,
                     fast_model: bool = True, random_state=0,
                     name: str = "auto-fp", n_jobs: int | None = None,
-                    backend: str | None = None) -> "AutoFPProblem":
+                    backend: str | None = None,
+                    cache_dir=None) -> "AutoFPProblem":
         """Build a problem from raw arrays.
 
         ``model`` may be a classifier instance or a registry name
@@ -50,7 +51,9 @@ class AutoFPProblem:
         serial.  A process-backed engine keeps a worker pool alive between
         batches — call ``problem.evaluator.engine.close()`` when done with
         the problem to release it eagerly (it is also released at
-        interpreter exit).
+        interpreter exit).  ``cache_dir`` enables the persistent cross-run
+        evaluation cache: repeated searches over the same data/model/seed
+        answer previously seen pipelines from disk instead of re-training.
         """
         from repro.engine import resolve_engine
 
@@ -58,7 +61,7 @@ class AutoFPProblem:
             model = make_classifier(model, fast=fast_model)
         evaluator = PipelineEvaluator.from_dataset(
             X, y, model, valid_size=valid_size, random_state=random_state,
-            engine=resolve_engine(n_jobs, backend),
+            engine=resolve_engine(n_jobs, backend), cache_dir=cache_dir,
         )
         return cls(evaluator=evaluator, space=space or SearchSpace(), name=name)
 
@@ -67,7 +70,8 @@ class AutoFPProblem:
                       space: SearchSpace | None = None, scale: float = 1.0,
                       fast_model: bool = True, random_state=0,
                       n_jobs: int | None = None,
-                      backend: str | None = None) -> "AutoFPProblem":
+                      backend: str | None = None,
+                      cache_dir=None) -> "AutoFPProblem":
         """Build a problem from a named dataset of the benchmark registry."""
         from repro.datasets.registry import load_dataset
 
@@ -81,6 +85,7 @@ class AutoFPProblem:
             name=f"{dataset_name}/{model_name}",
             n_jobs=n_jobs,
             backend=backend,
+            cache_dir=cache_dir,
         )
 
     def baseline_accuracy(self) -> float:

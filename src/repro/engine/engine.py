@@ -11,7 +11,9 @@ them.  For every batch it
 2. deduplicates the remaining tasks by cache key so each unique
    ``(pipeline spec, fidelity)`` is evaluated exactly once,
 3. dispatches the unique work to the backend in a stable order,
-4. merges the results back into the evaluator's cache, and
+4. merges the results back into the evaluator's cache — both the
+   in-memory LRU and, when the evaluator has a ``cache_dir``, the
+   persistent cross-run cache (one batched append per shard), and
 5. returns trial records in the original task order.
 
 Determinism: tasks are dispatched and merged in submission order, and the
@@ -99,14 +101,20 @@ class ExecutionEngine:
                 for group in groups
             ]
             entries = self.backend.run_evaluations(evaluator, work)
+            merged = []
             for group, entry in zip(groups, entries):
                 first = tasks[group[0]]
-                evaluator.cache_store(
-                    evaluator.cache_key(first.pipeline, first.fidelity), entry
+                merged.append(
+                    (evaluator.cache_key(first.pipeline, first.fidelity), entry)
                 )
                 evaluator.n_evaluations += 1
                 for index in group:
                     records[index] = evaluator.record_from_entry(tasks[index], entry)
+            # One merge-back for the whole batch: results computed by
+            # thread/process workers land in the evaluator's LRU and — when
+            # a cache_dir is set — in the persistent cross-run cache, one
+            # append per touched shard instead of one write per task.
+            evaluator.cache_store_batch(merged)
 
         return records
 

@@ -45,6 +45,13 @@ class ExperimentConfig:
         ``"process"`` (see :mod:`repro.engine`).  The default ``None``
         auto-selects: process when ``n_jobs != 1``, serial otherwise; an
         explicit choice (including ``"serial"``) is always honoured.
+    cache_dir:
+        Optional root of the persistent cross-run evaluation cache
+        (:mod:`repro.io.evalcache`).  Grid cells write every evaluation
+        through to disk and answer repeats from it, so re-running the same
+        configuration — or any configuration sharing (dataset, model, seed)
+        cells — performs zero uncached evaluations, with bit-for-bit
+        identical results.  ``None`` (default) disables persistence.
     """
 
     datasets: tuple[str, ...]
@@ -57,6 +64,7 @@ class ExperimentConfig:
     dataset_scale: float = 1.0
     n_jobs: int = 1
     backend: str | None = None
+    cache_dir: str | None = None
 
     def n_runs(self) -> int:
         """Total number of search runs the configuration implies."""

@@ -43,6 +43,9 @@ class ExperimentOutcome:
     scenarios: list[Scenario] = field(default_factory=list)
     bottlenecks: list[BottleneckReport] = field(default_factory=list)
     results: dict[tuple[str, str, str], SearchResult] = field(default_factory=dict)
+    #: pipeline evaluations that were actually executed (not answered by any
+    #: cache layer) across the whole grid; 0 on a fully warm ``cache_dir`` run
+    uncached_evaluations: int = 0
 
     def rankings(self, *, min_improvement: float = 1.5) -> dict:
         """Average rankings over the collected scenarios (Table 4)."""
@@ -61,17 +64,20 @@ def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25
                random_state: int = 0, fast_model: bool = True,
                dataset_scale: float = 1.0,
                space: SearchSpace | None = None, n_jobs: int | None = None,
-               backend: str | None = None) -> tuple[SearchResult, float]:
+               backend: str | None = None,
+               cache_dir: str | None = None) -> tuple[SearchResult, float]:
     """Run one search and return ``(result, baseline_accuracy)``.
 
     ``n_jobs`` / ``backend`` parallelise the *within-search* evaluation
-    batches (generations, rungs) via the execution engine.
+    batches (generations, rungs) via the execution engine; ``cache_dir``
+    persists every evaluation so a repeated run is answered from disk.
     """
     X, y = load_dataset(dataset, scale=dataset_scale)
     classifier = make_classifier(model, fast=fast_model)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, space=space, random_state=random_state,
         name=f"{dataset}/{model}", n_jobs=n_jobs, backend=backend,
+        cache_dir=cache_dir,
     )
     try:
         baseline = problem.baseline_accuracy()
@@ -100,49 +106,63 @@ _CELL_PROBLEM_MEMO_SIZE = 8
 
 
 def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
+    """Return ``(problem, baseline, fresh_evals)`` for one grid group.
+
+    ``fresh_evals`` is the number of uncached evaluations spent creating
+    the problem (the baseline evaluation; 0 when the memo already held the
+    problem or a warm ``cache_dir`` answered the baseline from disk), so
+    the caller can attribute them to exactly one cell.
+    """
     memo = getattr(_CELL_PROBLEMS, "memo", None)
     if memo is None:
         memo = _CELL_PROBLEMS.memo = OrderedDict()
     key = (dataset, model, config.dataset_scale, config.fast_models,
-           config.random_state)
+           config.random_state, config.cache_dir)
     cached = memo.get(key)
     if cached is not None:
         memo.move_to_end(key)
-        return cached
+        problem, baseline = cached
+        return problem, baseline, 0
     X, y = load_dataset(dataset, scale=config.dataset_scale)
     classifier = make_classifier(model, fast=config.fast_models)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, random_state=config.random_state,
-        name=f"{dataset}/{model}",
+        name=f"{dataset}/{model}", cache_dir=config.cache_dir,
     )
     baseline = problem.baseline_accuracy()
     memo[key] = (problem, baseline)
     while len(memo) > _CELL_PROBLEM_MEMO_SIZE:
         memo.popitem(last=False)
-    return problem, baseline
+    return problem, baseline, problem.evaluator.n_evaluations
 
 
 def _run_cell(cell: tuple) -> tuple:
     """Run one independent (dataset, model, algorithm, repeat) grid cell.
 
     Module-level so a process backend can pickle it.  Returns
-    ``(baseline, best_accuracy, result-or-None)``; the full search result
-    is only shipped back for the first repeat (the only one the outcome
-    retains), keeping inter-process traffic small.
+    ``(baseline, best_accuracy, result-or-None, uncached)``; the full
+    search result is only shipped back for the first repeat (the only one
+    the outcome retains), keeping inter-process traffic small.
+    ``uncached`` counts the evaluations this cell actually executed — zero
+    when a warm persistent cache (``config.cache_dir``) answered them all.
     """
     config, dataset, model, algorithm, repeat = cell
-    problem, baseline = _cell_problem(config, dataset, model)
+    problem, baseline, fresh_evals = _cell_problem(config, dataset, model)
+    evals_before = problem.evaluator.n_evaluations
     searcher = make_search_algorithm(
         algorithm, random_state=_cell_seed(config, algorithm, repeat)
     )
     result = searcher.search(problem, max_trials=config.max_trials)
     result.baseline_accuracy = baseline
-    return baseline, result.best_accuracy, (result if repeat == 0 else None)
+    uncached = fresh_evals + problem.evaluator.n_evaluations - evals_before
+    return (baseline, result.best_accuracy,
+            (result if repeat == 0 else None), uncached)
 
 
 def run_experiment(config: ExperimentConfig, *, progress_callback=None,
                    n_jobs: int | None = None,
-                   backend: str | None = None) -> ExperimentOutcome:
+                   backend: str | None = None,
+                   cache_dir: str | None = None) -> ExperimentOutcome:
     """Run the full (dataset x model x algorithm x repeat) grid of ``config``.
 
     Repetitions of the same (dataset, model, algorithm) cell are averaged:
@@ -155,7 +175,17 @@ def run_experiment(config: ExperimentConfig, *, progress_callback=None,
     results are merged in grid order, so the outcome does not depend on the
     worker count or backend.  ``progress_callback(dataset, model,
     algorithm, mean_accuracy)`` fires in grid order during the merge.
+
+    ``cache_dir`` (or ``config.cache_dir``) turns on the persistent
+    cross-run evaluation cache: every worker writes its evaluations through
+    to disk and reads previous runs' entries back, so repeating a grid
+    performs zero uncached evaluations (``outcome.uncached_evaluations``)
+    while producing bit-for-bit identical scenarios.
     """
+    if cache_dir is not None:
+        from dataclasses import replace
+
+        config = replace(config, cache_dir=str(cache_dir))
     n_jobs = config.n_jobs if n_jobs is None else n_jobs
     backend = resolve_backend_name(
         n_jobs, config.backend if backend is None else backend
@@ -175,6 +205,9 @@ def run_experiment(config: ExperimentConfig, *, progress_callback=None,
             ((d, m, a, r) for _, d, m, a, r in cells),
             engine.map(_run_cell, cells),
         ))
+        outcome.uncached_evaluations = sum(
+            output[3] for output in cell_outputs.values()
+        )
         for dataset in config.datasets:
             for model in config.models:
                 if config.algorithms:
@@ -183,13 +216,14 @@ def run_experiment(config: ExperimentConfig, *, progress_callback=None,
                     ][0]
                 else:
                     # No algorithms: still report baseline-only scenarios.
-                    _, baseline = _cell_problem(config, dataset, model)
+                    _, baseline, fresh = _cell_problem(config, dataset, model)
+                    outcome.uncached_evaluations += fresh
                 scenario = Scenario(dataset=dataset, model=model,
                                     baseline_accuracy=baseline)
                 for algorithm in config.algorithms:
                     accuracies = []
                     for repeat in range(config.n_repeats):
-                        _, best_accuracy, result = cell_outputs[
+                        _, best_accuracy, result, _ = cell_outputs[
                             (dataset, model, algorithm, repeat)
                         ]
                         accuracies.append(best_accuracy)

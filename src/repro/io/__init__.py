@@ -1,6 +1,8 @@
-"""Result persistence: JSON search results, CSV summaries, a result store."""
+"""Result persistence: JSON results, CSV summaries, result store, eval cache."""
 
+from repro.io.evalcache import PersistentEvalCache, open_eval_cache
 from repro.io.serialization import (
+    atomic_write_text,
     load_search_result,
     pipeline_from_dict,
     pipeline_to_dict,
@@ -15,6 +17,9 @@ from repro.io.serialization import (
 from repro.io.store import ResultKey, ResultStore
 
 __all__ = [
+    "PersistentEvalCache",
+    "open_eval_cache",
+    "atomic_write_text",
     "pipeline_to_dict",
     "pipeline_from_dict",
     "trial_to_dict",

@@ -1,0 +1,266 @@
+"""Persistent cross-run evaluation cache.
+
+The paper's experimental grid (45 datasets x 3 models x 15 algorithms x 6
+time limits) re-evaluates many identical pipelines: repeated searches on the
+same split, Hyperband rungs across runs, and whole experiment grids re-pay
+the Prep+Train cost of every pipeline on every invocation.
+:class:`PersistentEvalCache` is the disk layer below the evaluator's
+in-memory LRU: a sharded JSON-lines append-log under a cache root, keyed by
+the evaluator *fingerprint* (dataset split + model + subsample seed) and the
+existing ``(pipeline spec, fidelity)`` memoization key, so a second run with
+the same ``cache_dir`` answers every repeated evaluation from disk.
+
+Design notes:
+
+* **Append-log, not a database.**  Every ``put`` appends one self-contained
+  JSON line; a key is never rewritten in place.  Loading replays the log
+  (last write wins), which makes concurrent appenders — e.g. process-pool
+  grid workers sharing one cache root — safe: appends are single
+  ``write()`` calls on ``O_APPEND`` descriptors, and readers tolerate
+  interleaved or torn lines.
+* **Sharded by key hash.**  Entries spread over ``n_shards`` files so
+  concurrent writers rarely touch the same file and loads stay small.
+  Shards are read lazily, on the first lookup that hashes into them.
+* **Corruption-tolerant.**  A truncated or garbled line (crash mid-write,
+  torn concurrent append) is skipped, never fatal; everything before and
+  after it still loads.
+* **Fingerprint-scoped.**  All files live under
+  ``<root>/<fingerprint>/``, so one cache root can serve many datasets,
+  models and seeds without any risk of cross-contamination — a different
+  split or model hashes to a different directory.
+* **In-memory index.**  Loaded shards are indexed as plain dicts (one
+  small entry of four scalars per key) and the index is not subject to
+  the evaluator's ``cache_size`` LRU bound — it must know every key of
+  its fingerprint to answer lookups without re-reading files.  At the
+  paper's grid scale this is a few MB; bounding/evicting the index for
+  very long-lived cache roots is a noted ROADMAP follow-up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+#: cache-format version; bump to invalidate old on-disk layouts
+FORMAT_VERSION = 1
+
+_META_NAME = "meta.json"
+
+
+def key_token(key: tuple) -> str:
+    """Canonical string form of an evaluator cache key.
+
+    ``repr`` of the ``(pipeline spec, rounded fidelity)`` tuple is
+    deterministic across processes and Python runs (no hash salting, exact
+    float reprs), which is what makes it usable as an on-disk key.
+    """
+    return repr(key)
+
+
+class PersistentEvalCache:
+    """Disk-backed evaluation cache shared across runs and processes.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (created on first write).  Safe to share
+        between evaluators: entries are namespaced by ``fingerprint``.
+    fingerprint:
+        Hex digest identifying the evaluation context (data split, model,
+        subsample seed) — see ``PipelineEvaluator.fingerprint()``.
+    n_shards:
+        Number of append-log files the entries are spread over.
+    """
+
+    def __init__(self, root, *, fingerprint: str, n_shards: int = 16) -> None:
+        if not fingerprint:
+            raise ValidationError("fingerprint must be a non-empty string")
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be at least 1, got {n_shards}")
+        self.root = Path(root)
+        self.fingerprint = str(fingerprint)
+        self.n_shards = n_shards
+        self._dir = self.root / self.fingerprint
+        self._entries: dict[str, dict] = {}
+        self._loaded_shards: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.skipped_lines = 0
+        self._adopt_meta()
+
+    # ------------------------------------------------------------------ API
+    def get(self, key: tuple) -> dict | None:
+        """Return the stored entry for ``key``, or ``None``."""
+        token = key_token(key)
+        self._ensure_shard(self._shard_of(token))
+        entry = self._entries.get(token)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: dict) -> None:
+        """Append ``entry`` under ``key`` (write-through to disk)."""
+        self.put_many([(key, entry)])
+
+    def put_many(self, items) -> None:
+        """Append a batch of ``(key, entry)`` pairs, grouped by shard.
+
+        One engine batch becomes one ``write()`` per touched shard, so the
+        merge-back after a parallel batch costs a handful of appends rather
+        than one syscall per task.
+        """
+        by_shard: dict[int, list[str]] = {}
+        for key, entry in items:
+            token = key_token(key)
+            shard = self._shard_of(token)
+            self._ensure_shard(shard)
+            if token in self._entries:
+                continue  # deterministic evaluations: re-writing is pure noise
+            self._entries[token] = entry
+            line = json.dumps({"k": token, "e": entry}, separators=(",", ":"))
+            by_shard.setdefault(shard, []).append(line)
+            self.writes += 1
+        if not by_shard:
+            return
+        self._ensure_layout()
+        for shard, lines in by_shard.items():
+            payload = "".join(line + "\n" for line in lines).encode("utf-8")
+            # One os.write on an O_APPEND descriptor: the kernel seeks and
+            # writes atomically, so concurrent appenders from other
+            # processes cannot interleave inside the payload (a buffered
+            # handle would split payloads over ~8KB into several writes).
+            descriptor = os.open(self._shard_path(shard),
+                                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(descriptor, payload)
+            finally:
+                os.close(descriptor)
+
+    def __contains__(self, key: tuple) -> bool:
+        token = key_token(key)
+        self._ensure_shard(self._shard_of(token))
+        return token in self._entries
+
+    def __len__(self) -> int:
+        self.load_all()
+        return len(self._entries)
+
+    def load_all(self) -> None:
+        """Eagerly read every shard (lookups normally load shards lazily)."""
+        for shard in range(self.n_shards):
+            self._ensure_shard(shard)
+
+    def refresh(self) -> None:
+        """Re-read every previously loaded shard, picking up other writers.
+
+        Lazy loading reads each shard once; entries appended afterwards by
+        concurrent processes become visible only after a refresh.
+        """
+        shards = list(self._loaded_shards)
+        self._loaded_shards.clear()
+        for shard in shards:
+            self._ensure_shard(shard)
+
+    def info(self) -> dict:
+        """Counters for cache reports and the warm-run assertions."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self._entries),
+            "skipped_lines": self.skipped_lines,
+            "path": str(self._dir),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _adopt_meta(self) -> None:
+        """Make an existing root's meta.json authoritative on reopen.
+
+        The shard count is a *layout* property: opening a populated root
+        with a different ``n_shards`` would hash lookups into the wrong
+        files and silently miss every stored entry, so the stored value
+        wins.  A newer on-disk format version is refused rather than
+        misread.  A missing or unreadable meta.json (pre-existing empty
+        dir, torn copy) falls back to the constructor arguments.
+        """
+        self._meta_adopted = False
+        try:
+            meta = json.loads((self._dir / _META_NAME).read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # missing or unreadable: first write re-creates it
+        self._meta_adopted = True
+        version = meta.get("format_version")
+        if isinstance(version, int) and version > FORMAT_VERSION:
+            raise ValidationError(
+                f"cache at {self._dir} uses format version {version}; "
+                f"this build reads up to {FORMAT_VERSION}"
+            )
+        stored_shards = meta.get("n_shards")
+        if isinstance(stored_shards, int) and stored_shards >= 1:
+            self.n_shards = stored_shards
+
+    def _shard_of(self, token: str) -> int:
+        return zlib.crc32(token.encode("utf-8")) % self.n_shards
+
+    def _shard_path(self, shard: int) -> Path:
+        return self._dir / f"shard-{shard:02d}.jsonl"
+
+    def _ensure_layout(self) -> None:
+        if self._meta_adopted:
+            return
+        self._dir.mkdir(parents=True, exist_ok=True)
+        from repro.io.serialization import atomic_write_text
+
+        atomic_write_text(self._dir / _META_NAME, json.dumps({
+            "format_version": FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "n_shards": self.n_shards,
+        }, indent=2))
+        self._meta_adopted = True
+
+    def _ensure_shard(self, shard: int) -> None:
+        if shard in self._loaded_shards:
+            return
+        self._loaded_shards.add(shard)
+        path = self._shard_path(shard)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                token = record["k"]
+                entry = record["e"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                # Torn append or crash mid-write: skip the line, keep the rest.
+                self.skipped_lines += 1
+                continue
+            if not isinstance(token, str) or not isinstance(entry, dict):
+                self.skipped_lines += 1
+                continue
+            self._entries[token] = entry
+
+    def __repr__(self) -> str:
+        return (
+            f"PersistentEvalCache(root={str(self.root)!r}, "
+            f"fingerprint={self.fingerprint[:12]!r}..., "
+            f"entries={len(self._entries)})"
+        )
+
+
+def open_eval_cache(cache_dir, fingerprint: str) -> PersistentEvalCache | None:
+    """Build a cache for ``cache_dir`` (``None`` disables persistence)."""
+    if cache_dir is None:
+        return None
+    return PersistentEvalCache(cache_dir, fingerprint=fingerprint)

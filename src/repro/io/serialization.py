@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -97,13 +99,40 @@ def search_result_from_dict(data: Mapping) -> SearchResult:
     return result
 
 
-def save_search_result(result: SearchResult, path) -> Path:
-    """Write a search result to ``path`` as a JSON document; returns the path."""
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers either see the previous content or the complete new content,
+    never a torn write: a crash mid-write leaves only a stray ``.tmp`` file,
+    not a corrupt document at ``path``.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(search_result_to_dict(result), indent=2),
-                    encoding="utf-8")
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def save_search_result(result: SearchResult, path) -> Path:
+    """Write a search result to ``path`` as a JSON document; returns the path.
+
+    The write is atomic, so a crash mid-save cannot leave a truncated JSON
+    file that would poison later loads (e.g. ``ResultStore.summary_rows``).
+    """
+    return atomic_write_text(
+        path, json.dumps(search_result_to_dict(result), indent=2)
+    )
 
 
 def load_search_result(path) -> SearchResult:

@@ -5,6 +5,12 @@ algorithms x 6 time limits; keeping that many runs organised needs more
 than ad-hoc file names.  :class:`ResultStore` maps one search run to one
 JSON file under ``<root>/<dataset>/<model>/<algorithm>[-<tag>].json`` and
 offers listing, loading and flattening into summary rows for CSV export.
+
+Tagged runs are stored as ``<algorithm>--<tag>.json``: the double-hyphen
+separator cannot appear inside a validated key component, so hyphenated
+algorithm names like ``random-search`` round-trip through
+:meth:`ResultStore.keys` unambiguously (a single ``-`` used to be the
+separator, which split such names into a wrong (algorithm, tag) pair).
 """
 
 from __future__ import annotations
@@ -19,6 +25,10 @@ from repro.io.serialization import load_search_result, save_search_result
 
 _KEY_PATTERN = re.compile(r"^[A-Za-z0-9_.\-]+$")
 
+#: separator between algorithm and tag in a stored file stem; components may
+#: contain single hyphens but never this sequence, so the split is unambiguous
+_TAG_SEPARATOR = "--"
+
 
 @dataclass(frozen=True)
 class ResultKey:
@@ -31,7 +41,8 @@ class ResultKey:
 
     def relative_path(self) -> Path:
         """Path of this run's JSON file relative to the store root."""
-        stem = self.algorithm if not self.tag else f"{self.algorithm}-{self.tag}"
+        stem = (self.algorithm if not self.tag
+                else f"{self.algorithm}{_TAG_SEPARATOR}{self.tag}")
         return Path(self.dataset) / self.model / f"{stem}.json"
 
 
@@ -40,6 +51,11 @@ def _check_component(value: str, name: str) -> str:
         raise ValidationError(
             f"{name} must be a non-empty string of letters, digits, '_', '-' "
             f"or '.', got {value!r}"
+        )
+    if _TAG_SEPARATOR in value or value.startswith("-") or value.endswith("-"):
+        raise ValidationError(
+            f"{name} may contain single hyphens but not {_TAG_SEPARATOR!r}, "
+            f"and may not start or end with '-', got {value!r}"
         )
     return value
 
@@ -91,7 +107,7 @@ class ResultStore:
         if not self.root.exists():
             return found
         for path in sorted(self.root.glob("*/*/*.json")):
-            algorithm, _, tag = path.stem.partition("-")
+            algorithm, _, tag = path.stem.partition(_TAG_SEPARATOR)
             found.append(ResultKey(
                 dataset=path.parent.parent.name,
                 model=path.parent.name,

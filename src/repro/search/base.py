@@ -136,38 +136,44 @@ class SearchAlgorithm:
                             iteration: int) -> None:
         """Evaluate one iteration's proposals, honouring the budget.
 
-        Without an engine the proposals run one at a time with the budget
-        checked between evaluations (so wall-clock budgets stop mid-batch
-        exactly as before batching existed).  With an engine the batch is
-        truncated to what the budget admits up front and dispatched whole —
-        identical trial sets for count-based budgets; time budgets are
-        checked at the batch boundary, the price of parallelism.
+        Admission clips the batch to what the budget actually has left
+        (``budget.admits``): a batch of k proposals can never over-admit a
+        count budget, no matter how large k is.  The one exception is the
+        first proposal of a batch when only a fractional trial remains — it
+        still runs, charged only the remainder, so the search always makes
+        progress and ``TrialBudget.used`` never exceeds ``max_trials``.
+
+        Dispatch then goes through ``evaluator.evaluate_tasks(budget=...)``:
+        serially the wall clock is checked between trials (as before
+        batching existed); with an engine it is checked between chunks of
+        ``n_workers`` tasks — one parallel wave, the granularity at which
+        running work can actually stop.  Tasks cut off by an expired time
+        budget are refunded, so trial accounting reflects what really ran.
         """
-        if evaluator.engine is None:
-            for item in proposals:
-                pipeline, fidelity = self._unpack_proposal(item)
-                if budget.exhausted():
-                    break
-                record = evaluator.evaluate(
-                    pipeline, fidelity=fidelity,
-                    pick_time=pick_per_proposal, iteration=iteration,
-                )
-                result.add(record)
-                budget.consume(fidelity)
-                self._observe(record)
-            return
-        tasks = []
+        tasks: list[EvalTask] = []
         for item in proposals:
             pipeline, fidelity = self._unpack_proposal(item)
             if budget.exhausted():
                 break
+            if budget.admits(fidelity):
+                charge = fidelity
+            elif not tasks:
+                # Fractional leftover smaller than one proposal: spend it on
+                # the first proposal rather than stalling the search loop.
+                charge = budget.admissible(fidelity)
+            else:
+                break
             tasks.append(EvalTask(pipeline, fidelity=fidelity,
                                   pick_time=pick_per_proposal,
                                   iteration=iteration))
-            budget.consume(fidelity)
-        for record in evaluator.evaluate_tasks(tasks):
+            budget.consume(charge)
+        records = evaluator.evaluate_tasks(tasks, budget=budget)
+        for record in records:
             result.add(record)
             self._observe(record)
+        for task in tasks[len(records):]:
+            # Admitted but never dispatched (time budget expired mid-batch).
+            budget.consume(-task.fidelity)
 
     # ------------------------------------------------------------- taxonomy
     @classmethod

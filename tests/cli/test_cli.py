@@ -147,6 +147,37 @@ class TestExperimentCommand:
                 ["experiment", "--datasets", "blood", "--backend", "gpu"])
 
 
+class TestCacheDirOption:
+    def test_search_warm_rerun_hits_the_cache(self, tmp_path):
+        args = ("search", "--dataset", "blood", "--algorithm", "rs",
+                "--max-trials", "6", "--scale", "0.5",
+                "--cache-dir", str(tmp_path / "cache"))
+        code_cold, cold_output = run_cli(*args)
+        code_warm, warm_output = run_cli(*args)
+        assert code_cold == code_warm == 0
+        assert "eval cache" in cold_output
+        # The warm run answers every evaluation from disk ...
+        assert ": 0 uncached" in warm_output
+        assert ": 0 uncached" not in cold_output
+        # ... and reproduces the cold results exactly (cache line differs).
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("eval cache")]
+        assert strip(warm_output) == strip(cold_output)
+
+    def test_experiment_warm_rerun_reports_zero_uncached(self, tmp_path):
+        args = ("experiment", "--datasets", "blood", "--algorithms", "rs",
+                "--max-trials", "5", "--scale", "0.5",
+                "--cache-dir", str(tmp_path / "cache"))
+        code_cold, cold_output = run_cli(*args)
+        code_warm, warm_output = run_cli(*args)
+        assert code_cold == code_warm == 0
+        assert ": 0 uncached" in warm_output
+        assert ": 0 uncached" not in cold_output
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("eval cache")]
+        assert strip(warm_output) == strip(cold_output)
+
+
 class TestMetafeaturesCommand:
     def test_prints_all_forty_metafeatures(self):
         code, output = run_cli("metafeatures", "--dataset", "blood", "--scale", "0.5")

@@ -1,0 +1,167 @@
+"""Tests for the persistent cross-run evaluation cache (repro.io.evalcache)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io.evalcache import PersistentEvalCache, key_token, open_eval_cache
+
+FP = "a" * 64  # stand-in fingerprint
+
+
+def _key(name: str, fidelity: float = 1.0) -> tuple:
+    return (((name, ()),), round(fidelity, 6))
+
+
+def _entry(accuracy: float) -> dict:
+    return {"accuracy": accuracy, "prep_time": 0.01, "train_time": 0.02,
+            "failed": False}
+
+
+class TestPersistentEvalCache:
+    def test_put_then_get_round_trips(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        cache.put(_key("standard_scaler"), _entry(0.9))
+        assert cache.get(_key("standard_scaler")) == _entry(0.9)
+        assert cache.get(_key("minmax_scaler")) is None
+
+    def test_entries_survive_across_instances(self, tmp_path):
+        first = PersistentEvalCache(tmp_path, fingerprint=FP)
+        first.put(_key("a"), _entry(0.7))
+        first.put(_key("b", 0.5), _entry(0.6))
+        # A brand-new instance (a later run / another process) reads them back.
+        second = PersistentEvalCache(tmp_path, fingerprint=FP)
+        assert second.get(_key("a")) == _entry(0.7)
+        assert second.get(_key("b", 0.5)) == _entry(0.6)
+        assert second.hits == 2
+
+    def test_fidelity_is_part_of_the_key(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        cache.put(_key("a", 1.0), _entry(0.9))
+        assert cache.get(_key("a", 0.5)) is None
+
+    def test_fingerprints_are_isolated(self, tmp_path):
+        one = PersistentEvalCache(tmp_path, fingerprint="1" * 64)
+        two = PersistentEvalCache(tmp_path, fingerprint="2" * 64)
+        one.put(_key("a"), _entry(0.9))
+        assert two.get(_key("a")) is None
+
+    def test_hit_miss_write_counters(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        assert cache.get(_key("a")) is None
+        cache.put(_key("a"), _entry(0.5))
+        cache.get(_key("a"))
+        info = cache.info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["writes"] == 1
+        assert info["entries"] == 1
+
+    def test_put_many_skips_already_stored_keys(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        cache.put(_key("a"), _entry(0.5))
+        cache.put_many([(_key("a"), _entry(0.5)), (_key("b"), _entry(0.6))])
+        assert cache.writes == 2  # the duplicate "a" was not re-appended
+
+    def test_truncated_line_is_skipped_not_fatal(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        cache.put(_key("a"), _entry(0.5))
+        cache.put(_key("b"), _entry(0.6))
+        shard = tmp_path / FP / "shard-00.jsonl"
+        text = shard.read_text(encoding="utf-8")
+        # Simulate a crash mid-append: cut the last line in half.
+        shard.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1],
+                         encoding="utf-8")
+        fresh = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        assert fresh.get(_key("a")) == _entry(0.5)
+        assert fresh.get(_key("b")) is None
+        assert fresh.skipped_lines == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        cache.put(_key("a"), _entry(0.5))
+        shard = tmp_path / FP / "shard-00.jsonl"
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"unrelated": 1}) + "\n")
+            handle.write(json.dumps({"k": 5, "e": {}}) + "\n")  # wrong types
+        fresh = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        fresh.load_all()
+        assert fresh.get(_key("a")) == _entry(0.5)
+        assert fresh.skipped_lines == 3
+
+    def test_last_write_wins_when_log_has_duplicates(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        cache.put(_key("a"), _entry(0.5))
+        shard = tmp_path / FP / "shard-00.jsonl"
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"k": key_token(_key("a")), "e": _entry(0.8)}) + "\n")
+        fresh = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        assert fresh.get(_key("a")) == _entry(0.8)
+
+    def test_refresh_picks_up_concurrent_writers(self, tmp_path):
+        reader = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        assert reader.get(_key("a")) is None  # loads the (empty) shard
+        writer = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        writer.put(_key("a"), _entry(0.5))
+        assert reader.get(_key("a")) is None  # lazy load happened already
+        reader.refresh()
+        assert reader.get(_key("a")) == _entry(0.5)
+
+    def test_entries_spread_over_shards(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=4)
+        for index in range(40):
+            cache.put(_key(f"prep_{index}"), _entry(0.1))
+        shards = sorted(p.name for p in (tmp_path / FP).glob("shard-*.jsonl"))
+        assert len(shards) > 1
+        assert len(cache) == 40
+
+    def test_meta_file_written_once(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        cache.put(_key("a"), _entry(0.5))
+        meta = json.loads((tmp_path / FP / "meta.json").read_text())
+        assert meta["fingerprint"] == FP
+        assert meta["n_shards"] == cache.n_shards
+
+    def test_reopen_adopts_the_stored_shard_count(self, tmp_path):
+        """The shard count is a layout property: a different n_shards on
+        reopen would hash lookups into the wrong files."""
+        writer = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=16)
+        for index in range(20):
+            writer.put(_key(f"prep_{index}"), _entry(0.1))
+        reader = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=4)
+        assert reader.n_shards == 16  # meta.json wins over the argument
+        for index in range(20):
+            assert reader.get(_key(f"prep_{index}")) == _entry(0.1)
+
+    def test_newer_format_version_is_refused(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP)
+        cache.put(_key("a"), _entry(0.5))
+        meta_path = tmp_path / FP / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError):
+            PersistentEvalCache(tmp_path, fingerprint=FP)
+
+    def test_corrupt_meta_falls_back_to_arguments(self, tmp_path):
+        (tmp_path / FP).mkdir(parents=True)
+        (tmp_path / FP / "meta.json").write_text("not json{")
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=4)
+        assert cache.n_shards == 4
+        cache.put(_key("a"), _entry(0.5))  # self-heals the meta file
+        assert json.loads(
+            (tmp_path / FP / "meta.json").read_text())["n_shards"] == 4
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            PersistentEvalCache(tmp_path, fingerprint="")
+        with pytest.raises(ValidationError):
+            PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=0)
+
+    def test_open_eval_cache_none_disables(self, tmp_path):
+        assert open_eval_cache(None, FP) is None
+        cache = open_eval_cache(tmp_path, FP)
+        assert isinstance(cache, PersistentEvalCache)

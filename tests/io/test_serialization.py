@@ -97,6 +97,36 @@ class TestTrialAndResultSerialization:
         assert restored.pick_time == 0.0
 
 
+class TestAtomicWrites:
+    def test_atomic_write_replaces_content_and_leaves_no_temp(self, tmp_path):
+        from repro.io import atomic_write_text
+
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text(encoding="utf-8") == "second"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        from repro.io import atomic_write_text
+
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "intact")
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not a string: write fails
+        assert path.read_text(encoding="utf-8") == "intact"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_search_result_is_atomic(self, tmp_path):
+        """A save over an existing file never exposes a torn document."""
+        path = tmp_path / "rs.json"
+        save_search_result(_sample_result(), path)
+        before = path.read_text(encoding="utf-8")
+        save_search_result(_sample_result(), path)
+        assert path.read_text(encoding="utf-8") == before
+        assert list(tmp_path.iterdir()) == [path]
+
+
 class TestCSVRoundTrip:
     def test_rows_round_trip_with_type_recovery(self, tmp_path):
         rows = [

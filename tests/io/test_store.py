@@ -71,3 +71,38 @@ class TestResultStore:
         store.save(tagged, _result("rs", 0.75))
         assert store.load(plain).best_accuracy == 0.7
         assert store.load(tagged).best_accuracy == 0.75
+
+    def test_hyphenated_algorithm_round_trips(self, tmp_path):
+        """Regression: keys() used to split the stem on the first '-', so a
+        hyphenated algorithm came back as a wrong (algorithm, tag) pair."""
+        store = ResultStore(tmp_path)
+        store.save(store.key("heart", "lr", "random-search"),
+                   _result("random-search", 0.8))
+        [key] = store.keys()
+        assert key.algorithm == "random-search"
+        assert key.tag == ""
+        assert store.load(key).algorithm == "random-search"
+
+    def test_hyphenated_algorithm_and_tag_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        saved = store.key("heart", "lr", "random-search", tag="seed-1")
+        store.save(saved, _result("random-search", 0.8))
+        [key] = store.keys()
+        assert key == saved
+        assert key.algorithm == "random-search"
+        assert key.tag == "seed-1"
+        rows = store.summary_rows()
+        assert rows[0]["algorithm"] == "random-search"
+        assert rows[0]["tag"] == "seed-1"
+
+    def test_double_hyphen_component_rejected(self, tmp_path):
+        """'--' is the stem separator, so components may not contain it."""
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValidationError):
+            store.key("heart", "lr", "random--search")
+        with pytest.raises(ValidationError):
+            store.key("heart", "lr", "rs", tag="a--b")
+        with pytest.raises(ValidationError):
+            store.key("heart", "lr", "rs-")
+        with pytest.raises(ValidationError):
+            store.key("heart", "lr", "-rs")
