@@ -20,6 +20,9 @@ driven without writing Python:
 ``search``, ``compare`` and ``experiment`` accept ``--n-jobs`` and
 ``--backend`` (serial / thread / process) to run evaluation batches or the
 experiment grid in parallel; results are identical for every worker count.
+``search`` and ``experiment`` additionally accept ``--async`` for
+completion-driven scheduling (the algorithm proposes while earlier
+evaluations are still in flight — pair with ``--algorithm asha``).
 ``search`` and ``experiment`` also accept ``--cache-dir`` to persist every
 pipeline evaluation across runs: repeating a command with the same cache
 directory answers previously seen evaluations from disk (bit-for-bit
@@ -70,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="execution backend (default: process when "
                                   "--n-jobs asks for parallelism)")
 
+    def add_async_option(command) -> None:
+        command.add_argument("--async", dest="async_mode", action="store_true",
+                             help="completion-driven search scheduling: keep "
+                                  "--n-jobs evaluations in flight and propose "
+                                  "while earlier ones still run (identical "
+                                  "results when evaluation is serial)")
+
     def add_cache_option(command) -> None:
         command.add_argument("--cache-dir", default=None,
                              help="directory for the persistent cross-run "
@@ -87,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--output", default=None,
                         help="optional path for the JSON result")
     add_parallel_options(search, "evaluation batches")
+    add_async_option(search)
     add_cache_option(search)
 
     compare = subparsers.add_parser(
@@ -121,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="dataset scale factor (default 1.0)")
     experiment.add_argument("--seed", type=int, default=0, help="base random seed")
     add_parallel_options(experiment, "the grid fan-out")
+    add_async_option(experiment)
     add_cache_option(experiment)
 
     metafeatures = subparsers.add_parser(
@@ -212,6 +224,7 @@ def _cmd_search(args, out) -> int:
     problem = AutoFPProblem.from_registry(
         args.dataset, args.model, scale=args.scale, random_state=args.seed,
         n_jobs=args.n_jobs, backend=args.backend, cache_dir=args.cache_dir,
+        async_mode=args.async_mode,
     )
     baseline = problem.baseline_accuracy()
     algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
@@ -289,6 +302,7 @@ def _cmd_experiment(args, out) -> int:
         n_jobs=args.n_jobs,
         backend=resolve_backend_name(args.n_jobs, args.backend),
         cache_dir=args.cache_dir,
+        async_mode=args.async_mode,
     )
     out.write(f"grid         : {len(config.datasets)} datasets x "
               f"{len(config.models)} models x {len(config.algorithms)} "

@@ -34,6 +34,10 @@ class AutoFPProblem:
     evaluator: PipelineEvaluator
     space: SearchSpace
     name: str = "auto-fp"
+    #: when True, ``SearchAlgorithm.search`` hands runs on this problem to
+    #: the completion-driven :class:`~repro.search.async_driver.AsyncSearchDriver`
+    #: (overlapping Pick with Prep/Train) instead of the barrier loop
+    async_mode: bool = False
 
     @classmethod
     def from_arrays(cls, X, y, model: Classifier | str, *,
@@ -41,7 +45,7 @@ class AutoFPProblem:
                     fast_model: bool = True, random_state=0,
                     name: str = "auto-fp", n_jobs: int | None = None,
                     backend: str | None = None,
-                    cache_dir=None) -> "AutoFPProblem":
+                    cache_dir=None, async_mode: bool = False) -> "AutoFPProblem":
         """Build a problem from raw arrays.
 
         ``model`` may be a classifier instance or a registry name
@@ -54,6 +58,10 @@ class AutoFPProblem:
         interpreter exit).  ``cache_dir`` enables the persistent cross-run
         evaluation cache: repeated searches over the same data/model/seed
         answer previously seen pipelines from disk instead of re-training.
+        ``async_mode=True`` schedules searches completion-driven: the
+        algorithm proposes the next pipeline while earlier evaluations are
+        still in flight, keeping all ``n_jobs`` workers saturated
+        (identical results under serial evaluation).
         """
         from repro.engine import resolve_engine
 
@@ -63,7 +71,8 @@ class AutoFPProblem:
             X, y, model, valid_size=valid_size, random_state=random_state,
             engine=resolve_engine(n_jobs, backend), cache_dir=cache_dir,
         )
-        return cls(evaluator=evaluator, space=space or SearchSpace(), name=name)
+        return cls(evaluator=evaluator, space=space or SearchSpace(),
+                   name=name, async_mode=bool(async_mode))
 
     @classmethod
     def from_registry(cls, dataset_name: str, model: Classifier | str, *,
@@ -71,7 +80,7 @@ class AutoFPProblem:
                       fast_model: bool = True, random_state=0,
                       n_jobs: int | None = None,
                       backend: str | None = None,
-                      cache_dir=None) -> "AutoFPProblem":
+                      cache_dir=None, async_mode: bool = False) -> "AutoFPProblem":
         """Build a problem from a named dataset of the benchmark registry."""
         from repro.datasets.registry import load_dataset
 
@@ -86,6 +95,7 @@ class AutoFPProblem:
             n_jobs=n_jobs,
             backend=backend,
             cache_dir=cache_dir,
+            async_mode=async_mode,
         )
 
     def baseline_accuracy(self) -> float:

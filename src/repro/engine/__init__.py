@@ -15,8 +15,13 @@ experiment grids — on a pluggable backend:
 
 All backends preserve task order and the engine merges results back into
 the evaluator's memoization cache, so every backend produces bit-for-bit
-identical search results.  See :mod:`repro.engine.engine` for the dispatch
-logic and :func:`resolve_engine` for CLI-style option handling.
+identical search results.  Besides the batch API (:meth:`ExecutionEngine.run`),
+a futures layer (:meth:`ExecutionEngine.submit_tasks` /
+:meth:`ExecutionEngine.as_completed`) yields results per *completion* —
+the substrate of the completion-driven search driver
+(:mod:`repro.search.async_driver`).  See :mod:`repro.engine.engine` for
+the dispatch logic and :func:`resolve_engine` for CLI-style option
+handling.
 """
 
 from repro.engine.backends import (
@@ -25,12 +30,14 @@ from repro.engine.backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SerialFuture,
     ThreadBackend,
     default_worker_count,
     make_backend,
 )
 from repro.engine.engine import (
     ExecutionEngine,
+    PendingTask,
     resolve_backend_name,
     resolve_engine,
 )
@@ -40,8 +47,10 @@ __all__ = [
     "EvalTask",
     "ExecutionBackend",
     "SerialBackend",
+    "SerialFuture",
     "ThreadBackend",
     "ProcessBackend",
+    "PendingTask",
     "BACKEND_CLASSES",
     "BACKEND_NAMES",
     "default_worker_count",

@@ -1,10 +1,20 @@
 """Pluggable execution backends: serial, thread-pool and process-pool.
 
-A backend does exactly one thing: map a function over a list of items and
-return the results *in input order*.  That ordering guarantee is what lets
-the rest of the library stay bit-for-bit deterministic regardless of which
-backend executes the work — the engine submits tasks in a stable order and
-merges results positionally.
+A backend does two things.  The batch path — ``map`` / ``run_evaluations``
+— applies a function over a list of items and returns the results *in
+input order*; that ordering guarantee is what lets the rest of the library
+stay bit-for-bit deterministic regardless of which backend executes the
+work, because the engine submits tasks in a stable order and merges
+results positionally.  The futures path — ``submit`` /
+``submit_evaluation`` / ``wait_any`` — hands out one future per task so
+callers (the engine's ``as_completed`` and the async search driver) can
+react to *each* completion instead of waiting for a whole batch barrier.
+
+The serial backend's futures are lazy: the work runs in the calling thread
+the first time a result is requested, so completions arrive strictly in
+submission order (the deterministic reference) and a future that is
+cancelled before consumption costs nothing — which is what lets a budget
+interruption refund never-dispatched tasks exactly.
 
 ``run_evaluations`` is the evaluation-specific entry point: it receives a
 :class:`~repro.core.evaluation.PipelineEvaluator` plus ``(pipeline,
@@ -18,7 +28,13 @@ from __future__ import annotations
 
 import os
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 from repro.exceptions import UnknownComponentError, ValidationError
 
@@ -26,6 +42,60 @@ from repro.exceptions import UnknownComponentError, ValidationError
 def default_worker_count() -> int:
     """Number of workers used when ``n_workers`` is not given."""
     return os.cpu_count() or 1
+
+
+class SerialFuture:
+    """Lazy future returned by :meth:`SerialBackend.submit`.
+
+    The wrapped call runs in the consumer's thread the first time
+    :meth:`run` (or :meth:`result`) is invoked, never at submission.  A
+    batch of submitted-but-unconsumed serial futures therefore costs
+    nothing, completes strictly in the order the consumer asks, and can be
+    cancelled right up to the moment its result is first requested —
+    mirroring ``concurrent.futures.Future`` closely enough that the engine
+    treats all backends' futures uniformly.
+    """
+
+    _PENDING, _DONE, _ERROR, _CANCELLED = range(4)
+
+    def __init__(self, fn, item) -> None:
+        self._fn = fn
+        self._item = item
+        self._state = self._PENDING
+        self._outcome = None
+
+    def run(self) -> None:
+        """Execute the work now unless it already ran or was cancelled."""
+        if self._state != self._PENDING:
+            return
+        try:
+            self._outcome = self._fn(self._item)
+            self._state = self._DONE
+        except BaseException as error:  # re-raised from result(), like a Future
+            self._outcome = error
+            self._state = self._ERROR
+
+    def result(self, timeout=None):
+        if self._state == self._CANCELLED:
+            raise CancelledError()
+        self.run()
+        if self._state == self._ERROR:
+            raise self._outcome
+        return self._outcome
+
+    def done(self) -> bool:
+        return self._state != self._PENDING
+
+    def cancel(self) -> bool:
+        if self._state == self._PENDING:
+            self._state = self._CANCELLED
+        return self._state == self._CANCELLED
+
+    def cancelled(self) -> bool:
+        return self._state == self._CANCELLED
+
+    def running(self) -> bool:
+        return False
 
 
 class ExecutionBackend:
@@ -40,6 +110,11 @@ class ExecutionBackend:
 
     #: registry name, e.g. ``"serial"`` or ``"process"``
     name: str = "base"
+
+    #: True when submitted futures complete lazily in submission order (the
+    #: serial backend): ``as_completed`` consumers then iterate futures in
+    #: the order they were submitted, which is the deterministic reference
+    ordered_completion: bool = False
 
     def __init__(self, n_workers: int | None = None) -> None:
         if n_workers is None or n_workers == -1:
@@ -60,6 +135,27 @@ class ExecutionBackend:
             lambda pair: evaluator._evaluate_uncached(pair[0], pair[1]), work
         )
 
+    # -------------------------------------------------------------- futures
+    def submit(self, fn, item):
+        """Start ``fn(item)`` and return a future for its result.
+
+        With a process backend ``fn`` must be a picklable module-level
+        function (the same constraint as :meth:`map`).
+        """
+        raise NotImplementedError
+
+    def submit_evaluation(self, evaluator, pair):
+        """Submit one ``(pipeline, fidelity)`` evaluation; return a future."""
+        return self.submit(
+            lambda work: evaluator._evaluate_uncached(work[0], work[1]), pair
+        )
+
+    def wait_any(self, futures) -> None:
+        """Block until at least one of ``futures`` is done (or all are)."""
+        pending = [future for future in futures if not future.done()]
+        if pending:
+            wait(pending, return_when=FIRST_COMPLETED)
+
     def close(self) -> None:
         """Release any pooled workers (no-op for poolless backends)."""
 
@@ -71,12 +167,26 @@ class SerialBackend(ExecutionBackend):
     """Run every task inline in the calling thread (the reference backend)."""
 
     name = "serial"
+    ordered_completion = True
 
     def __init__(self, n_workers: int | None = None) -> None:
         super().__init__(n_workers=1)
 
     def map(self, fn, items: list) -> list:
         return [fn(item) for item in items]
+
+    def submit(self, fn, item) -> SerialFuture:
+        return SerialFuture(fn, item)
+
+    def wait_any(self, futures) -> None:
+        # Lazy futures never complete on their own: "waiting" means running
+        # the earliest-submitted pending one right here, which is exactly
+        # the serial execution order.
+        for future in futures:
+            if future.done():
+                return
+        if futures:
+            futures[0].run()
 
 
 class ThreadBackend(ExecutionBackend):
@@ -91,12 +201,29 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__(n_workers=n_workers)
+        self._submit_pool: ThreadPoolExecutor | None = None
+
     def map(self, fn, items: list) -> list:
         items = list(items)
         if len(items) <= 1:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=min(self.n_workers, len(items))) as pool:
             return list(pool.map(fn, items))
+
+    def submit(self, fn, item):
+        # Unlike map's per-batch pools, submissions share one long-lived
+        # pool: futures of different batches must be able to run
+        # concurrently, and the async driver submits continuously.
+        if self._submit_pool is None:
+            self._submit_pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._submit_pool.submit(fn, item)
+
+    def close(self) -> None:
+        if self._submit_pool is not None:
+            self._submit_pool.shutdown(wait=True, cancel_futures=True)
+            self._submit_pool = None
 
 
 # --------------------------------------------------------------- processes
@@ -135,6 +262,7 @@ class ProcessBackend(ExecutionBackend):
         super().__init__(n_workers=n_workers)
         self._eval_pool: ProcessPoolExecutor | None = None
         self._eval_pool_owner = None  # weakref to the pool's evaluator
+        self._submit_pool: ProcessPoolExecutor | None = None
 
     def map(self, fn, items: list) -> list:
         items = list(items)
@@ -142,6 +270,16 @@ class ProcessBackend(ExecutionBackend):
             return [fn(item) for item in items]
         with ProcessPoolExecutor(max_workers=min(self.n_workers, len(items))) as pool:
             return list(pool.map(fn, items))
+
+    def submit(self, fn, item):
+        if self._submit_pool is None:
+            self._submit_pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._submit_pool.submit(fn, item)
+
+    def submit_evaluation(self, evaluator, pair):
+        # Reuse the initializer-seeded evaluation pool so the evaluator is
+        # pickled once per pool, not once per submitted task.
+        return self._evaluation_pool(evaluator).submit(_evaluate_in_worker, pair)
 
     def _evaluation_pool(self, evaluator) -> ProcessPoolExecutor:
         owner = self._eval_pool_owner() if self._eval_pool_owner else None
@@ -167,10 +305,17 @@ class ProcessBackend(ExecutionBackend):
         return list(pool.map(_evaluate_in_worker, work))
 
     def close(self) -> None:
+        # cancel_futures drops queued-but-unstarted work so shutdown joins
+        # the workers promptly instead of draining a dead search's backlog;
+        # wait=True then reaps every worker process (no orphans), even when
+        # a budget interrupted the owning search mid-flight.
         if self._eval_pool is not None:
-            self._eval_pool.shutdown()
+            self._eval_pool.shutdown(wait=True, cancel_futures=True)
             self._eval_pool = None
             self._eval_pool_owner = None
+        if self._submit_pool is not None:
+            self._submit_pool.shutdown(wait=True, cancel_futures=True)
+            self._submit_pool = None
 
 
 #: backends keyed by their registry name

@@ -24,9 +24,77 @@ serial, thread and process backends produce bit-for-bit identical results.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.core.result import TrialRecord
 from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.tasks import EvalTask
+
+
+class PendingTask:
+    """One submitted evaluation task, resolving to a :class:`TrialRecord`.
+
+    Created by :meth:`ExecutionEngine.submit_task`; comes in three shapes:
+
+    * *resolved at submit* — the evaluator's cache already held the entry,
+      so the record is available immediately and no work was dispatched;
+    * *primary* — owns the backend future actually computing the entry;
+    * *alias* — shares a primary's in-flight future (the completion-driven
+      analogue of an in-batch duplicate under :meth:`ExecutionEngine.run`).
+
+    ``ready()`` never blocks; :meth:`ExecutionEngine.resolve_task` blocks
+    until the record is available and performs the per-completion cache
+    merge-back.  ``cancel()`` succeeds only for work that never produced a
+    result: aliases always cancel (they dispatched nothing of their own),
+    primaries cancel iff their backend future does — which is what lets a
+    budget interruption refund exactly the never-dispatched tasks.
+    """
+
+    __slots__ = ("task", "key", "future", "_primary", "_entry", "_record",
+                 "_cancelled")
+
+    def __init__(self, task: EvalTask, key, *, future=None, primary=None,
+                 entry=None) -> None:
+        self.task = task
+        self.key = key
+        self.future = future
+        self._primary = primary
+        self._entry = entry
+        self._record: TrialRecord | None = None
+        self._cancelled = False
+
+    def ready(self) -> bool:
+        """Whether resolving would return without blocking."""
+        if self._record is not None or self._entry is not None:
+            return True
+        if self._primary is not None:
+            return self._primary.ready()
+        return self.future is not None and self.future.done()
+
+    def cancel(self) -> bool:
+        """Cancel work that has not produced a result yet; True on success."""
+        if self._cancelled:
+            return True
+        if self._record is not None or self._entry is not None:
+            return False
+        if self._primary is not None:
+            # An alias never dispatched its own work: dropping it leaves the
+            # primary's future untouched and is always safe.
+            self._cancelled = True
+            return True
+        if self.future is not None and self.future.cancel():
+            self._cancelled = True
+            return True
+        return False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        state = ("cancelled" if self._cancelled
+                 else "done" if self.ready() else "pending")
+        return f"PendingTask({self.task.pipeline!r}, {state})"
 
 
 class ExecutionEngine:
@@ -45,6 +113,15 @@ class ExecutionEngine:
     def __init__(self, backend: str | ExecutionBackend = "serial", *,
                  n_workers: int | None = None) -> None:
         self.backend = make_backend(backend, n_workers=n_workers)
+        #: primaries still computing, keyed by (evaluator id, cache key) so a
+        #: duplicate submission aliases the in-flight future instead of
+        #: re-dispatching the same work.  Each entry carries a weakref to
+        #: its evaluator: abandoned entries whose evaluator died must never
+        #: alias a later evaluator that CPython allocated at the same id.
+        self._inflight: dict = {}
+        #: every live backend future, for close()-time cancellation; weak so
+        #: consumed futures vanish on their own
+        self._futures: "weakref.WeakSet" = weakref.WeakSet()
 
     @property
     def n_workers(self) -> int:
@@ -118,12 +195,136 @@ class ExecutionEngine:
 
         return records
 
-    def close(self) -> None:
-        """Release pooled workers held by the backend (safe to call twice).
+    # ------------------------------------------------------------- futures
+    def submit_task(self, evaluator, task) -> PendingTask:
+        """Submit one task for evaluation; returns a :class:`PendingTask`.
 
-        Backends also release their pools at interpreter exit, so calling
-        this is only needed to free workers eagerly mid-process.
+        Cache-aware, like :meth:`run` is for batches: a task whose entry
+        the evaluator's cache already holds resolves immediately without
+        touching the backend, and a task identical to one still in flight
+        aliases that future instead of re-dispatching the work.
         """
+        task = task if isinstance(task, EvalTask) else EvalTask(task)
+        key = evaluator.cache_key(task.pipeline, task.fidelity)
+        if evaluator.cache_enabled:
+            # Probe in-flight work before the cache: an aliased duplicate
+            # counts one hit at resolve time (like an in-batch duplicate
+            # under run()) and must not also record a lookup miss here.
+            primary = self._inflight_primary(evaluator, key)
+            if primary is not None and not primary.cancelled:
+                return PendingTask(task, key, future=primary.future,
+                                   primary=primary)
+            entry = evaluator.cache_lookup(key)
+            if entry is not None:
+                return PendingTask(task, key, entry=entry)
+        future = self.backend.submit_evaluation(
+            evaluator, (task.pipeline, task.fidelity)
+        )
+        pending = PendingTask(task, key, future=future)
+        if evaluator.cache_enabled:
+            self._inflight[(id(evaluator), key)] = (weakref.ref(evaluator),
+                                                    pending)
+        self._futures.add(future)
+        return pending
+
+    def _inflight_primary(self, evaluator, key) -> PendingTask | None:
+        """The in-flight primary for ``(evaluator, key)``, if still valid.
+
+        A stale entry — its evaluator garbage-collected, possibly with the
+        id re-used by a new evaluator — is purged instead of aliased, so an
+        abandoned submission can never leak another evaluator's result.
+        """
+        entry = self._inflight.get((id(evaluator), key))
+        if entry is None:
+            return None
+        owner, primary = entry
+        if owner() is not evaluator:
+            del self._inflight[(id(evaluator), key)]
+            return None
+        return primary
+
+    def submit_tasks(self, evaluator, tasks) -> list[PendingTask]:
+        """Submit a batch of tasks; returns pending handles in task order."""
+        return [self.submit_task(evaluator, task) for task in tasks]
+
+    def resolve_task(self, evaluator, pending: PendingTask) -> TrialRecord:
+        """Block until ``pending`` completes and return its trial record.
+
+        This is where the per-completion cache merge-back happens: the
+        entry computed by the worker lands in the evaluator's LRU and —
+        when a ``cache_dir`` is set — the persistent disk cache the moment
+        it completes, not at the end of a batch.
+        """
+        if pending._record is not None:
+            return pending._record
+        if pending._entry is None:
+            if pending._primary is not None:
+                self.resolve_task(evaluator, pending._primary)
+                pending._entry = pending._primary._entry
+                # The duplicate would have been a cache hit under serial
+                # execution; keep the counters comparable.
+                evaluator.cache_hits += 1
+            else:
+                entry = pending.future.result()
+                evaluator.n_evaluations += 1
+                evaluator.cache_store(pending.key, entry)
+                self._inflight.pop((id(evaluator), pending.key), None)
+                pending._entry = entry
+        pending._record = evaluator.record_from_entry(pending.task, pending._entry)
+        return pending._record
+
+    def cancel_task(self, evaluator, pending: PendingTask) -> bool:
+        """Cancel a pending task if its work never ran; True on success."""
+        if not pending.cancel():
+            return False
+        if pending._primary is None and \
+                self._inflight_primary(evaluator, pending.key) is pending:
+            del self._inflight[(id(evaluator), pending.key)]
+        return True
+
+    def wait_any(self, pending) -> None:
+        """Block until at least one of ``pending`` is ready to resolve."""
+        pending = [item for item in pending if not item.ready()]
+        futures = [item.future for item in pending if item.future is not None]
+        if futures:
+            self.backend.wait_any(futures)
+
+    def as_completed(self, evaluator, pending):
+        """Yield ``(index, record)`` pairs as submitted tasks complete.
+
+        ``index`` is the position in ``pending``.  On the serial backend
+        completions arrive strictly in submission order with values
+        identical to :meth:`run`; on thread/process backends cache-resolved
+        tasks are yielded first (in submission order) and the rest as their
+        futures finish, ties broken by submission order.
+        """
+        pending = list(pending)
+        if self.backend.ordered_completion:
+            for index, item in enumerate(pending):
+                yield index, self.resolve_task(evaluator, item)
+            return
+        remaining = dict(enumerate(pending))
+        while remaining:
+            ready = [index for index, item in remaining.items() if item.ready()]
+            if not ready:
+                self.wait_any(remaining.values())
+                continue
+            for index in ready:
+                yield index, self.resolve_task(evaluator, remaining.pop(index))
+
+    def close(self) -> None:
+        """Cancel in-flight futures and release the backend's pooled workers.
+
+        Safe to call twice.  Futures that never started are cancelled (so a
+        search cut short by a budget does not leave its backlog running) and
+        pool shutdown waits for the workers, so no worker process is ever
+        orphaned.  Backends also release their pools at interpreter exit, so
+        calling this is only needed to free workers eagerly mid-process.
+        """
+        for future in list(self._futures):
+            future.cancel()
+        self._futures.clear()
+        self._inflight.clear()
         self.backend.close()
 
     def __enter__(self) -> "ExecutionEngine":

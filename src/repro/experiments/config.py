@@ -52,6 +52,11 @@ class ExperimentConfig:
         configuration — or any configuration sharing (dataset, model, seed)
         cells — performs zero uncached evaluations, with bit-for-bit
         identical results.  ``None`` (default) disables persistence.
+    async_mode:
+        When True every cell's search runs under the completion-driven
+        :class:`~repro.search.async_driver.AsyncSearchDriver` instead of
+        the synchronous barrier loop.  With serial within-cell evaluation
+        (the grid default) results are bit-for-bit identical either way.
     """
 
     datasets: tuple[str, ...]
@@ -65,6 +70,7 @@ class ExperimentConfig:
     n_jobs: int = 1
     backend: str | None = None
     cache_dir: str | None = None
+    async_mode: bool = False
 
     def n_runs(self) -> int:
         """Total number of search runs the configuration implies."""

@@ -65,19 +65,22 @@ def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25
                dataset_scale: float = 1.0,
                space: SearchSpace | None = None, n_jobs: int | None = None,
                backend: str | None = None,
-               cache_dir: str | None = None) -> tuple[SearchResult, float]:
+               cache_dir: str | None = None,
+               async_mode: bool = False) -> tuple[SearchResult, float]:
     """Run one search and return ``(result, baseline_accuracy)``.
 
     ``n_jobs`` / ``backend`` parallelise the *within-search* evaluation
-    batches (generations, rungs) via the execution engine; ``cache_dir``
-    persists every evaluation so a repeated run is answered from disk.
+    batches (generations, rungs) via the execution engine; ``async_mode``
+    schedules them completion-driven (the algorithm proposes while earlier
+    evaluations are still in flight); ``cache_dir`` persists every
+    evaluation so a repeated run is answered from disk.
     """
     X, y = load_dataset(dataset, scale=dataset_scale)
     classifier = make_classifier(model, fast=fast_model)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, space=space, random_state=random_state,
         name=f"{dataset}/{model}", n_jobs=n_jobs, backend=backend,
-        cache_dir=cache_dir,
+        cache_dir=cache_dir, async_mode=async_mode,
     )
     try:
         baseline = problem.baseline_accuracy()
@@ -117,7 +120,7 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
     if memo is None:
         memo = _CELL_PROBLEMS.memo = OrderedDict()
     key = (dataset, model, config.dataset_scale, config.fast_models,
-           config.random_state, config.cache_dir)
+           config.random_state, config.cache_dir, config.async_mode)
     cached = memo.get(key)
     if cached is not None:
         memo.move_to_end(key)
@@ -128,6 +131,7 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, random_state=config.random_state,
         name=f"{dataset}/{model}", cache_dir=config.cache_dir,
+        async_mode=config.async_mode,
     )
     baseline = problem.baseline_accuracy()
     memo[key] = (problem, baseline)

@@ -23,6 +23,14 @@ from repro.exceptions import ValidationError
 from repro.preprocessing.extended import EXTENDED_PREPROCESSOR_CLASSES
 from repro.preprocessing.registry import PREPROCESSOR_CLASSES
 
+#: schema version stamped into every saved search-result document.  Version
+#: 2 marks results written since the ``ResultStore`` tagged-file-stem
+#: separator changed from ``-`` to ``--``: a document *without* the marker
+#: may predate that change, and the store's loader shim then disambiguates
+#: its file stem against the document's ``algorithm`` field (see
+#: :meth:`repro.io.store.ResultStore.keys`).
+RESULT_FORMAT_VERSION = 2
+
 
 def pipeline_to_dict(pipeline: Pipeline) -> dict:
     """JSON-serialisable description of a pipeline (names + parameters)."""
@@ -82,6 +90,7 @@ def trial_from_dict(data: Mapping) -> TrialRecord:
 def search_result_to_dict(result: SearchResult) -> dict:
     """JSON-serialisable description of a whole search run."""
     return {
+        "format_version": RESULT_FORMAT_VERSION,
         "algorithm": result.algorithm,
         "baseline_accuracy": result.baseline_accuracy,
         "trials": [trial_to_dict(trial) for trial in result.trials],
@@ -89,7 +98,18 @@ def search_result_to_dict(result: SearchResult) -> dict:
 
 
 def search_result_from_dict(data: Mapping) -> SearchResult:
-    """Rebuild a search result from :func:`search_result_to_dict` output."""
+    """Rebuild a search result from :func:`search_result_to_dict` output.
+
+    Documents without a ``format_version`` (written before the marker
+    existed) load normally; documents from a *newer* format are refused
+    rather than silently misread.
+    """
+    version = data.get("format_version")
+    if isinstance(version, int) and version > RESULT_FORMAT_VERSION:
+        raise ValidationError(
+            f"search result uses format version {version}; this build "
+            f"reads up to {RESULT_FORMAT_VERSION}"
+        )
     result = SearchResult(
         algorithm=data.get("algorithm", "unknown"),
         baseline_accuracy=data.get("baseline_accuracy"),

@@ -1,0 +1,250 @@
+"""Completion-driven search execution: overlap Pick with Prep/Train.
+
+The synchronous skeleton in :mod:`repro.search.base` evaluates each
+iteration's proposals as one *barrier*: the algorithm cannot propose again
+until the whole batch has returned, so with a parallel backend the Pick
+step idles while stragglers finish, and fast workers idle once their share
+of the batch is done.  :class:`AsyncSearchDriver` removes the barrier: it
+keeps up to ``n_workers`` evaluations in flight, feeds every completed
+:class:`~repro.core.result.TrialRecord` back through the algorithm's
+``_observe`` hook the moment it lands, and asks the algorithm for new
+proposals (``_update`` + ``_propose_batch``) as soon as a worker slot
+frees — the scheduling model of asynchronous successive halving (Li et
+al., ASHA) generalised to every algorithm of the registry.
+
+Determinism contract:
+
+* On the serial backend (or with no engine attached) the driver is
+  **bit-for-bit identical** to ``SearchAlgorithm.search``: with one
+  in-flight slot, a proposal batch drains completely — each task evaluated
+  and observed in proposal order — before the next ``_update`` /
+  ``_propose_batch`` call, which is exactly the synchronous hook sequence,
+  RNG consumption and budget arithmetic.
+* On thread/process backends, results are reproducible given the same
+  completion order (completions are always *observed* in submission
+  order among those currently done); algorithms whose proposals depend
+  only on completed trials — ASHA by construction — additionally keep
+  every worker saturated.
+
+Budget semantics are checked at *completion* granularity: admission
+(``budget.admits`` / fractional ``admissible``) mirrors the synchronous
+driver exactly, and a wall-clock budget is consulted after every observed
+completion — the search stops within one completion of expiry, cancels the
+admitted-but-never-dispatched backlog and refunds its charges.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.budget import Budget, TrialBudget
+from repro.core.result import SearchResult
+from repro.engine.engine import ExecutionEngine
+from repro.engine.tasks import EvalTask
+from repro.utils.random import check_random_state
+
+
+class AsyncSearchDriver:
+    """Run a :class:`~repro.search.base.SearchAlgorithm` completion-driven.
+
+    Parameters
+    ----------
+    algorithm:
+        The search algorithm whose hooks (``_setup``, ``_initial_pipelines``,
+        ``_update``, ``_propose_batch``, ``_observe``) the driver calls.
+    n_workers:
+        Evaluations kept in flight.  Defaults to the worker count of the
+        problem evaluator's execution engine (1 when evaluation is serial).
+    """
+
+    def __init__(self, algorithm, *, n_workers: int | None = None) -> None:
+        self.algorithm = algorithm
+        self.n_workers = n_workers
+
+    # ----------------------------------------------------------------- API
+    def search(self, problem, budget: Budget | None = None, *,
+               max_trials: int = 50) -> SearchResult:
+        """Run the search on ``problem``; same contract as the sync driver."""
+        algorithm = self.algorithm
+        budget = budget or TrialBudget(max_trials)
+        rng = check_random_state(algorithm.random_state)
+        space = problem.space
+        evaluator = problem.evaluator
+        result = SearchResult(algorithm=algorithm.name)
+
+        engine = evaluator.engine
+        own_engine = engine is None
+        if own_engine:
+            # No engine attached: completion-driven execution degenerates to
+            # the serial reference via a private lazy-futures engine.
+            engine = ExecutionEngine("serial")
+        n_workers = self.n_workers or engine.n_workers
+        interruptible = budget.can_interrupt()
+
+        algorithm._setup(problem, rng)
+
+        #: admitted (task, charge) pairs not yet handed to the engine
+        queue: deque = deque()
+        #: (PendingTask, charge) pairs in submission order
+        inflight: list = []
+        #: cache keys of queued/in-flight work, so a parallel run never
+        #: re-dispatches (or re-charges) a proposal that is already running;
+        #: empty whenever the serial driver proposes, preserving parity
+        pending_keys: set = set()
+
+        def admit(proposals, pick_per_proposal: float, iteration: int) -> int:
+            """Mirror of the sync driver's batch admission.
+
+            Duplicates *within* one proposal batch are admitted and charged
+            exactly as the sync driver does (the engine aliases their
+            execution); only proposals that duplicate work still pending
+            from an earlier batch are skipped — a situation the sync driver
+            can never be in, so serial parity is untouched.
+            """
+            already_pending = frozenset(pending_keys)
+            admitted = 0
+            for item in proposals:
+                pipeline, fidelity = algorithm._unpack_proposal(item)
+                key = evaluator.cache_key(pipeline, fidelity)
+                if key in already_pending:
+                    continue  # identical work already queued or in flight
+                if budget.exhausted():
+                    break
+                if budget.admits(fidelity):
+                    charge = fidelity
+                elif not admitted and not queue and not inflight:
+                    # Fractional leftover smaller than one proposal and no
+                    # other work anywhere: spend it rather than stalling.
+                    charge = budget.admissible(fidelity)
+                else:
+                    break
+                queue.append((EvalTask(pipeline, fidelity=fidelity,
+                                       pick_time=pick_per_proposal,
+                                       iteration=iteration), key, charge))
+                pending_keys.add(key)
+                budget.consume(charge)
+                admitted += 1
+            return admitted
+
+        admit(list(algorithm._initial_pipelines(space, rng)), 0.0, 0)
+
+        iteration = 0
+        stalled = 0
+        interrupted = False
+        #: proposals that could not be admitted yet (e.g. a fractional
+        #: budget crumb only spendable once everything in flight drains);
+        #: retried before the algorithm is asked again, so state the
+        #: algorithm mutated while proposing (ASHA's promoted set) is
+        #: never silently discarded.  Serial runs admit like the sync
+        #: driver and never defer.
+        deferred: tuple | None = None
+        try:
+            while True:
+                # Fill free worker slots from the admitted backlog.
+                while queue and len(inflight) < n_workers:
+                    task, key, charge = queue.popleft()
+                    inflight.append(
+                        (engine.submit_task(evaluator, task), key, charge)
+                    )
+
+                # Pick overlaps Prep/Train: propose as soon as a slot would
+                # go idle, even while other evaluations are still in flight.
+                if not queue and len(inflight) < n_workers \
+                        and not budget.exhausted():
+                    if deferred is not None:
+                        proposals, pick_time, deferred_iteration = deferred
+                        if admit(proposals, pick_time, deferred_iteration):
+                            deferred = None
+                            continue
+                        # Still unadmittable: wait for more completions.
+                    else:
+                        iteration += 1
+                        pick_start = time.perf_counter()
+                        algorithm._update(result.trials, space, rng)
+                        proposals = list(
+                            algorithm._propose_batch(space, rng, result.trials)
+                        )
+                        pick_time = time.perf_counter() - pick_start
+                        if not proposals and not inflight:
+                            stalled += 1
+                            if stalled >= 3:
+                                # Same fallback as the sync driver: keep
+                                # honouring the budget with random samples
+                                # once the algorithm has nothing left to
+                                # propose.
+                                proposals = [space.sample_pipeline(rng)]
+                            else:
+                                continue
+                        # With work still in flight an empty proposal list is
+                        # not a stall — the algorithm is waiting for results
+                        # (e.g. a rung mid-flight); fall through and collect
+                        # completions.
+                        if proposals:
+                            stalled = 0
+                            pick_per = pick_time / len(proposals)
+                            if admit(proposals, pick_per, iteration):
+                                continue
+                            if inflight:
+                                # Nothing fit right now, but draining the
+                                # in-flight work may free the fractional
+                                # path: retry these proposals, don't re-ask.
+                                deferred = (proposals, pick_per, iteration)
+
+                if not inflight:
+                    if queue:
+                        continue
+                    break
+
+                # Observe completions in submission order among those done.
+                ready = [entry for entry in inflight if entry[0].ready()]
+                if not ready:
+                    engine.wait_any([entry[0] for entry in inflight])
+                    ready = [entry for entry in inflight if entry[0].ready()]
+                for entry in ready:
+                    inflight.remove(entry)
+                    pending, key, _charge = entry
+                    pending_keys.discard(key)
+                    record = engine.resolve_task(evaluator, pending)
+                    result.add(record)
+                    algorithm._observe(record)
+                    if interruptible and budget.interrupted():
+                        interrupted = True
+                        break
+                if interrupted:
+                    break
+        finally:
+            self._wind_down(engine, evaluator, budget, result,
+                            queue, inflight)
+            if own_engine:
+                engine.close()
+        return result
+
+    # ------------------------------------------------------------ internals
+    def _wind_down(self, engine, evaluator, budget, result, queue,
+                   inflight) -> None:
+        """Refund never-dispatched work; drain what is already running.
+
+        On a normal exit both collections are empty and this is a no-op.
+        After a wall-clock interruption (or an error) the admitted backlog
+        is cancelled and refunded — ``budget.used`` then reflects exactly
+        the work that ran, matching the sync driver's refund semantics —
+        while evaluations a thread/process worker already started are
+        allowed to finish and are observed like any other completion.
+        """
+        algorithm = self.algorithm
+        while queue:
+            _task, _key, charge = queue.popleft()
+            budget.consume(-charge)
+        for pending, _key, charge in inflight:
+            if engine.cancel_task(evaluator, pending):
+                budget.consume(-charge)
+            else:
+                record = engine.resolve_task(evaluator, pending)
+                result.add(record)
+                algorithm._observe(record)
+        inflight.clear()
+
+    def __repr__(self) -> str:
+        return (f"AsyncSearchDriver({self.algorithm!r}, "
+                f"n_workers={self.n_workers!r})")

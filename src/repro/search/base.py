@@ -73,7 +73,7 @@ class SearchAlgorithm:
 
     # ----------------------------------------------------------------- API
     def search(self, problem: AutoFPProblem, budget: Budget | None = None,
-               *, max_trials: int = 50) -> SearchResult:
+               *, max_trials: int = 50, driver: str | None = None) -> SearchResult:
         """Run the search on ``problem`` and return a :class:`SearchResult`.
 
         Parameters
@@ -85,7 +85,27 @@ class SearchAlgorithm:
             :class:`TrialBudget` of ``max_trials`` evaluations.
         max_trials:
             Evaluation budget used when ``budget`` is not given.
+        driver:
+            ``"sync"`` runs the barrier loop below, ``"async"`` hands the
+            run to :class:`~repro.search.async_driver.AsyncSearchDriver`
+            (completion-driven scheduling that keeps the evaluator engine's
+            workers saturated).  The default ``None`` follows the problem's
+            ``async_mode`` flag.  Both drivers are bit-for-bit identical
+            under serial evaluation.
         """
+        if driver is None:
+            driver = "async" if getattr(problem, "async_mode", False) else "sync"
+        if driver == "async":
+            from repro.search.async_driver import AsyncSearchDriver
+
+            return AsyncSearchDriver(self).search(problem, budget,
+                                                  max_trials=max_trials)
+        if driver != "sync":
+            from repro.exceptions import ValidationError
+
+            raise ValidationError(
+                f"driver must be 'sync' or 'async', got {driver!r}"
+            )
         budget = budget or TrialBudget(max_trials)
         rng = check_random_state(self.random_state)
         space = problem.space

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.exceptions import UnknownComponentError
+from repro.search.asha import ASHA
 from repro.search.bandit import BOHB, Hyperband
 from repro.search.bandit_extra import ThompsonSamplingSearch, UCBSearch
 from repro.search.base import SearchAlgorithm
@@ -51,6 +52,7 @@ ALL_ALGORITHM_NAMES: tuple[str, ...] = tuple(SEARCH_ALGORITHM_CLASSES)
 EXTENSION_ALGORITHM_CLASSES: dict[str, type[SearchAlgorithm]] = {
     "ucb": UCBSearch,
     "thompson": ThompsonSamplingSearch,
+    "asha": ASHA,
 }
 
 

@@ -147,6 +147,34 @@ class TestExperimentCommand:
                 ["experiment", "--datasets", "blood", "--backend", "gpu"])
 
 
+class TestAsyncOption:
+    def test_search_async_serial_matches_sync(self):
+        """--async with serial evaluation is bit-for-bit identical output."""
+        args = ("search", "--dataset", "blood", "--algorithm", "rs",
+                "--max-trials", "6", "--scale", "0.5")
+        code_sync, sync_output = run_cli(*args)
+        code_async, async_output = run_cli(*args, "--async")
+        assert code_sync == code_async == 0
+        assert async_output == sync_output
+
+    def test_search_async_with_threads_runs_asha(self):
+        code, output = run_cli(
+            "search", "--dataset", "blood", "--algorithm", "asha",
+            "--max-trials", "6", "--scale", "0.5",
+            "--n-jobs", "2", "--backend", "thread", "--async",
+        )
+        assert code == 0
+        assert "best pipeline" in output
+
+    def test_experiment_async_matches_sync(self):
+        args = ("experiment", "--datasets", "blood", "--algorithms",
+                "rs", "pbt", "--max-trials", "5", "--scale", "0.5")
+        code_sync, sync_output = run_cli(*args)
+        code_async, async_output = run_cli(*args, "--async")
+        assert code_sync == code_async == 0
+        assert sync_output == async_output
+
+
 class TestCacheDirOption:
     def test_search_warm_rerun_hits_the_cache(self, tmp_path):
         args = ("search", "--dataset", "blood", "--algorithm", "rs",

@@ -5,6 +5,14 @@ order-independent subsample seeding in the evaluator): running the same
 searcher on the same problem must yield the same ``best_accuracy`` and the
 same trial set whether the evaluation batches run serially, on a thread
 pool or on a process pool.
+
+The cross-backend determinism *matrix* extends the guarantee to the
+completion-driven driver: for **every** registry algorithm (the paper's 15
+plus the extensions, including ASHA) the serial async run is bit-for-bit
+identical to the serial sync run, and thread/process async runs are
+seed-reproducible given a fixed completion order (one worker) with trial
+values identical to what the serial evaluator computes for the same
+``(pipeline, fidelity)``.
 """
 
 import pytest
@@ -15,6 +23,10 @@ from repro.datasets.synthetic import distort_features, make_classification
 from repro.engine import ExecutionEngine
 from repro.models.linear import LogisticRegression
 from repro.search import make_search_algorithm
+from repro.search.registry import (
+    ALL_ALGORITHM_NAMES,
+    EXTENSION_ALGORITHM_CLASSES,
+)
 
 #: (algorithm name, constructor kwargs) — one batched searcher per category
 SEARCHERS = [
@@ -22,6 +34,9 @@ SEARCHERS = [
     ("pbt", {}),
     ("hyperband", {}),
 ]
+
+#: every resolvable algorithm: the paper's 15 plus the extensions (ASHA...)
+MATRIX_ALGORITHMS = ALL_ALGORITHM_NAMES + tuple(sorted(EXTENSION_ALGORITHM_CLASSES))
 
 
 def _make_problem(engine=None):
@@ -71,6 +86,61 @@ class TestBackendDeterminism:
             bare = _run(algorithm, kwargs, None)
             engined = _run(algorithm, kwargs, ExecutionEngine("serial"))
             assert _trial_set(engined) == _trial_set(bare)
+
+
+@pytest.fixture(scope="module")
+def matrix_problem():
+    """One shared problem for the whole matrix.
+
+    Sync and async runs of the same algorithm then answer repeated
+    pipelines from the same memoized values, which keeps the 2x-per-
+    algorithm sweep cheap without affecting the compared trial sets
+    (evaluation values are order-independent by construction).
+    """
+    return _make_problem(None)
+
+
+class TestCrossBackendDeterminismMatrix:
+    @pytest.mark.parametrize("algorithm", MATRIX_ALGORITHMS)
+    def test_serial_async_bit_for_bit_identical_to_sync(self, algorithm,
+                                                        matrix_problem):
+        sync = make_search_algorithm(algorithm, random_state=0).search(
+            matrix_problem, max_trials=8
+        )
+        asynchronous = make_search_algorithm(algorithm, random_state=0).search(
+            matrix_problem, max_trials=8, driver="async"
+        )
+        assert asynchronous.algorithm == sync.algorithm
+        assert _trial_set(asynchronous) == _trial_set(sync)
+        assert asynchronous.best_accuracy == sync.best_accuracy
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_async_seed_reproducible_with_fixed_completion_order(
+            self, backend):
+        """One worker fixes the completion order; two runs must be identical."""
+        runs = []
+        for _ in range(2):
+            engine = ExecutionEngine(backend, n_workers=1)
+            searcher = make_search_algorithm("asha", random_state=0)
+            result = searcher.search(_make_problem(engine), max_trials=10,
+                                     driver="async")
+            engine.close()
+            runs.append(_trial_set(result))
+        assert runs[0] == runs[1]
+
+    def test_parallel_async_trial_values_match_serial_evaluator(self):
+        """Scheduling may reorder trials but can never change their values."""
+        engine = ExecutionEngine("thread", n_workers=3)
+        result = make_search_algorithm("rs", random_state=0, batch_size=4).search(
+            _make_problem(engine), max_trials=12, driver="async"
+        )
+        engine.close()
+        reference = _make_problem(None).evaluator
+        assert len(result) == 12
+        for trial in result.trials:
+            expected = reference.evaluate(trial.pipeline,
+                                          fidelity=trial.fidelity)
+            assert trial.accuracy == expected.accuracy
 
 
 class TestSerialTimeBudgetSemantics:

@@ -1,0 +1,173 @@
+"""Concurrency stress test for the persistent evaluation cache.
+
+Multiple worker processes append to one cache root at once while torn and
+truncated shard lines are injected, mimicking crashes mid-write and racing
+appenders.  The guarantees under test:
+
+* a reader never crashes on corrupt shard content,
+* every entry a worker committed (its ``put`` returned) is readable on a
+  fresh reopen, regardless of interleaving,
+* ``meta.json`` is authoritative on reopen — a reader constructed with a
+  *different* ``n_shards`` still finds every entry because the stored
+  layout wins.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.io.evalcache import PersistentEvalCache
+
+FINGERPRINT = "deadbeef" * 8
+N_WORKERS = 3
+ENTRIES_PER_WORKER = 40
+N_SHARDS = 4
+
+
+def _entry(worker: int, index: int) -> dict:
+    return {"accuracy": round(0.5 + worker * 0.01 + index * 1e-4, 6),
+            "prep_time": 0.0, "train_time": 0.0, "failed": False}
+
+
+def _worker_keys(worker: int) -> list[tuple]:
+    # A mix of worker-private keys and keys shared by every worker, so the
+    # log replays both disjoint appends and racing writes to the same key.
+    private = [((f"worker{worker}", index), 1.0)
+               for index in range(ENTRIES_PER_WORKER)]
+    shared = [(("shared", index), 0.5) for index in range(10)]
+    return private + shared
+
+
+def _append_worker(root: str, worker: int) -> None:
+    cache = PersistentEvalCache(root, fingerprint=FINGERPRINT,
+                                n_shards=N_SHARDS)
+    for key in _worker_keys(worker):
+        cache.put(key, _entry(worker, hash(key[0][1]) % 100))
+
+
+def _run_workers(root) -> None:
+    context = multiprocessing.get_context("fork")
+    workers = [context.Process(target=_append_worker, args=(str(root), worker))
+               for worker in range(N_WORKERS)]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(timeout=60)
+        assert process.exitcode == 0, "cache writer crashed"
+
+
+def _inject_corruption(cache_dir) -> int:
+    """Append torn/truncated/garbage lines to every shard; returns count."""
+    injected = 0
+    for shard in sorted(cache_dir.glob("shard-*.jsonl")):
+        with shard.open("ab") as handle:
+            handle.write(b'{"k": "torn-no-newline')  # crash mid-write
+            handle.write(b"\n\x00\x01garbage bytes\n")
+            handle.write(b'{"k": 42, "e": []}\n')  # parses, wrong types
+            injected += 3
+        # A torn line *in the middle* of the log: rewrite the file with the
+        # first committed line truncated halfway.
+        lines = shard.read_bytes().split(b"\n")
+        if lines and len(lines[0]) > 10:
+            lines.insert(0, lines[0][: len(lines[0]) // 2])
+            shard.write_bytes(b"\n".join(lines))
+            injected += 1
+    return injected
+
+
+@pytest.fixture(scope="module")
+def stressed_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("evalcache-stress")
+    _run_workers(root)
+    injected = _inject_corruption(root / FINGERPRINT)
+    return root, injected
+
+
+class TestEvalCacheConcurrencyStress:
+    def test_no_committed_entry_is_lost(self, stressed_root):
+        root, _ = stressed_root
+        cache = PersistentEvalCache(root, fingerprint=FINGERPRINT,
+                                    n_shards=N_SHARDS)
+        for worker in range(N_WORKERS):
+            for key in _worker_keys(worker):
+                entry = cache.get(key)
+                assert entry is not None, f"lost committed entry {key}"
+                if key[0][0] != "shared":
+                    assert entry == _entry(worker, hash(key[0][1]) % 100)
+
+    def test_shared_keys_hold_some_writers_value(self, stressed_root):
+        root, _ = stressed_root
+        cache = PersistentEvalCache(root, fingerprint=FINGERPRINT,
+                                    n_shards=N_SHARDS)
+        candidates = [
+            {_entry(worker, hash(index) % 100)["accuracy"]
+             for worker in range(N_WORKERS)}
+            for index in range(10)
+        ]
+        for index in range(10):
+            entry = cache.get((("shared", index), 0.5))
+            assert entry["accuracy"] in candidates[index]
+
+    def test_reader_skips_corrupt_lines_without_crashing(self, stressed_root):
+        root, injected = stressed_root
+        cache = PersistentEvalCache(root, fingerprint=FINGERPRINT,
+                                    n_shards=N_SHARDS)
+        cache.load_all()
+        assert injected > 0
+        assert cache.skipped_lines >= injected
+        expected = N_WORKERS * ENTRIES_PER_WORKER + 10
+        assert len(cache) == expected
+
+    def test_meta_json_is_authoritative_on_reopen(self, stressed_root):
+        """A reader opened with the wrong shard count adopts the stored one."""
+        root, _ = stressed_root
+        meta = json.loads(
+            (root / FINGERPRINT / "meta.json").read_text("utf-8")
+        )
+        assert meta["n_shards"] == N_SHARDS
+        wrong = PersistentEvalCache(root, fingerprint=FINGERPRINT,
+                                    n_shards=N_SHARDS * 4)
+        assert wrong.n_shards == N_SHARDS
+        # Lookups hash into the *stored* layout, so nothing is missed.
+        assert wrong.get((("worker0", 0), 1.0)) is not None
+        assert len(wrong) == N_WORKERS * ENTRIES_PER_WORKER + 10
+
+    @pytest.mark.slow
+    def test_heavy_contention_many_workers(self, tmp_path):
+        """Opt-in scale variant: more writers, same guarantees."""
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=_append_worker,
+                                   args=(str(tmp_path), worker))
+                   for worker in range(8)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        cache = PersistentEvalCache(tmp_path, fingerprint=FINGERPRINT,
+                                    n_shards=N_SHARDS)
+        for worker in range(8):
+            for key in _worker_keys(worker):
+                assert cache.get(key) is not None
+
+    def test_concurrent_writers_preserve_single_line_appends(self, stressed_root):
+        """Every uncorrupted line is a complete JSON document on its own.
+
+        Single-``os.write`` appends on O_APPEND descriptors must never
+        interleave inside each other, so aside from the deliberately
+        injected garbage every line parses.
+        """
+        root, injected = stressed_root
+        unparseable = 0
+        for shard in sorted((root / FINGERPRINT).glob("shard-*.jsonl")):
+            for line in shard.read_text("utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    unparseable += 1
+        assert unparseable <= injected

@@ -106,3 +106,129 @@ class TestResultStore:
             store.key("heart", "lr", "rs-")
         with pytest.raises(ValidationError):
             store.key("heart", "lr", "-rs")
+
+
+class TestFormatMarkerAndLegacyShim:
+    """The format_version marker and the pre-PR-2 tagged-stem loader shim."""
+
+    def _write_legacy(self, root, dataset, model, stem, algorithm,
+                      accuracy=0.7):
+        """Write a pre-format-marker store file (no format_version key)."""
+        import json
+
+        from repro.io.serialization import search_result_to_dict
+
+        document = search_result_to_dict(_result(algorithm, accuracy))
+        del document["format_version"]
+        path = root / dataset / model / f"{stem}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return path
+
+    def test_saved_documents_carry_format_version(self, tmp_path):
+        import json
+
+        from repro.io.serialization import RESULT_FORMAT_VERSION
+
+        store = ResultStore(tmp_path)
+        path = store.save(store.key("heart", "lr", "pbt"), _result("pbt", 0.9))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["format_version"] == RESULT_FORMAT_VERSION
+
+    def test_newer_format_version_is_refused(self, tmp_path):
+        import json
+
+        store = ResultStore(tmp_path)
+        key = store.key("heart", "lr", "pbt")
+        path = store.save(key, _result("pbt", 0.9))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["format_version"] = 999
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValidationError):
+            store.load(key)
+
+    def test_legacy_tagged_stem_reparsed_from_document(self, tmp_path):
+        """rs-seed1.json from a pre-PR-2 store is (rs, seed1), not (rs-seed1, '')."""
+        store = ResultStore(tmp_path)
+        self._write_legacy(tmp_path, "heart", "lr", "rs-seed1", "rs")
+        [key] = store.keys()
+        assert key.algorithm == "rs"
+        assert key.tag == "seed1"
+
+    def test_legacy_tagged_run_round_trips_through_load_and_resave(self, tmp_path):
+        store = ResultStore(tmp_path)
+        legacy_path = self._write_legacy(tmp_path, "heart", "lr",
+                                         "tevo_h-rerun", "tevo_h",
+                                         accuracy=0.75)
+        [key] = store.keys()
+        assert store.exists(key)
+        loaded = store.load(key)  # served from the legacy single-hyphen path
+        assert loaded.algorithm == "tevo_h"
+        assert loaded.best_accuracy == 0.75
+        # Re-saving migrates to the current '--' layout and removes the
+        # superseded legacy file, so the run is never listed twice.
+        new_path = store.save(key, loaded)
+        assert new_path != legacy_path
+        assert new_path.name == "tevo_h--rerun.json"
+        assert not legacy_path.exists()
+        assert store.keys() == [key]
+        assert store.load(key).best_accuracy == 0.75
+        assert len(store.summary_rows()) == 1
+
+    def test_legacy_hyphenated_algorithm_without_tag(self, tmp_path):
+        """An unmarked random-search.json is an untagged hyphenated algorithm."""
+        store = ResultStore(tmp_path)
+        self._write_legacy(tmp_path, "heart", "lr", "random-search",
+                           "random-search")
+        [key] = store.keys()
+        assert key.algorithm == "random-search"
+        assert key.tag == ""
+        assert store.load(key).algorithm == "random-search"
+
+    def test_colliding_modern_file_never_shadowed_or_deleted(self, tmp_path):
+        """heart/lr/tevo-h.json (modern, untagged, hyphenated algorithm)
+        must not be served for — or deleted by — key ('tevo', tag='h')."""
+        store = ResultStore(tmp_path)
+        modern_key = store.key("heart", "lr", "tevo-h")
+        modern_path = store.save(modern_key, _result("tevo-h", 0.9))
+        colliding = store.key("heart", "lr", "tevo", tag="h")
+        # The never-saved tagged key neither exists nor loads the modern run.
+        assert not store.exists(colliding)
+        with pytest.raises(ValidationError):
+            store.load(colliding)
+        # Saving the tagged key must not unlink the unrelated modern file.
+        store.save(colliding, _result("tevo", 0.6))
+        assert modern_path.exists()
+        assert store.load(modern_key).best_accuracy == 0.9
+        assert store.load(colliding).best_accuracy == 0.6
+        assert {(k.algorithm, k.tag) for k in store.keys()} == \
+            {("tevo-h", ""), ("tevo", "h")}
+
+    def test_modern_hyphenated_stem_not_misread_as_legacy(self, tmp_path):
+        """A marked document's stem is never split on single hyphens."""
+        store = ResultStore(tmp_path)
+        store.save(store.key("heart", "lr", "random-search"),
+                   _result("random-search", 0.8))
+        [key] = store.keys()
+        assert key.algorithm == "random-search"
+        assert key.tag == ""
+
+    def test_unreadable_unmarked_file_falls_back_to_stem(self, tmp_path):
+        path = tmp_path / "heart" / "lr" / "some-stem.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        store = ResultStore(tmp_path)
+        [key] = store.keys()
+        assert key.algorithm == "some-stem"
+        assert key.tag == ""
+
+    def test_summary_rows_include_legacy_tagged_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._write_legacy(tmp_path, "heart", "lr", "rs-old", "rs",
+                           accuracy=0.7)
+        store.save(store.key("heart", "lr", "rs", tag="new"),
+                   _result("rs", 0.8))
+        rows = {(row["algorithm"], row["tag"]): row["best_accuracy"]
+                for row in store.summary_rows()}
+        assert rows[("rs", "old")] == 0.7
+        assert rows[("rs", "new")] == 0.8

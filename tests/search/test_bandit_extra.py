@@ -33,7 +33,8 @@ class TestRegistryIntegration:
     def test_extension_algorithms_not_in_the_15_algorithm_table(self):
         assert "ucb" not in SEARCH_ALGORITHM_CLASSES
         assert "thompson" not in SEARCH_ALGORITHM_CLASSES
-        assert set(EXTENSION_ALGORITHM_CLASSES) == {"ucb", "thompson"}
+        assert "asha" not in SEARCH_ALGORITHM_CLASSES
+        assert set(EXTENSION_ALGORITHM_CLASSES) == {"ucb", "thompson", "asha"}
 
     def test_make_search_algorithm_resolves_extension_names(self):
         assert isinstance(make_search_algorithm("ucb"), UCBSearch)
