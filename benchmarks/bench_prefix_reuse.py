@@ -1,0 +1,164 @@
+"""Prefix-transform reuse: warm-prefix Prep cost vs re-fitting from raw data.
+
+The bottleneck analysis (``bench_fig7_table5_bottleneck.py``) shows Prep
+dominating pipeline-search cost, and the registry algorithms overwhelmingly
+propose pipelines sharing long step prefixes: evolution mutates or appends a
+step of an existing member, progressive NAS grows its beam one position per
+iteration.  With ``prefix_cache_bytes`` set, the evaluator resumes each
+pipeline from its longest cached prefix and only pays Prep for the uncached
+suffix — bit-for-bit identical accuracies, less Prep time.
+
+This harness runs an evolution + progressive-NAS workload on a synthetic
+dataset twice — prefix cache off, then on — and compares
+
+* *total Prep seconds*: the summed ``prep_time`` of every unique
+  evaluation (what the search actually paid), and
+* *steps fitted vs steps reused*: the deterministic work counter behind
+  the timing.
+
+Expected shape: identical trial accuracies, a large reused-step fraction,
+and a >=1.5x total-Prep speedup with the cache on.
+
+``smoke_check()`` is the fast variant exercised by the tier-1 test-suite
+(see ``tests/core/test_prefix_cache.py``); it asserts on the deterministic
+counters so it cannot flake on machine speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.problem import AutoFPProblem
+from repro.core.search_space import SearchSpace
+from repro.datasets.synthetic import distort_features, make_classification
+from repro.experiments import format_table
+from repro.models.linear import LogisticRegression
+from repro.search import make_search_algorithm
+
+#: (algorithm, constructor kwargs): evolution mutates/appends existing
+#: members, PNAS grows its beam one position at a time — the two
+#: prefix-sharing proposal patterns the cache is built for
+WORKLOAD = (
+    ("tevo_h", {}),
+    ("pmne", {"beam_width": 4}),
+)
+
+
+def _make_problem(n_samples: int, n_features: int, prefix_cache_bytes):
+    X, y = make_classification(n_samples=n_samples, n_features=n_features,
+                               n_classes=2, class_sep=1.5, random_state=7)
+    X = distort_features(X, random_state=7)
+    return AutoFPProblem.from_arrays(
+        X, y, LogisticRegression(max_iter=40),
+        space=SearchSpace(max_length=5), random_state=0,
+        name="prefix-reuse/lr", prefix_cache_bytes=prefix_cache_bytes,
+    )
+
+
+def run_workload(*, n_samples: int, n_features: int, max_trials: int,
+                 prefix_cache_bytes=None) -> dict:
+    """Run the evolution+PNAS workload once; return timing and counters."""
+    total_prep = 0.0
+    wall_start = time.perf_counter()
+    accuracies = []
+    total_steps = 0
+    steps_reused = 0
+    for algorithm, kwargs in WORKLOAD:
+        problem = _make_problem(n_samples, n_features, prefix_cache_bytes)
+        searcher = make_search_algorithm(algorithm, random_state=0, **kwargs)
+        result = searcher.search(problem, max_trials=max_trials)
+        seen = set()
+        for trial in result.trials:
+            key = (trial.pipeline.spec(), round(trial.fidelity, 6))
+            if key in seen:
+                continue  # memoized repeat: its prep was paid once
+            seen.add(key)
+            total_prep += trial.prep_time
+            total_steps += len(trial.pipeline)
+        accuracies.append([(t.pipeline.spec(), t.accuracy)
+                           for t in result.trials])
+        if prefix_cache_bytes:
+            steps_reused += problem.evaluator.cache_info()["steps_reused"]
+    return {
+        "wall_seconds": time.perf_counter() - wall_start,
+        "prep_seconds": total_prep,
+        "total_steps": total_steps,
+        "steps_reused": steps_reused,
+        "accuracies": accuracies,
+    }
+
+
+def smoke_check(*, n_samples: int = 400, n_features: int = 8,
+                max_trials: int = 16) -> tuple[dict, dict]:
+    """Fast prefix-reuse exercise on deterministic counters.
+
+    Asserts the non-negotiable contract (identical accuracies) plus a
+    meaningful reused-step fraction; returns the (off, on) measurements so
+    callers can assert further.
+    """
+    off = run_workload(n_samples=n_samples, n_features=n_features,
+                       max_trials=max_trials)
+    on = run_workload(n_samples=n_samples, n_features=n_features,
+                      max_trials=max_trials, prefix_cache_bytes=1 << 26)
+    assert on["accuracies"] == off["accuracies"], (
+        "prefix reuse changed trial outcomes"
+    )
+    assert on["steps_reused"] > 0, "workload never reused a prefix"
+    fraction = on["steps_reused"] / max(on["total_steps"], 1)
+    assert fraction >= 0.2, (
+        f"only {fraction:.0%} of pipeline steps were served from the "
+        "prefix cache on a prefix-heavy workload"
+    )
+    return off, on
+
+
+def test_prefix_reuse_smoke():
+    """Counter-based smoke (also run under tier-1): immune to machine speed."""
+    smoke_check()
+
+
+@pytest.mark.slow
+def test_prefix_reuse(once, artifact):
+    off = once(run_workload, n_samples=4000, n_features=24, max_trials=40)
+    on = run_workload(n_samples=4000, n_features=24, max_trials=40,
+                      prefix_cache_bytes=1 << 28)
+
+    identical = on["accuracies"] == off["accuracies"]
+    speedup = off["prep_seconds"] / max(on["prep_seconds"], 1e-9)
+    rows = [
+        ["prefix cache off", off["prep_seconds"], off["wall_seconds"],
+         off["total_steps"], 0, "yes"],
+        ["prefix cache on", on["prep_seconds"], on["wall_seconds"],
+         on["total_steps"], on["steps_reused"],
+         "yes" if identical else "NO"],
+    ]
+    artifact("prefix_reuse",
+             format_table(["run", "prep_s", "wall_s", "steps",
+                           "steps_reused", "identical"], rows)
+             + f"\ntotal-Prep speedup: {speedup:.2f}x")
+
+    assert identical
+    assert on["steps_reused"] > 0
+    assert speedup >= 1.5, (
+        f"prefix cache delivered only {speedup:.2f}x total-Prep speedup "
+        "(expected >= 1.5x on the evolution+PNAS workload)"
+    )
+
+
+if __name__ == "__main__":
+    off, on = smoke_check()
+    print("smoke check passed: identical accuracies, "
+          f"{on['steps_reused']}/{on['total_steps']} steps reused")
+    off = run_workload(n_samples=4000, n_features=24, max_trials=40)
+    on = run_workload(n_samples=4000, n_features=24, max_trials=40,
+                      prefix_cache_bytes=1 << 28)
+    speedup = off["prep_seconds"] / max(on["prep_seconds"], 1e-9)
+    print(f"cache off: prep {off['prep_seconds']:.2f}s "
+          f"(wall {off['wall_seconds']:.2f}s)")
+    print(f"cache on : prep {on['prep_seconds']:.2f}s "
+          f"(wall {on['wall_seconds']:.2f}s, "
+          f"{on['steps_reused']}/{on['total_steps']} steps reused)")
+    print(f"total-Prep speedup: {speedup:.2f}x "
+          f"(identical: {on['accuracies'] == off['accuracies']})")

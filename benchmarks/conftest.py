@@ -1,9 +1,11 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark module regenerates one table or figure of the paper at
-laptop scale and prints the corresponding text artefact.  Run them with::
+laptop scale and prints the corresponding text artefact.  The full
+measurements are marked ``slow`` (CI only smoke-runs the fast checks via
+``pytest benchmarks -q -m "not slow"``), so opt in explicitly::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ -m "slow or not slow" --benchmark-only -s
 
 The ``-s`` flag shows the regenerated tables; without it the artefacts are
 still written to ``benchmarks/output/``.
@@ -17,6 +19,27 @@ import pytest
 
 #: directory where every benchmark writes its regenerated artefact
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: seconds-scale harnesses whose full run is cheap enough for the CI smoke
+#: step; every other bench test is auto-marked ``slow`` below
+FAST_MODULES = {"bench_table3_taxonomy", "bench_fig5_dataset_stats"}
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Fail-safe marking: bench measurements are ``slow`` unless opted out.
+
+    The CI smoke step (``pytest benchmarks -q -m "not slow"``) must stay
+    seconds-scale, so rather than trusting every new ``bench_*.py`` to
+    remember a ``pytestmark``, minutes-scale measurements are marked here
+    at collection time.  A test opts into the smoke run by carrying
+    ``smoke`` in its name (e.g. ``test_prefix_reuse_smoke``) or living in
+    one of the ``FAST_MODULES``.  Collection itself still imports every
+    bench module, so API drift fails CI even for slow-marked harnesses.
+    """
+    for item in items:
+        if "smoke" in item.name or item.module.__name__ in FAST_MODULES:
+            continue
+        item.add_marker(pytest.mark.slow)
 
 
 def emit_artifact(name: str, text: str) -> None:

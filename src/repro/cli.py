@@ -15,6 +15,8 @@ driven without writing Python:
   an equal budget and print their ranking,
 * ``python -m repro experiment`` — run a (dataset x model x algorithm)
   grid, optionally fanned out across parallel workers,
+* ``python -m repro evalcache`` — inspect (``stats``) or prune/compact
+  (``prune --keep-fingerprints N``) a persistent evaluation-cache root,
 * ``python -m repro metafeatures`` — print the 40 meta-features of a dataset.
 
 ``search``, ``compare`` and ``experiment`` accept ``--n-jobs`` and
@@ -26,7 +28,9 @@ evaluations are still in flight — pair with ``--algorithm asha``).
 ``search`` and ``experiment`` also accept ``--cache-dir`` to persist every
 pipeline evaluation across runs: repeating a command with the same cache
 directory answers previously seen evaluations from disk (bit-for-bit
-identical results, zero re-training).
+identical results, zero re-training) — and ``--prefix-cache-mb`` to reuse
+fitted pipeline *prefixes* within a run, so each pipeline only pays Prep
+for its uncached suffix (identical results, bounded memory).
 
 Every command writes plain text to stdout and returns a process exit code,
 so the CLI composes with shell pipelines and CI jobs.
@@ -85,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="directory for the persistent cross-run "
                                   "evaluation cache (default: no persistence)")
 
+    def add_prefix_cache_option(command) -> None:
+        command.add_argument("--prefix-cache-mb", type=float, default=None,
+                             metavar="MB",
+                             help="byte budget (in MiB) for the in-memory "
+                                  "prefix-transform cache: pipelines sharing "
+                                  "a step prefix only pay Prep for their "
+                                  "uncached suffix, with identical results "
+                                  "(default: no prefix reuse)")
+
     search = subparsers.add_parser("search", help="run one Auto-FP search")
     search.add_argument("--dataset", required=True, help="registry dataset name")
     search.add_argument("--model", default="lr", help="downstream model (lr/xgb/mlp/...)")
@@ -99,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_options(search, "evaluation batches")
     add_async_option(search)
     add_cache_option(search)
+    add_prefix_cache_option(search)
 
     compare = subparsers.add_parser(
         "compare", help="compare several algorithms on one dataset")
@@ -134,6 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_options(experiment, "the grid fan-out")
     add_async_option(experiment)
     add_cache_option(experiment)
+    add_prefix_cache_option(experiment)
+
+    evalcache = subparsers.add_parser(
+        "evalcache",
+        help="inspect or prune a persistent evaluation-cache root")
+    evalcache_actions = evalcache.add_subparsers(dest="action", required=True)
+    evalcache_stats = evalcache_actions.add_parser(
+        "stats", help="per-fingerprint entry/shard/byte counts")
+    evalcache_stats.add_argument("--cache-dir", required=True,
+                                 help="cache root to inspect")
+    evalcache_prune = evalcache_actions.add_parser(
+        "prune",
+        help="keep the N most recently used fingerprints and compact "
+             "their append-logs (rewrites live entries, drops duplicate "
+             "and torn lines)")
+    evalcache_prune.add_argument("--cache-dir", required=True,
+                                 help="cache root to prune")
+    evalcache_prune.add_argument("--keep-fingerprints", type=int, required=True,
+                                 metavar="N",
+                                 help="how many most-recently-used "
+                                      "fingerprints to keep")
 
     metafeatures = subparsers.add_parser(
         "metafeatures", help="print the 40 meta-features of a dataset")
@@ -217,6 +252,13 @@ def _cmd_algorithms(args, out) -> int:
     return 0
 
 
+def _prefix_cache_bytes(args) -> int | None:
+    """Convert the ``--prefix-cache-mb`` option to a byte budget."""
+    if args.prefix_cache_mb is None:
+        return None
+    return int(args.prefix_cache_mb * 1024 * 1024)
+
+
 def _cmd_search(args, out) -> int:
     from repro.core.problem import AutoFPProblem
     from repro.search import make_search_algorithm
@@ -225,6 +267,7 @@ def _cmd_search(args, out) -> int:
         args.dataset, args.model, scale=args.scale, random_state=args.seed,
         n_jobs=args.n_jobs, backend=args.backend, cache_dir=args.cache_dir,
         async_mode=args.async_mode,
+        prefix_cache_bytes=_prefix_cache_bytes(args),
     )
     baseline = problem.baseline_accuracy()
     algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
@@ -246,6 +289,19 @@ def _cmd_search(args, out) -> int:
         out.write(f"eval cache   : {info['misses']} uncached, "
                   f"{info['hits']} cached "
                   f"({info.get('disk_hits', 0)} from {args.cache_dir})\n")
+    if problem.evaluator.prefix_cache is not None:
+        from repro.engine import resolve_backend_name
+
+        info = problem.evaluator.cache_info()
+        # Process workers keep private caches whose counters never reach
+        # the parent — all zeros here would misread as "the flag did
+        # nothing", so say where the reuse happened.
+        note = (" (in worker processes; counters not merged back)"
+                if resolve_backend_name(args.n_jobs, args.backend) == "process"
+                else "")
+        out.write(f"prefix cache : {info['prefix_hits']} prefix hits, "
+                  f"{info['steps_reused']} steps reused, "
+                  f"{info['bytes_held']} bytes held{note}\n")
 
     if args.output:
         from repro.io import save_search_result
@@ -303,6 +359,7 @@ def _cmd_experiment(args, out) -> int:
         backend=resolve_backend_name(args.n_jobs, args.backend),
         cache_dir=args.cache_dir,
         async_mode=args.async_mode,
+        prefix_cache_bytes=_prefix_cache_bytes(args),
     )
     out.write(f"grid         : {len(config.datasets)} datasets x "
               f"{len(config.models)} models x {len(config.algorithms)} "
@@ -331,6 +388,35 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_evalcache(args, out) -> int:
+    from repro.io.evalcache import cache_stats, prune_cache_root
+
+    if args.action == "stats":
+        rows = cache_stats(args.cache_dir)
+        if not rows:
+            out.write(f"no cache fingerprints under {args.cache_dir}\n")
+            return 0
+        out.write(f"{'fingerprint':<16} {'shards':>6} {'entries':>8} "
+                  f"{'lines':>8} {'stale':>6} {'bytes':>10}\n")
+        for row in rows:
+            out.write(f"{row['fingerprint'][:12] + '...':<16} "
+                      f"{row['shard_files']:>6d} {row['entries']:>8d} "
+                      f"{row['lines']:>8d} "
+                      f"{row['lines'] - row['entries']:>6d} "
+                      f"{row['bytes']:>10d}\n")
+        out.write(f"\n{len(rows)} fingerprint(s); 'stale' lines (duplicate "
+                  "or torn appends) are removed by `repro evalcache prune`\n")
+        return 0
+
+    summary = prune_cache_root(args.cache_dir,
+                               keep_fingerprints=args.keep_fingerprints)
+    out.write(f"kept         : {len(summary['kept'])} fingerprint(s)\n")
+    out.write(f"removed      : {len(summary['removed'])} fingerprint(s)\n")
+    out.write(f"compacted    : {summary['lines_removed']} stale append-log "
+              "line(s) rewritten away\n")
+    return 0
+
+
 def _cmd_metafeatures(args, out) -> int:
     from repro.datasets import load_dataset
     from repro.metafeatures import compute_metafeatures
@@ -350,6 +436,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "evalcache": _cmd_evalcache,
     "metafeatures": _cmd_metafeatures,
 }
 

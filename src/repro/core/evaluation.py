@@ -25,6 +25,14 @@ Evaluation is deterministic and memoized:
   not depend on evaluation order — the property that lets the execution
   engine (:mod:`repro.engine`) run batches on serial, thread or process
   backends with bit-for-bit identical outcomes;
+* with ``prefix_cache_bytes`` set, evaluation is *incremental*: a
+  byte-budgeted :class:`~repro.core.prefixcache.PrefixTransformCache`
+  stores every fitted pipeline prefix with its transformed train/valid
+  arrays, so a pipeline sharing a prefix with earlier work only pays Prep
+  for its uncached suffix (and a prefix that already failed fails all its
+  extensions without re-running Prep).  Cached prefixes hold the exact
+  arrays the cold path would recompute, so results stay bit-for-bit
+  identical to cache-off evaluation;
 * ``evaluate_many`` / ``evaluate_tasks`` route whole batches through an
   optional :class:`~repro.engine.engine.ExecutionEngine` for parallel
   execution.
@@ -40,12 +48,41 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.pipeline import Pipeline
+from repro.core.prefixcache import make_prefix_cache
 from repro.core.result import TrialRecord
 from repro.exceptions import ValidationError
 from repro.models.base import Classifier
 from repro.models.metrics import accuracy_score, train_test_split
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_X_y
+
+
+def _is_readonly_write(error: BaseException) -> bool:
+    """Whether ``error`` is numpy's write-to-read-only-array ValueError.
+
+    Prefix-cache arrays are frozen (``writeable=False``); numpy rejects an
+    in-place write with messages like "assignment destination is read-only"
+    / "output array is read-only", which must be told apart from the
+    genuinely numerical ValueErrors a degenerate pipeline raises.
+    """
+    return isinstance(error, ValueError) and "read-only" in str(error)
+
+
+def _raise_if_copy_on_write(error: BaseException, culprit: str) -> None:
+    """Surface a write to a frozen cached array as the cache contract error.
+
+    Swallowing it (or letting a bare numpy ValueError escape) would either
+    silently diverge from the cache-off baseline or leave the user without
+    a hint of what went wrong; no-op for ordinary numerical errors.
+    """
+    if _is_readonly_write(error):
+        from repro.exceptions import CopyOnWriteViolationError
+
+        raise CopyOnWriteViolationError(
+            f"{culprit} mutated its input matrix in place, which the "
+            "prefix cache forbids (cached arrays are shared between "
+            "pipelines); copy before writing, or disable prefix_cache_bytes"
+        ) from error
 
 
 class PipelineEvaluator:
@@ -85,11 +122,24 @@ class PipelineEvaluator:
         the disk cache keeps its own small in-memory index of every entry
         it has seen, which ``cache_size`` does not bound (entries are four
         scalars each; see :mod:`repro.io.evalcache`).
+    prefix_cache_bytes:
+        Optional byte budget for the prefix-transform cache
+        (:mod:`repro.core.prefixcache`).  When set, pipelines are fitted
+        *incrementally*: every fitted prefix (steps + transformed
+        train/valid arrays) is cached, so a pipeline sharing a prefix with
+        earlier work only pays Prep for its uncached suffix, and a prefix
+        that already failed short-circuits all its extensions.  Results are
+        bit-for-bit identical to cache-off evaluation; the budget trades
+        memory for Prep time (the dominant search cost).  Thread workers
+        share one locked cache; process workers each build their own,
+        persisting across batches for the lifetime of the worker pool.
+        ``None`` (default) disables prefix reuse.
     """
 
     def __init__(self, X_train, y_train, X_valid, y_valid, model: Classifier,
                  *, cache: bool = True, cache_size: int | None = None,
-                 random_state=None, engine=None, cache_dir=None) -> None:
+                 random_state=None, engine=None, cache_dir=None,
+                 prefix_cache_bytes: int | None = None) -> None:
         self.X_train, self.y_train = check_X_y(X_train, y_train)
         self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
         if self.X_train.shape[1] != self.X_valid.shape[1]:
@@ -113,6 +163,8 @@ class PipelineEvaluator:
             self._subsample_seed = int(self._rng.integers(0, 2**32 - 1))
         self._engine = engine
         self.n_evaluations = 0
+        self.prefix_cache_bytes = prefix_cache_bytes
+        self._prefix_cache = make_prefix_cache(prefix_cache_bytes)
         self.cache_dir = cache_dir
         if cache and cache_dir is not None:
             # Guarded so the default (no cache_dir) path never pays the
@@ -127,8 +179,8 @@ class PipelineEvaluator:
     @classmethod
     def from_dataset(cls, X, y, model: Classifier, *, valid_size: float = 0.2,
                      cache: bool = True, cache_size: int | None = None,
-                     random_state=0, engine=None,
-                     cache_dir=None) -> "PipelineEvaluator":
+                     random_state=0, engine=None, cache_dir=None,
+                     prefix_cache_bytes: int | None = None) -> "PipelineEvaluator":
         """Split ``(X, y)`` 80:20 (stratified) and build an evaluator."""
         X_train, X_valid, y_train, y_valid = train_test_split(
             X, y, test_size=valid_size, random_state=random_state
@@ -136,7 +188,7 @@ class PipelineEvaluator:
         return cls(X_train, y_train, X_valid, y_valid, model,
                    cache=cache, cache_size=cache_size,
                    random_state=random_state, engine=engine,
-                   cache_dir=cache_dir)
+                   cache_dir=cache_dir, prefix_cache_bytes=prefix_cache_bytes)
 
     # ------------------------------------------------------------- engine
     @property
@@ -153,17 +205,31 @@ class PipelineEvaluator:
         """The persistent cross-run cache (``None`` when ``cache_dir`` unset)."""
         return self._disk_cache
 
+    @property
+    def prefix_cache(self):
+        """The prefix-transform cache (``None`` when ``prefix_cache_bytes`` unset)."""
+        return self._prefix_cache
+
     def __getstate__(self) -> dict:
         # Workers evaluate serially and start with a cold cache: shipping
         # the parent's (potentially large) cache or its engine would only
         # inflate the pickle and risk nested worker pools.  The disk-cache
         # handle is dropped too — workers only run _evaluate_uncached, and
         # the parent merges their results back to disk after each batch.
+        # The prefix cache is likewise dropped: __setstate__ rebuilds a
+        # fresh one per process, and because the process backend ships the
+        # evaluator once through the pool initializer, each worker's cache
+        # then persists across batches for the lifetime of the pool.
         state = self.__dict__.copy()
         state["_engine"] = None
         state["_cache"] = OrderedDict()
         state["_disk_cache"] = None
+        state["_prefix_cache"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._prefix_cache = make_prefix_cache(self.prefix_cache_bytes)
 
     # -------------------------------------------------------------- identity
     def fingerprint(self) -> str:
@@ -345,6 +411,13 @@ class PipelineEvaluator:
         With a persistent cache attached (``cache_dir``), the disk layer's
         own counters are itemised under ``disk_*`` keys; ``disk_hits`` > 0
         with ``misses`` == 0 is the signature of a fully warm run.
+
+        With a prefix cache attached (``prefix_cache_bytes``), its counters
+        are itemised under ``prefix_*`` keys plus ``steps_reused`` (pipeline
+        steps served from cache instead of re-fitted) and ``bytes_held``
+        (current budget usage).  Note these cover this process only: process
+        backend workers keep their own caches, whose counters are not
+        merged back.
         """
         info = {
             "hits": self.cache_hits,
@@ -363,44 +436,169 @@ class PipelineEvaluator:
                 "disk_entries": disk["entries"],
                 "disk_path": disk["path"],
             })
+        if self._prefix_cache is not None:
+            prefix = self._prefix_cache.info()
+            info.update({
+                "prefix_hits": prefix["hits"],
+                "prefix_misses": prefix["misses"],
+                "prefix_evictions": prefix["evictions"],
+                "prefix_entries": prefix["entries"],
+                "prefix_short_circuits": prefix["failed_short_circuits"],
+                "steps_reused": prefix["steps_reused"],
+                "bytes_held": prefix["bytes_held"],
+                "prefix_max_bytes": prefix["max_bytes"],
+            })
         return info
 
     def clear_cache(self) -> None:
-        """Drop the in-memory cache (counters accumulate; disk entries stay)."""
+        """Drop the in-memory caches (counters accumulate; disk entries stay).
+
+        Clears both the memoization LRU and, when enabled, the
+        prefix-transform cache — releasing its byte budget — so subsequent
+        evaluations are genuinely cold.
+        """
         self._cache.clear()
+        if self._prefix_cache is not None:
+            self._prefix_cache.clear()
 
     # ------------------------------------------------------------ internals
     def _evaluate_uncached(self, pipeline: Pipeline, fidelity: float) -> dict:
         """Run one evaluation and return its cache entry.
 
-        Pure with respect to the evaluator: reads the split and the model
-        prototype, mutates nothing — which is what makes it safe to call
-        concurrently from thread or process workers.
+        Pure with respect to the evaluator's *results*: reads the split and
+        the model prototype and computes the same values regardless of what
+        other evaluations ran before — which is what makes it safe to call
+        concurrently from thread or process workers.  (The prefix cache, if
+        enabled, is mutated, but it is internally locked and only ever
+        changes *how fast* an entry is computed, never its value.)
         """
         X_train, y_train = self._training_subset(fidelity, pipeline)
 
+        # Prefix reuse applies only at full fidelity: a low-fidelity
+        # training subset is derived from the *full* pipeline spec, so its
+        # prefixes could only ever be re-hit by the exact same (spec,
+        # fidelity) — which the memoization cache answers first.  Probing
+        # the shared lock for a guaranteed miss would only add contention.
+        if self._prefix_cache is not None and len(pipeline) > 0 \
+                and fidelity >= 1.0:
+            prep = self._prep_incremental(pipeline, fidelity, X_train, y_train)
+        else:
+            prep = self._prep_cold(pipeline, X_train, y_train)
+        if prep["failed"]:
+            return {"accuracy": 0.0, "prep_time": prep["prep_time"],
+                    "train_time": 0.0, "failed": True}
+        X_train_t, X_valid_t = prep["X_train_t"], prep["X_valid_t"]
+        # A zero-step pipeline passes the canonical split through unchanged,
+        # and _sanitize no longer copies finite input — copy here so a
+        # model that scribbles on its training matrix cannot corrupt the
+        # split every later trial is scored against.  Transformed arrays
+        # are per-evaluation scratch (or frozen cache entries) and need no
+        # defensive copy.
+        if X_train_t is self.X_train:
+            X_train_t = X_train_t.copy()
+        if X_valid_t is self.X_valid:
+            X_valid_t = X_valid_t.copy()
+
+        train_start = time.perf_counter()
+        model = self.model.clone()
+        try:
+            model.fit(self._sanitize(X_train_t), y_train)
+            predictions = model.predict(self._sanitize(X_valid_t))
+        except ValueError as error:
+            if self._prefix_cache is not None:
+                _raise_if_copy_on_write(error,
+                                        f"model {type(self.model).__name__}")
+            raise
+        accuracy = accuracy_score(self.y_valid, predictions)
+        train_time = time.perf_counter() - train_start
+
+        return {"accuracy": accuracy, "prep_time": prep["prep_time"],
+                "train_time": train_time, "failed": False}
+
+    _PREP_ERRORS = (FloatingPointError, ValueError, ValidationError)
+
+    def _prep_cold(self, pipeline: Pipeline, X_train, y_train) -> dict:
+        """Fit ``pipeline`` from raw arrays (no prefix reuse)."""
         prep_start = time.perf_counter()
         try:
             fitted, X_train_t = pipeline.fit_transform(X_train, y_train)
             X_valid_t = fitted.transform(self.X_valid)
-        except (FloatingPointError, ValueError, ValidationError):
+        except self._PREP_ERRORS:
             # A numerically degenerate pipeline scores as bad as possible.
             # The failure is cached like any result so repeat evaluations
             # don't re-pay the preprocessing cost.
-            prep_time = time.perf_counter() - prep_start
-            return {"accuracy": 0.0, "prep_time": prep_time,
-                    "train_time": 0.0, "failed": True}
-        prep_time = time.perf_counter() - prep_start
+            return {"failed": True,
+                    "prep_time": time.perf_counter() - prep_start}
+        return {"failed": False, "X_train_t": X_train_t, "X_valid_t": X_valid_t,
+                "prep_time": time.perf_counter() - prep_start}
 
-        train_start = time.perf_counter()
-        model = self.model.clone()
-        model.fit(self._sanitize(X_train_t), y_train)
-        predictions = model.predict(self._sanitize(X_valid_t))
-        accuracy = accuracy_score(self.y_valid, predictions)
-        train_time = time.perf_counter() - train_start
+    def _prep_incremental(self, pipeline: Pipeline, fidelity: float,
+                          X_train, y_train) -> dict:
+        """Fit ``pipeline`` resuming from its longest cached prefix.
 
-        return {"accuracy": accuracy, "prep_time": prep_time,
-                "train_time": train_time, "failed": False}
+        Every intermediate prefix produced along the way is registered in
+        the prefix cache (fitted steps + transformed train/valid arrays),
+        and a failure at step ``k`` is recorded as a tombstone for
+        ``spec[:k]`` so extensions of a failed prefix short-circuit without
+        re-running Prep.  The arrays resumed from the cache are exactly the
+        ones the cold path would recompute, so the returned transforms are
+        bit-for-bit identical to :meth:`_prep_cold`.  Only called at full
+        fidelity (see :meth:`_evaluate_uncached`), where the subsample
+        token is ``None`` and prefixes are freely shareable.
+        """
+        cache = self._prefix_cache
+        spec = pipeline.spec()
+        token = cache.subsample_token(spec, fidelity)
+        prep_start = time.perf_counter()
+        hit_len, hit = cache.longest_prefix(spec, fidelity, token)
+        if hit is not None and hit.failed:
+            return {"failed": True,
+                    "prep_time": time.perf_counter() - prep_start}
+        if hit is None:
+            fitted_so_far: list = []
+            current_train = np.asarray(X_train, dtype=np.float64)
+            current_valid = np.asarray(self.X_valid, dtype=np.float64)
+        else:
+            fitted_so_far = list(hit.fitted_steps)
+            current_train = hit.X_train
+            current_valid = hit.X_valid
+        if hit_len == len(spec):
+            return {"failed": False, "X_train_t": current_train,
+                    "X_valid_t": current_valid,
+                    "prep_time": time.perf_counter() - prep_start}
+
+        def register(end_len, fitted_step, transformed_train):
+            # Runs after each suffix step fits on the train side: transform
+            # the validation split through the same step (exactly what the
+            # cold path's fitted.transform would do) and cache the prefix.
+            nonlocal current_valid
+            current_valid = fitted_step.transform(current_valid)
+            fitted_so_far.append(fitted_step)
+            cache.store(spec[:end_len], fidelity, token, fitted_so_far,
+                        transformed_train, current_valid)
+
+        try:
+            _, current_train = pipeline.fit_transform_from(
+                hit_len, current_train, y_train, step_callback=register
+            )
+        except self._PREP_ERRORS as error:
+            # A write to a frozen cached array is a contract violation, not
+            # a numerically degenerate pipeline: without the cache that
+            # pipeline would have *worked* (it mutated its own fresh copy),
+            # so scoring it as failed would silently diverge from the
+            # cache-off baseline.
+            _raise_if_copy_on_write(
+                error, f"a transformer in {pipeline.describe()!r}"
+            )
+            # The step after the last registered prefix raised (on either
+            # the train or the valid side); tombstone it so every pipeline
+            # extending this prefix fails without re-running Prep.
+            cache.store_failure(spec[:len(fitted_so_far) + 1], fidelity, token)
+            return {"failed": True,
+                    "prep_time": time.perf_counter() - prep_start}
+        return {"failed": False, "X_train_t": current_train,
+                "X_valid_t": current_valid,
+                "prep_time": time.perf_counter() - prep_start}
 
     def _make_record(self, pipeline: Pipeline, entry: dict, *, fidelity: float,
                      pick_time: float, iteration: int) -> TrialRecord:
@@ -442,7 +640,14 @@ class PipelineEvaluator:
 
     @staticmethod
     def _sanitize(X: np.ndarray) -> np.ndarray:
-        """Replace NaN / inf produced by extreme transformations with finite values."""
+        """Replace NaN / inf produced by extreme transformations with finite values.
+
+        Already-finite input (the common case) is returned as-is:
+        ``np.nan_to_num`` always copies, and that copy of the full
+        transformed training set costs more than the finiteness check.
+        """
+        if np.isfinite(X).all():
+            return X
         return np.nan_to_num(X, nan=0.0, posinf=1e12, neginf=-1e12)
 
     def __repr__(self) -> str:

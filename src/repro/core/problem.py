@@ -45,7 +45,8 @@ class AutoFPProblem:
                     fast_model: bool = True, random_state=0,
                     name: str = "auto-fp", n_jobs: int | None = None,
                     backend: str | None = None,
-                    cache_dir=None, async_mode: bool = False) -> "AutoFPProblem":
+                    cache_dir=None, async_mode: bool = False,
+                    prefix_cache_bytes: int | None = None) -> "AutoFPProblem":
         """Build a problem from raw arrays.
 
         ``model`` may be a classifier instance or a registry name
@@ -61,7 +62,11 @@ class AutoFPProblem:
         ``async_mode=True`` schedules searches completion-driven: the
         algorithm proposes the next pipeline while earlier evaluations are
         still in flight, keeping all ``n_jobs`` workers saturated
-        (identical results under serial evaluation).
+        (identical results under serial evaluation).  ``prefix_cache_bytes``
+        turns on incremental evaluation: fitted pipeline prefixes are cached
+        (up to the byte budget) so pipelines sharing a step prefix only pay
+        Prep for their uncached suffix — bit-for-bit identical results,
+        trading memory for the dominant Prep cost.
         """
         from repro.engine import resolve_engine
 
@@ -70,6 +75,7 @@ class AutoFPProblem:
         evaluator = PipelineEvaluator.from_dataset(
             X, y, model, valid_size=valid_size, random_state=random_state,
             engine=resolve_engine(n_jobs, backend), cache_dir=cache_dir,
+            prefix_cache_bytes=prefix_cache_bytes,
         )
         return cls(evaluator=evaluator, space=space or SearchSpace(),
                    name=name, async_mode=bool(async_mode))
@@ -80,7 +86,8 @@ class AutoFPProblem:
                       fast_model: bool = True, random_state=0,
                       n_jobs: int | None = None,
                       backend: str | None = None,
-                      cache_dir=None, async_mode: bool = False) -> "AutoFPProblem":
+                      cache_dir=None, async_mode: bool = False,
+                      prefix_cache_bytes: int | None = None) -> "AutoFPProblem":
         """Build a problem from a named dataset of the benchmark registry."""
         from repro.datasets.registry import load_dataset
 
@@ -96,6 +103,7 @@ class AutoFPProblem:
             backend=backend,
             cache_dir=cache_dir,
             async_mode=async_mode,
+            prefix_cache_bytes=prefix_cache_bytes,
         )
 
     def baseline_accuracy(self) -> float:

@@ -193,9 +193,12 @@ class ThreadBackend(ExecutionBackend):
     """Dispatch tasks to a thread pool.
 
     Threads share the evaluator's memory, so nothing is pickled.  Workers
-    only ever *read* shared state (the train/valid split); all cache writes
-    happen in the calling thread after the batch completes, so no locking
-    is needed.  Useful when evaluations release the GIL (numpy-heavy
+    read shared state (the train/valid split) and the memoization-cache
+    writes happen in the calling thread after the batch completes, so those
+    need no locking.  The one piece of shared state workers *do* mutate is
+    the evaluator's prefix-transform cache (when enabled), which carries
+    its own internal lock — all workers then reuse one pool of fitted
+    prefixes.  Useful when evaluations release the GIL (numpy-heavy
     preprocessing / training) or block on I/O.
     """
 
@@ -254,6 +257,11 @@ class ProcessBackend(ExecutionBackend):
     ``PipelineEvaluator.__getstate__``), so workers never recursively
     spawn pools and the snapshot stays valid for the evaluator's lifetime:
     workers only ever receive work the parent's cache has never seen.
+    When the evaluator enables prefix-transform reuse, each worker rebuilds
+    its own :class:`~repro.core.prefixcache.PrefixTransformCache` on
+    unpickling; because the pool (and with it the per-process evaluator
+    snapshot) persists across batches, those caches keep accumulating and
+    reusing fitted prefixes for the whole search, not just one batch.
     """
 
     name = "process"

@@ -173,11 +173,26 @@ class ExecutionEngine:
 
         if pending:
             groups = list(pending.values())
+            # Longest-processing-time-first dispatch: parallel waves finish
+            # at the speed of their slowest member, so a long pipeline
+            # landing last tail-blocks the whole batch.  Pipeline length is
+            # the natural cost proxy (each step adds a fit+transform pass
+            # over the data); ties keep submission order, and the results
+            # are scattered back to submission order below, so every
+            # downstream consumer — records, cache merge-back — is
+            # oblivious to the reordering.  Serial backends skip the sort:
+            # submission order IS the deterministic reference order.
+            order = list(range(len(groups)))
+            if len(order) > 1 and self.backend.n_workers > 1:
+                order.sort(key=lambda i: (-len(tasks[groups[i][0]].pipeline), i))
             work = [
-                (tasks[group[0]].pipeline, tasks[group[0]].fidelity)
-                for group in groups
+                (tasks[groups[i][0]].pipeline, tasks[groups[i][0]].fidelity)
+                for i in order
             ]
-            entries = self.backend.run_evaluations(evaluator, work)
+            dispatched = self.backend.run_evaluations(evaluator, work)
+            entries: list = [None] * len(groups)
+            for position, index in enumerate(order):
+                entries[index] = dispatched[position]
             merged = []
             for group, entry in zip(groups, entries):
                 first = tasks[group[0]]

@@ -32,5 +32,17 @@ class UnknownComponentError(ReproError, KeyError):
     """Raised when a registry lookup fails (preprocessor, model, algorithm)."""
 
 
+class CopyOnWriteViolationError(ReproError):
+    """Raised when a transformer writes in place to a cached (frozen) array.
+
+    The prefix-transform cache (:mod:`repro.core.prefixcache`) shares its
+    stored arrays with later pipeline steps, so every transformer must
+    treat its input as immutable.  A violation is surfaced loudly instead
+    of being scored as a failed pipeline: swallowing it would silently turn
+    a pipeline that works without the cache into a 0-accuracy result,
+    breaking the cache's bit-for-bit determinism contract.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""

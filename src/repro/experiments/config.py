@@ -57,6 +57,11 @@ class ExperimentConfig:
         :class:`~repro.search.async_driver.AsyncSearchDriver` instead of
         the synchronous barrier loop.  With serial within-cell evaluation
         (the grid default) results are bit-for-bit identical either way.
+    prefix_cache_bytes:
+        Optional byte budget for each cell evaluator's prefix-transform
+        cache (:mod:`repro.core.prefixcache`): pipelines sharing a step
+        prefix only pay Prep for their uncached suffix, with bit-for-bit
+        identical results.  ``None`` (default) disables prefix reuse.
     """
 
     datasets: tuple[str, ...]
@@ -71,6 +76,7 @@ class ExperimentConfig:
     backend: str | None = None
     cache_dir: str | None = None
     async_mode: bool = False
+    prefix_cache_bytes: int | None = None
 
     def n_runs(self) -> int:
         """Total number of search runs the configuration implies."""

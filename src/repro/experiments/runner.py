@@ -66,14 +66,17 @@ def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25
                space: SearchSpace | None = None, n_jobs: int | None = None,
                backend: str | None = None,
                cache_dir: str | None = None,
-               async_mode: bool = False) -> tuple[SearchResult, float]:
+               async_mode: bool = False,
+               prefix_cache_bytes: int | None = None) -> tuple[SearchResult, float]:
     """Run one search and return ``(result, baseline_accuracy)``.
 
     ``n_jobs`` / ``backend`` parallelise the *within-search* evaluation
     batches (generations, rungs) via the execution engine; ``async_mode``
     schedules them completion-driven (the algorithm proposes while earlier
     evaluations are still in flight); ``cache_dir`` persists every
-    evaluation so a repeated run is answered from disk.
+    evaluation so a repeated run is answered from disk;
+    ``prefix_cache_bytes`` reuses fitted pipeline prefixes so each pipeline
+    only pays Prep for its uncached suffix.
     """
     X, y = load_dataset(dataset, scale=dataset_scale)
     classifier = make_classifier(model, fast=fast_model)
@@ -81,6 +84,7 @@ def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25
         X, y, classifier, space=space, random_state=random_state,
         name=f"{dataset}/{model}", n_jobs=n_jobs, backend=backend,
         cache_dir=cache_dir, async_mode=async_mode,
+        prefix_cache_bytes=prefix_cache_bytes,
     )
     try:
         baseline = problem.baseline_accuracy()
@@ -120,7 +124,8 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
     if memo is None:
         memo = _CELL_PROBLEMS.memo = OrderedDict()
     key = (dataset, model, config.dataset_scale, config.fast_models,
-           config.random_state, config.cache_dir, config.async_mode)
+           config.random_state, config.cache_dir, config.async_mode,
+           config.prefix_cache_bytes)
     cached = memo.get(key)
     if cached is not None:
         memo.move_to_end(key)
@@ -132,6 +137,7 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
         X, y, classifier, random_state=config.random_state,
         name=f"{dataset}/{model}", cache_dir=config.cache_dir,
         async_mode=config.async_mode,
+        prefix_cache_bytes=config.prefix_cache_bytes,
     )
     baseline = problem.baseline_accuracy()
     memo[key] = (problem, baseline)
@@ -166,7 +172,8 @@ def _run_cell(cell: tuple) -> tuple:
 def run_experiment(config: ExperimentConfig, *, progress_callback=None,
                    n_jobs: int | None = None,
                    backend: str | None = None,
-                   cache_dir: str | None = None) -> ExperimentOutcome:
+                   cache_dir: str | None = None,
+                   prefix_cache_bytes: int | None = None) -> ExperimentOutcome:
     """Run the full (dataset x model x algorithm x repeat) grid of ``config``.
 
     Repetitions of the same (dataset, model, algorithm) cell are averaged:
@@ -185,11 +192,18 @@ def run_experiment(config: ExperimentConfig, *, progress_callback=None,
     to disk and reads previous runs' entries back, so repeating a grid
     performs zero uncached evaluations (``outcome.uncached_evaluations``)
     while producing bit-for-bit identical scenarios.
-    """
-    if cache_dir is not None:
-        from dataclasses import replace
 
+    ``prefix_cache_bytes`` (or ``config.prefix_cache_bytes``) gives every
+    cell evaluator a prefix-transform cache of that byte budget, so
+    pipelines sharing a step prefix within a cell only pay Prep for their
+    uncached suffix — same scenarios, less Prep time.
+    """
+    from dataclasses import replace
+
+    if cache_dir is not None:
         config = replace(config, cache_dir=str(cache_dir))
+    if prefix_cache_bytes is not None:
+        config = replace(config, prefix_cache_bytes=int(prefix_cache_bytes))
     n_jobs = config.n_jobs if n_jobs is None else n_jobs
     backend = resolve_backend_name(
         n_jobs, config.backend if backend is None else backend

@@ -61,6 +61,39 @@ def key_token(key: tuple) -> str:
     return repr(key)
 
 
+def _replay_shard(path: Path, into: dict) -> tuple[int, int]:
+    """Replay one append-log file into ``into`` (last write wins).
+
+    Returns ``(raw_lines, skipped_lines)``: every non-blank line counts as
+    raw, and a torn or garbled line (crash mid-write, concurrent append) is
+    skipped rather than fatal.  The single replay pass serves shard loading,
+    ``cache_stats`` and :meth:`PersistentEvalCache.compact`, so each file is
+    read exactly once per operation.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return 0, 0
+    raw_lines = 0
+    skipped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        raw_lines += 1
+        try:
+            record = json.loads(line)
+            token = record["k"]
+            entry = record["e"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            skipped += 1
+            continue
+        if not isinstance(token, str) or not isinstance(entry, dict):
+            skipped += 1
+            continue
+        into[token] = entry
+    return raw_lines, skipped
+
+
 class PersistentEvalCache:
     """Disk-backed evaluation cache shared across runs and processes.
 
@@ -180,6 +213,52 @@ class PersistentEvalCache:
             "path": str(self._dir),
         }
 
+    def compact(self) -> dict:
+        """Rewrite every shard with only its live entries; return a summary.
+
+        The append-log only grows: concurrent writers may append the same
+        key more than once, crashes leave torn lines, and superseded lines
+        are never removed in place.  Compaction replays the log (the same
+        last-write-wins rule lookups use) and atomically rewrites each
+        shard with exactly one line per live key, dropping duplicates and
+        corrupt lines.  Safe on a cache no other process is appending to;
+        a concurrent appender could have its fresh lines dropped by the
+        rewrite.
+        """
+        from repro.io.serialization import atomic_write_text
+
+        # One replay pass per shard yields both the raw line count and the
+        # live entries; the replayed state replaces the in-memory index
+        # (every put() writes through to disk first, so nothing is lost).
+        live: dict[str, dict] = {}
+        before_lines = 0
+        skipped = 0
+        for shard in range(self.n_shards):
+            raw, bad = _replay_shard(self._shard_path(shard), live)
+            before_lines += raw
+            skipped += bad
+        self._entries = live
+        self._loaded_shards = set(range(self.n_shards))
+        by_shard: dict[int, list[str]] = {}
+        for token, entry in self._entries.items():
+            line = json.dumps({"k": token, "e": entry}, separators=(",", ":"))
+            by_shard.setdefault(self._shard_of(token), []).append(line)
+        self._ensure_layout()
+        for shard in range(self.n_shards):
+            path = self._shard_path(shard)
+            lines = by_shard.get(shard)
+            if lines:
+                atomic_write_text(path, "".join(line + "\n" for line in lines))
+            elif path.exists():
+                path.unlink()
+        return {
+            "path": str(self._dir),
+            "lines_before": before_lines,
+            "entries": len(self._entries),
+            "lines_removed": before_lines - len(self._entries),
+            "skipped_lines": skipped,
+        }
+
     # ------------------------------------------------------------ internals
     def _adopt_meta(self) -> None:
         """Make an existing root's meta.json authoritative on reopen.
@@ -230,26 +309,8 @@ class PersistentEvalCache:
         if shard in self._loaded_shards:
             return
         self._loaded_shards.add(shard)
-        path = self._shard_path(shard)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except (FileNotFoundError, OSError):
-            return
-        for line in text.splitlines():
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                token = record["k"]
-                entry = record["e"]
-            except (json.JSONDecodeError, TypeError, KeyError):
-                # Torn append or crash mid-write: skip the line, keep the rest.
-                self.skipped_lines += 1
-                continue
-            if not isinstance(token, str) or not isinstance(entry, dict):
-                self.skipped_lines += 1
-                continue
-            self._entries[token] = entry
+        _, skipped = _replay_shard(self._shard_path(shard), self._entries)
+        self.skipped_lines += skipped
 
     def __repr__(self) -> str:
         return (
@@ -264,3 +325,94 @@ def open_eval_cache(cache_dir, fingerprint: str) -> PersistentEvalCache | None:
     if cache_dir is None:
         return None
     return PersistentEvalCache(cache_dir, fingerprint=fingerprint)
+
+
+# ------------------------------------------------- cache-root maintenance
+def list_fingerprints(root) -> list[str]:
+    """Fingerprint directories under ``root``, most recently written first.
+
+    Recency is the newest mtime of any file in the fingerprint directory —
+    an appender touches its shard files, so this orders by last actual use.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    stamped = []
+    for child in root.iterdir():
+        if not child.is_dir() or not (child / _META_NAME).exists():
+            continue
+        mtimes = [entry.stat().st_mtime for entry in child.iterdir()
+                  if entry.is_file()]
+        stamped.append((max(mtimes, default=child.stat().st_mtime), child.name))
+    stamped.sort(reverse=True)
+    return [name for _, name in stamped]
+
+
+def cache_stats(root) -> list[dict]:
+    """Per-fingerprint statistics of a cache root (``repro evalcache stats``).
+
+    Each row reports the fingerprint, its shard and live-entry counts, the
+    raw line count of the append-log (lines > entries means duplicates or
+    torn lines that compaction would remove) and the on-disk byte size.
+    Rows come back most recently used first, matching what ``prune`` keeps.
+    """
+    rows = []
+    for fingerprint in list_fingerprints(root):
+        cache = PersistentEvalCache(root, fingerprint=fingerprint)
+        directory = cache._dir
+        live: dict[str, dict] = {}
+        lines = 0
+        disk_bytes = 0
+        n_shard_files = 0
+        for path in sorted(directory.iterdir()):
+            if not path.is_file():
+                continue
+            disk_bytes += path.stat().st_size
+            if path.suffix == ".jsonl":
+                n_shard_files += 1
+                raw, _ = _replay_shard(path, live)
+                lines += raw
+        rows.append({
+            "fingerprint": fingerprint,
+            "n_shards": cache.n_shards,
+            "shard_files": n_shard_files,
+            "entries": len(live),
+            "lines": lines,
+            "bytes": disk_bytes,
+        })
+    return rows
+
+
+def prune_cache_root(root, *, keep_fingerprints: int) -> dict:
+    """Keep the ``keep_fingerprints`` most recently used fingerprints.
+
+    Older fingerprint directories are deleted outright; the kept ones are
+    compacted (duplicate and torn append-log lines rewritten away, see
+    :meth:`PersistentEvalCache.compact`).  This is the maintenance story
+    for long-lived cache roots, whose append-logs otherwise only grow.
+    Returns a summary with the kept/removed fingerprints and the number of
+    log lines compaction removed.  Do not run while another process is
+    appending to the same root.
+    """
+    import shutil
+
+    keep_fingerprints = int(keep_fingerprints)
+    if keep_fingerprints < 0:
+        raise ValidationError(
+            f"keep_fingerprints must be >= 0, got {keep_fingerprints}"
+        )
+    fingerprints = list_fingerprints(root)
+    kept = fingerprints[:keep_fingerprints]
+    removed = fingerprints[keep_fingerprints:]
+    for fingerprint in removed:
+        shutil.rmtree(Path(root) / fingerprint)
+    lines_removed = 0
+    for fingerprint in kept:
+        summary = PersistentEvalCache(root, fingerprint=fingerprint).compact()
+        lines_removed += summary["lines_removed"]
+    return {
+        "root": str(root),
+        "kept": kept,
+        "removed": removed,
+        "lines_removed": lines_removed,
+    }

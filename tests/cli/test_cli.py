@@ -206,6 +206,91 @@ class TestCacheDirOption:
         assert strip(warm_output) == strip(cold_output)
 
 
+class TestPrefixCacheOption:
+    def test_search_prefix_cache_matches_uncached_results(self):
+        args = ("search", "--dataset", "blood", "--algorithm", "pbt",
+                "--max-trials", "8", "--scale", "0.5")
+        code_off, off_output = run_cli(*args)
+        code_on, on_output = run_cli(*args, "--prefix-cache-mb", "64")
+        assert code_off == code_on == 0
+        assert "prefix cache" in on_output
+        assert "steps reused" in on_output
+        # Prefix reuse is invisible in the results: only the cache line
+        # is new.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("prefix cache")]
+        assert strip(on_output) == strip(off_output)
+
+    def test_zero_budget_disables_the_cache_cleanly(self):
+        code, output = run_cli(
+            "search", "--dataset", "blood", "--algorithm", "rs",
+            "--max-trials", "4", "--scale", "0.5", "--prefix-cache-mb", "0")
+        assert code == 0
+        assert "prefix cache" not in output
+
+    def test_experiment_accepts_prefix_cache_option(self):
+        args = ("experiment", "--datasets", "blood", "--algorithms",
+                "rs", "pbt", "--max-trials", "5", "--scale", "0.5")
+        code_off, off_output = run_cli(*args)
+        code_on, on_output = run_cli(*args, "--prefix-cache-mb", "64")
+        assert code_off == code_on == 0
+        assert on_output == off_output
+
+
+class TestEvalcacheCommand:
+    def _populate(self, tmp_path) -> str:
+        root = str(tmp_path / "cache")
+        code, _ = run_cli("search", "--dataset", "blood", "--algorithm", "rs",
+                          "--max-trials", "6", "--scale", "0.5",
+                          "--cache-dir", root)
+        assert code == 0
+        return root
+
+    def test_stats_lists_fingerprints(self, tmp_path):
+        root = self._populate(tmp_path)
+        code, output = run_cli("evalcache", "stats", "--cache-dir", root)
+        assert code == 0
+        assert "fingerprint" in output
+        assert "1 fingerprint(s)" in output
+
+    def test_stats_on_missing_root(self, tmp_path):
+        code, output = run_cli("evalcache", "stats",
+                               "--cache-dir", str(tmp_path / "nothing"))
+        assert code == 0
+        assert "no cache fingerprints" in output
+
+    def test_prune_keeps_recent_fingerprints_and_compacts(self, tmp_path):
+        root = self._populate(tmp_path)
+        # A second fingerprint (different seed => different split).
+        code, _ = run_cli("search", "--dataset", "blood", "--algorithm", "rs",
+                          "--max-trials", "6", "--scale", "0.5", "--seed", "7",
+                          "--cache-dir", root)
+        assert code == 0
+        from repro.io.evalcache import cache_stats
+
+        assert len(cache_stats(root)) == 2
+        code, output = run_cli("evalcache", "prune", "--cache-dir", root,
+                               "--keep-fingerprints", "1")
+        assert code == 0
+        assert "kept         : 1 fingerprint(s)" in output
+        assert "removed      : 1 fingerprint(s)" in output
+        rows = cache_stats(root)
+        assert len(rows) == 1
+        # Compaction leaves exactly one live line per entry.
+        assert rows[0]["lines"] == rows[0]["entries"]
+        # The kept (most recently used) cache still answers a warm rerun.
+        code, warm_output = run_cli(
+            "search", "--dataset", "blood", "--algorithm", "rs",
+            "--max-trials", "6", "--scale", "0.5", "--seed", "7",
+            "--cache-dir", root)
+        assert code == 0
+        assert ": 0 uncached" in warm_output
+
+    def test_prune_requires_keep_fingerprints(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evalcache", "prune", "--cache-dir", "x"])
+
+
 class TestMetafeaturesCommand:
     def test_prints_all_forty_metafeatures(self):
         code, output = run_cli("metafeatures", "--dataset", "blood", "--scale", "0.5")

@@ -153,6 +153,61 @@ class TestEngineDispatch:
         assert evaluator.n_evaluations == 3
 
 
+class TestLongestFirstDispatch:
+    """Parallel batches dispatch longest-pipeline-first (LPT scheduling)."""
+
+    class RecordingBackend(ThreadBackend):
+        """Thread backend that records the dispatched work order."""
+
+        def __init__(self, n_workers):
+            super().__init__(n_workers=n_workers)
+            self.dispatched: list[tuple] = []
+
+        def run_evaluations(self, evaluator, work):
+            self.dispatched.extend(pipeline.names() for pipeline, _ in work)
+            return super().run_evaluations(evaluator, work)
+
+    @staticmethod
+    def _pipelines():
+        return [
+            Pipeline.from_names(["standard_scaler"]),
+            Pipeline.from_names(["minmax_scaler", "normalizer", "binarizer"]),
+            Pipeline.from_names(["maxabs_scaler", "binarizer"]),
+            Pipeline.from_names(["normalizer", "binarizer"]),
+        ]
+
+    def test_parallel_dispatch_sorted_longest_first_stable(self, evaluator):
+        backend = self.RecordingBackend(n_workers=2)
+        engine = ExecutionEngine(backend)
+        pipelines = self._pipelines()
+        records = engine.run(evaluator,
+                             [EvalTask(p, fidelity=0.9375) for p in pipelines])
+        engine.close()
+        # Longest first; the two length-2 pipelines keep submission order.
+        assert backend.dispatched == [
+            ("minmax_scaler", "normalizer", "binarizer"),
+            ("maxabs_scaler", "binarizer"),
+            ("normalizer", "binarizer"),
+            ("standard_scaler",),
+        ]
+        # Records still come back in task order with serial-identical values.
+        assert [r.pipeline.names() for r in records] == \
+            [p.names() for p in pipelines]
+        expected = [evaluator.evaluate(p, fidelity=0.9375).accuracy
+                    for p in pipelines]
+        assert [r.accuracy for r in records] == expected
+
+    def test_single_worker_keeps_submission_order(self, evaluator):
+        backend = self.RecordingBackend(n_workers=1)
+        engine = ExecutionEngine(backend)
+        pipelines = self._pipelines()
+        engine.run(evaluator, [EvalTask(p, fidelity=0.875) for p in pipelines])
+        engine.close()
+        # One worker cannot be tail-blocked: the deterministic reference
+        # order (submission order) is preserved untouched.
+        assert backend.dispatched == [p.names() for p in pipelines]
+
+
 class TestResolveEngine:
     def test_serial_defaults_resolve_to_none(self):
         assert resolve_engine() is None

@@ -39,13 +39,14 @@ SEARCHERS = [
 MATRIX_ALGORITHMS = ALL_ALGORITHM_NAMES + tuple(sorted(EXTENSION_ALGORITHM_CLASSES))
 
 
-def _make_problem(engine=None):
+def _make_problem(engine=None, prefix_cache_bytes=None):
     X, y = make_classification(n_samples=140, n_features=8, n_classes=2,
                                class_sep=2.0, random_state=2)
     X = distort_features(X, random_state=2)
     problem = AutoFPProblem.from_arrays(
         X, y, LogisticRegression(max_iter=60), space=SearchSpace(max_length=3),
         random_state=0, name="determinism/lr",
+        prefix_cache_bytes=prefix_cache_bytes,
     )
     problem.evaluator.set_engine(engine)
     return problem
@@ -141,6 +142,59 @@ class TestCrossBackendDeterminismMatrix:
             expected = reference.evaluate(trial.pipeline,
                                           fidelity=trial.fidelity)
             assert trial.accuracy == expected.accuracy
+
+
+#: (backend, n_workers, driver) cells of the prefix-cache matrix.  Sync
+#: cells use two workers (batch merge-back is order-stable); async
+#: thread/process cells use one worker, which fixes the completion order —
+#: the same configuration the async matrix above declares reproducible.
+PREFIX_CACHE_CELLS = [
+    (None, 1, "sync"),
+    ("serial", 1, "sync"),
+    ("thread", 2, "sync"),
+    ("process", 2, "sync"),
+    (None, 1, "async"),
+    ("thread", 1, "async"),
+    ("process", 1, "async"),
+]
+
+
+class TestPrefixCacheDeterminism:
+    """Prefix-transform reuse never changes results, only Prep time.
+
+    The non-negotiable contract of ``prefix_cache_bytes``: because a cached
+    prefix stores the exact arrays the cold path would recompute, every
+    backend/driver combination with the cache on is bit-for-bit identical
+    to the same combination with the cache off.
+    """
+
+    def _run_pair(self, algorithm, kwargs, backend, n_workers, driver):
+        results = []
+        for prefix_cache_bytes in (None, 1 << 26):
+            engine = None if backend is None else \
+                ExecutionEngine(backend, n_workers=n_workers)
+            searcher = make_search_algorithm(algorithm, random_state=0, **kwargs)
+            result = searcher.search(
+                _make_problem(engine, prefix_cache_bytes=prefix_cache_bytes),
+                max_trials=12, driver=driver,
+            )
+            if engine is not None:
+                engine.close()
+            results.append(result)
+        return results
+
+    @pytest.mark.parametrize("backend,n_workers,driver", PREFIX_CACHE_CELLS)
+    def test_cache_on_bit_for_bit_identical_to_cache_off(self, backend,
+                                                         n_workers, driver):
+        off, on = self._run_pair("pbt", {}, backend, n_workers, driver)
+        assert _trial_set(on) == _trial_set(off)
+        assert on.best_accuracy == off.best_accuracy
+
+    def test_progressive_growth_reuses_prefixes_without_changing_results(self):
+        """PNAS extends its beam step by step — the prefix cache's best case
+        must still be invisible in the results."""
+        off, on = self._run_pair("pmne", {"beam_width": 3}, None, 1, "sync")
+        assert _trial_set(on) == _trial_set(off)
 
 
 class TestSerialTimeBudgetSemantics:

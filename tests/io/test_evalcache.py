@@ -161,6 +161,63 @@ class TestPersistentEvalCache:
         with pytest.raises(ValidationError):
             PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=0)
 
+    def test_compact_rewrites_duplicates_and_corruption_away(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1)
+        cache.put(_key("a"), _entry(0.5))
+        cache.put(_key("b"), _entry(0.6))
+        shard = tmp_path / FP / "shard-00.jsonl"
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"k": key_token(_key("a")), "e": _entry(0.8)}) + "\n")
+            handle.write('{"k": "torn line\n')
+
+        summary = PersistentEvalCache(tmp_path, fingerprint=FP).compact()
+        assert summary["entries"] == 2
+        assert summary["lines_before"] == 4
+        assert summary["lines_removed"] == 2
+
+        fresh = PersistentEvalCache(tmp_path, fingerprint=FP)
+        fresh.load_all()
+        assert fresh.skipped_lines == 0
+        assert len(fresh) == 2
+        assert fresh.get(_key("a")) == _entry(0.8)  # last write still wins
+        assert fresh.get(_key("b")) == _entry(0.6)
+
+    def test_cache_stats_and_prune_root(self, tmp_path):
+        from repro.io.evalcache import cache_stats, prune_cache_root
+
+        import os
+        import time
+
+        old = PersistentEvalCache(tmp_path, fingerprint="1" * 64)
+        old.put(_key("a"), _entry(0.5))
+        new = PersistentEvalCache(tmp_path, fingerprint="2" * 64)
+        new.put(_key("a"), _entry(0.7))
+        new.put(_key("b"), _entry(0.8))
+        # Make the recency ordering unambiguous regardless of fs timestamp
+        # granularity: age every file of the "old" fingerprint.
+        past = time.time() - 60
+        for path in (tmp_path / ("1" * 64)).iterdir():
+            os.utime(path, (past, past))
+
+        rows = cache_stats(tmp_path)
+        assert [row["fingerprint"] for row in rows] == ["2" * 64, "1" * 64]
+        assert rows[0]["entries"] == 2 and rows[1]["entries"] == 1
+        assert all(row["bytes"] > 0 for row in rows)
+
+        summary = prune_cache_root(tmp_path, keep_fingerprints=1)
+        assert summary["kept"] == ["2" * 64]
+        assert summary["removed"] == ["1" * 64]
+        assert not (tmp_path / ("1" * 64)).exists()
+        kept = PersistentEvalCache(tmp_path, fingerprint="2" * 64)
+        assert kept.get(_key("b")) == _entry(0.8)
+
+    def test_prune_rejects_negative_keep(self, tmp_path):
+        from repro.io.evalcache import prune_cache_root
+
+        with pytest.raises(ValidationError):
+            prune_cache_root(tmp_path, keep_fingerprints=-1)
+
     def test_open_eval_cache_none_disables(self, tmp_path):
         assert open_eval_cache(None, FP) is None
         cache = open_eval_cache(tmp_path, FP)
