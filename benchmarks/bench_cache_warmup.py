@@ -18,6 +18,7 @@ from __future__ import annotations
 import tempfile
 import time
 
+from repro.core.context import ExecutionContext
 from repro.experiments import ExperimentConfig, format_table, run_experiment
 
 #: 3 datasets x 1 model x 2 algorithms = 6 grid cells, enough to matter
@@ -52,7 +53,9 @@ def scenario_accuracies(outcome) -> list:
 def timed_grid(config: ExperimentConfig, *, cache_dir=None):
     """Run the grid and return ``(outcome, wall_seconds)``."""
     start = time.perf_counter()
-    outcome = run_experiment(config, cache_dir=cache_dir)
+    outcome = run_experiment(
+        config, context=ExecutionContext(cache_dir=cache_dir)
+    )
     return outcome, time.perf_counter() - start
 
 
@@ -63,8 +66,9 @@ def smoke_check(config: ExperimentConfig = SMOKE_GRID, *, cache_dir=None):
     """
     with tempfile.TemporaryDirectory() as fallback:
         root = fallback if cache_dir is None else cache_dir
-        cold = run_experiment(config, cache_dir=root)
-        warm = run_experiment(config, cache_dir=root)
+        context = ExecutionContext(cache_dir=str(root))
+        cold = run_experiment(config, context=context)
+        warm = run_experiment(config, context=context)
     assert cold.uncached_evaluations > 0, "cold run executed nothing"
     assert warm.uncached_evaluations == 0, (
         f"warm run re-executed {warm.uncached_evaluations} evaluations "

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.core.context import ExecutionContext
 from repro.experiments import ExperimentConfig, format_table, run_experiment
 
 #: 4 datasets x 1 model x 2 algorithms = 8 independent grid cells
@@ -57,7 +58,9 @@ def timed_grid(config: ExperimentConfig, *, n_jobs: int = 1,
                backend: str = "serial"):
     """Run the grid and return ``(outcome, wall_seconds)``."""
     start = time.perf_counter()
-    outcome = run_experiment(config, n_jobs=n_jobs, backend=backend)
+    outcome = run_experiment(
+        config, context=ExecutionContext(n_jobs=n_jobs, backend=backend)
+    )
     return outcome, time.perf_counter() - start
 
 
@@ -67,7 +70,9 @@ def smoke_check(*, backend: str = "thread", n_jobs: int = 2):
     Returns the (serial, parallel) outcomes so callers can assert further.
     """
     serial = run_experiment(SMOKE_GRID)
-    parallel = run_experiment(SMOKE_GRID, n_jobs=n_jobs, backend=backend)
+    parallel = run_experiment(
+        SMOKE_GRID, context=ExecutionContext(n_jobs=n_jobs, backend=backend)
+    )
     assert scenario_accuracies(parallel) == scenario_accuracies(serial), (
         f"{backend} backend changed the experiment outcome"
     )

@@ -30,6 +30,7 @@ import time
 
 import pytest
 
+from repro.core.context import ExecutionContext
 from repro.core.problem import AutoFPProblem
 from repro.core.search_space import SearchSpace
 from repro.datasets.synthetic import distort_features, make_classification
@@ -53,7 +54,8 @@ def _make_problem(n_samples: int, n_features: int, prefix_cache_bytes):
     return AutoFPProblem.from_arrays(
         X, y, LogisticRegression(max_iter=40),
         space=SearchSpace(max_length=5), random_state=0,
-        name="prefix-reuse/lr", prefix_cache_bytes=prefix_cache_bytes,
+        name="prefix-reuse/lr",
+        context=ExecutionContext(prefix_cache_bytes=prefix_cache_bytes),
     )
 
 

@@ -6,14 +6,22 @@ Run with::
 
 The example loads a small tabular dataset from the benchmark registry,
 builds an Auto-FP problem with a logistic-regression downstream model,
-runs the paper's best-ranked search algorithm (PBT) for a small evaluation
-budget, and compares the found pipeline against the no-preprocessing
-baseline and a plain random search.
+runs the paper's best-ranked search algorithm (PBT) against the
+no-preprocessing baseline, and then tours the runtime surface: one
+:class:`~repro.core.context.ExecutionContext` object carries every
+performance knob (parallel backend, persistent evaluation cache, prefix
+reuse, async scheduling), and one
+:class:`~repro.search.session.SearchSession` object carries the run's
+lifecycle — progress callbacks, interruption, checkpoint and bit-for-bit
+resume.
 """
 
 from __future__ import annotations
 
-from repro import AutoFPProblem, make_search_algorithm
+import tempfile
+from pathlib import Path
+
+from repro import AutoFPProblem, ExecutionContext, SearchSession, make_search_algorithm
 from repro.datasets import load_dataset
 
 
@@ -45,85 +53,113 @@ def main() -> None:
     transformed_valid = fitted.transform(problem.evaluator.X_valid)
     print(f"\ntransformed validation set shape: {transformed_valid.shape}")
 
-    # 5. Parallel evaluation: pass n_jobs/backend to fan batched evaluations
-    #    (PBT generations, Hyperband rungs, batched random search) out to
-    #    worker threads or processes.  Results are bit-for-bit identical to
-    #    the serial run — only the wall-clock time changes.  The same
-    #    options exist on the CLI (`python -m repro search --n-jobs 4`) and
-    #    on run_experiment() for whole (dataset x model x algorithm) grids.
-    parallel_problem = AutoFPProblem.from_arrays(
-        X, y, model="lr", random_state=0, name="heart/lr",
+    # 5. ExecutionContext: ONE object for every runtime knob.  Earlier
+    #    releases threaded n_jobs/backend/cache_dir/prefix_cache_bytes/
+    #    async_mode separately through every layer; those keywords still
+    #    work but are deprecated.  A context is frozen, hashable and
+    #    JSON-serializable (to_dict/from_dict), can be read from REPRO_*
+    #    environment variables (ExecutionContext.from_env()) or a JSON
+    #    file (`repro search --context run.json`), and configures
+    #    problems, searches, whole experiment grids and the CLI alike:
+    #
+    #    * n_jobs/backend fan evaluation batches (PBT generations,
+    #      Hyperband rungs) out to worker threads or processes — results
+    #      are bit-for-bit identical to serial, only wall-clock changes;
+    #    * cache_dir persists every evaluation across runs (a repeated
+    #      search answers from disk: zero re-training);
+    #    * prefix_cache_bytes resumes each pipeline from its longest
+    #      already-fitted prefix (Prep dominates search cost, and under
+    #      the process backend the workers' reuse counters are merged
+    #      back into cache_info());
+    #    * async_mode schedules completion-driven (the algorithm proposes
+    #      while earlier evaluations are still in flight — pair with the
+    #      "asha" extension algorithm).
+    context = ExecutionContext(
         n_jobs=2, backend="thread",
+        prefix_cache_bytes=64 * 1024 * 1024,
+        cache_dir=".eval-cache",
+    )
+    fast_problem = AutoFPProblem.from_arrays(
+        X, y, model="lr", random_state=0, name="heart/lr", context=context,
     )
     parallel = make_search_algorithm("pbt", random_state=0).search(
-        parallel_problem, max_trials=40
+        fast_problem, max_trials=40
     )
-    print(f"parallel search matches serial: "
-          f"{parallel.best_accuracy == best.best_accuracy}")
+    info = fast_problem.evaluator.cache_info()
+    print(f"\n[context] {context.describe()}")
+    print(f"parallel+cached search matches serial: "
+          f"{parallel.best_accuracy == best.best_accuracy} "
+          f"({info['misses']} uncached, {info.get('disk_hits', 0)} from disk, "
+          f"{info['prefix_hits']} prefix hits, {info['steps_reused']} steps "
+          f"reused — rerun me!)")
+    fast_problem.evaluator.engine.close()
 
-    # 6. Asynchronous (completion-driven) search: async_mode=True keeps all
-    #    n_jobs workers saturated — the algorithm proposes the next pipeline
-    #    while earlier evaluations are still in flight, instead of waiting
-    #    at a batch barrier.  With serial evaluation async results are
-    #    bit-for-bit identical to sync; with workers the scheduling is
-    #    completion-driven (per-pipeline results never change).  ASHA
-    #    (asynchronous successive halving, `--algorithm asha` on the CLI)
-    #    is designed for exactly this mode: it promotes promising pipelines
-    #    to higher training fidelities per completion, with no rung
-    #    barriers.  The same switch exists on the CLI
-    #    (`python -m repro search --n-jobs 4 --async`).
+    # 6. Async mode rides the same context.  ASHA (asynchronous successive
+    #    halving) is built for it: per completed evaluation it promotes
+    #    promising pipelines to higher training fidelities, no rung
+    #    barriers, every worker saturated.
     async_problem = AutoFPProblem.from_arrays(
         X, y, model="lr", random_state=0, name="heart/lr",
-        n_jobs=4, backend="thread", async_mode=True,
+        context=ExecutionContext(n_jobs=4, backend="thread", async_mode=True),
     )
-    asha = make_search_algorithm("asha", random_state=0)
-    async_result = asha.search(async_problem, max_trials=20)
+    async_result = make_search_algorithm("asha", random_state=0).search(
+        async_problem, max_trials=20
+    )
     print(f"\n[asha, async x4] {len(async_result)} evaluations across "
           f"training fidelities, best accuracy "
           f"{async_result.best_accuracy:.4f}")
+    async_problem.evaluator.engine.close()
 
-    # 7. Persistent caching: pass cache_dir= to keep every evaluation on
-    #    disk.  Re-running the same search (same data, model and seed) —
-    #    even in a new process — answers every pipeline from the cache
-    #    instead of re-training: zero uncached evaluations, identical
-    #    results.  The same option exists on the CLI
-    #    (`python -m repro search --cache-dir .eval-cache`) and on
-    #    run_experiment() for whole grids.
-    cached_problem = AutoFPProblem.from_arrays(
-        X, y, model="lr", random_state=0, name="heart/lr",
-        cache_dir=".eval-cache",
-    )
-    cached = make_search_algorithm("pbt", random_state=0).search(
-        cached_problem, max_trials=40
-    )
-    info = cached_problem.evaluator.cache_info()
-    print(f"cached search matches serial: "
-          f"{cached.best_accuracy == best.best_accuracy} "
-          f"({info['misses']} uncached evaluations, "
-          f"{info['disk_hits']} answered from disk — rerun me!)")
+    # 7. SearchSession: the lifecycle facade for long-running searches.
+    #    It drives any algorithm step-wise (sync or async), fires
+    #    callbacks per observed trial / per proposal batch / per
+    #    checkpoint, and can snapshot the whole run — trial history,
+    #    budget remainder, RNG stream and the algorithm's internal state —
+    #    after any completed trial.
+    #
+    #    Walkthrough: checkpoint -> kill -> resume.  We run a 40-trial PBT
+    #    search that auto-checkpoints every 5 trials and abort it after
+    #    trial 12 (session.stop() here; a real `kill -9` behaves the same,
+    #    because the checkpoint is already on disk).  Resuming in a fresh
+    #    process rebuilds everything from the document and finishes
+    #    **bit-for-bit identical** to a run that was never interrupted.
+    checkpoint = Path(tempfile.mkdtemp()) / "heart-pbt.checkpoint"
 
-    # 8. Prefix-transform reuse: search algorithms overwhelmingly propose
-    #    pipelines sharing long step prefixes (evolution mutates/appends a
-    #    step, PNAS grows pipelines one position at a time).  With
-    #    prefix_cache_bytes set, the evaluator caches every fitted prefix
-    #    (steps + transformed train/valid arrays, up to the byte budget)
-    #    and each new pipeline only pays Prep — the dominant search cost —
-    #    for its uncached suffix.  Results are bit-for-bit identical; the
-    #    budget is the memory/speed trade-off knob (bigger budget = more
-    #    prefixes held = more reuse, at the cost of RAM).  The same option
-    #    is `--prefix-cache-mb` on the CLI.
-    prefix_problem = AutoFPProblem.from_arrays(
-        X, y, model="lr", random_state=0, name="heart/lr",
-        prefix_cache_bytes=64 * 1024 * 1024,  # 64 MiB of fitted prefixes
+    def abort_after_twelve(session, record):
+        if len(session.result) == 12:
+            session.stop()  # simulate the process dying here
+
+    session = SearchSession(
+        AutoFPProblem.from_arrays(X, y, model="lr", random_state=0,
+                                  name="heart/lr"),
+        make_search_algorithm("pbt", random_state=0),
+        on_trial=abort_after_twelve,
+        checkpoint_path=checkpoint, checkpoint_every=5,
     )
-    reused = make_search_algorithm("pbt", random_state=0).search(
-        prefix_problem, max_trials=40
+    partial = session.run(max_trials=40)
+    print(f"\n[session] interrupted after {len(partial)} trials; "
+          f"last checkpoint: {session.last_checkpoint_path.name}")
+
+    #    A new process would run exactly this line (the checkpoint knows
+    #    the dataset for registry problems; array-built problems are
+    #    re-supplied, and a fingerprint guard refuses mismatched data).
+    resumed = SearchSession.resume(
+        checkpoint,
+        problem=AutoFPProblem.from_arrays(X, y, model="lr", random_state=0,
+                                          name="heart/lr"),
     )
-    info = prefix_problem.evaluator.cache_info()
-    print(f"prefix-cached search matches serial: "
-          f"{reused.best_accuracy == best.best_accuracy} "
-          f"({info['prefix_hits']} prefix hits, {info['steps_reused']} steps "
-          f"reused, {info['bytes_held'] / 1e6:.1f} MB held)")
+    restored_trials = len(resumed.result)
+    finished = resumed.run()
+    print(f"[session] resumed from trial {restored_trials} "
+          f"-> finished with {len(finished)} trials, "
+          f"best accuracy {finished.best_accuracy:.4f}")
+    print(f"resumed run identical to uninterrupted: "
+          f"{[t.accuracy for t in finished.trials] == [t.accuracy for t in best.trials]}")
+    #    The same story on the CLI:
+    #      repro search --dataset heart --algorithm pbt --max-trials 40 \
+    #          --checkpoint run.checkpoint --checkpoint-every 5
+    #      ...kill it...
+    #      repro search --resume --checkpoint run.checkpoint
 
 
 if __name__ == "__main__":

@@ -13,6 +13,11 @@ The package provides:
 * a parallel execution engine with pluggable serial / thread / process
   backends for batch evaluation and experiment-grid fan-out
   (``repro.engine``),
+* one serializable runtime-configuration object
+  (:class:`~repro.core.context.ExecutionContext`) carrying every
+  performance knob, and a resumable search-lifecycle facade
+  (:class:`~repro.search.session.SearchSession`) with callbacks,
+  interruption and bit-for-bit checkpoint/resume,
 * parameter-extended search (``repro.extensions``), the AutoML-context
   comparisons (``repro.automl``), meta-features (``repro.metafeatures``),
   result analysis (``repro.analysis``) and experiment harnesses
@@ -31,6 +36,7 @@ Quickstart::
 
 from repro.core import (
     AutoFPProblem,
+    ExecutionContext,
     Pipeline,
     PipelineEvaluator,
     SearchResult,
@@ -40,13 +46,15 @@ from repro.core import (
     TrialRecord,
 )
 from repro.engine import ExecutionEngine
-from repro.search import make_search_algorithm
+from repro.search import SearchSession, make_search_algorithm
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AutoFPProblem",
+    "ExecutionContext",
     "ExecutionEngine",
+    "SearchSession",
     "Pipeline",
     "PipelineEvaluator",
     "SearchSpace",

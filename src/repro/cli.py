@@ -19,18 +19,25 @@ driven without writing Python:
   (``prune --keep-fingerprints N``) a persistent evaluation-cache root,
 * ``python -m repro metafeatures`` — print the 40 meta-features of a dataset.
 
-``search``, ``compare`` and ``experiment`` accept ``--n-jobs`` and
-``--backend`` (serial / thread / process) to run evaluation batches or the
-experiment grid in parallel; results are identical for every worker count.
-``search`` and ``experiment`` additionally accept ``--async`` for
-completion-driven scheduling (the algorithm proposes while earlier
-evaluations are still in flight — pair with ``--algorithm asha``).
-``search`` and ``experiment`` also accept ``--cache-dir`` to persist every
-pipeline evaluation across runs: repeating a command with the same cache
-directory answers previously seen evaluations from disk (bit-for-bit
-identical results, zero re-training) — and ``--prefix-cache-mb`` to reuse
-fitted pipeline *prefixes* within a run, so each pipeline only pays Prep
-for its uncached suffix (identical results, bounded memory).
+Runtime configuration resolves into one
+:class:`~repro.core.context.ExecutionContext` per invocation, layered as
+``REPRO_*`` environment variables < ``--context FILE`` (a JSON document of
+context fields) < explicit flags.  ``search``, ``compare`` and
+``experiment`` accept ``--n-jobs`` and ``--backend`` (serial / thread /
+process) to run evaluation batches or the experiment grid in parallel;
+results are identical for every worker count.  ``search`` and
+``experiment`` additionally accept ``--async`` for completion-driven
+scheduling (the algorithm proposes while earlier evaluations are still in
+flight — pair with ``--algorithm asha``), ``--cache-dir`` to persist every
+pipeline evaluation across runs (bit-for-bit identical results, zero
+re-training on repeats) and ``--prefix-cache-mb`` to reuse fitted pipeline
+*prefixes* within a run (identical results, bounded memory).
+
+Long searches are resumable: ``repro search --checkpoint run.checkpoint``
+snapshots the session every ``--checkpoint-every`` trials, and
+``--resume`` continues a killed run from that file — bit-for-bit identical
+to a run that was never interrupted (see
+:class:`~repro.search.session.SearchSession`).
 
 Every command writes plain text to stdout and returns a process exit code,
 so the CLI composes with shell pipelines and CI jobs.
@@ -70,7 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_parallel_options(command, what: str) -> None:
         from repro.engine import BACKEND_NAMES
 
-        command.add_argument("--n-jobs", type=int, default=1,
+        command.add_argument("--context", default=None, metavar="FILE",
+                             help="JSON file of ExecutionContext fields "
+                                  "(backend, n_jobs, cache_dir, ...); "
+                                  "explicit flags override it, REPRO_* "
+                                  "environment variables fill the gaps")
+        command.add_argument("--n-jobs", type=int, default=None,
                              help=f"parallel workers for {what} "
                                   "(-1 = all cores, default 1 = serial)")
         command.add_argument("--backend", choices=BACKEND_NAMES, default=None,
@@ -99,7 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: no prefix reuse)")
 
     search = subparsers.add_parser("search", help="run one Auto-FP search")
-    search.add_argument("--dataset", required=True, help="registry dataset name")
+    search.add_argument("--dataset", default=None,
+                        help="registry dataset name (required unless "
+                             "--resume, which reads it from the checkpoint)")
     search.add_argument("--model", default="lr", help="downstream model (lr/xgb/mlp/...)")
     search.add_argument("--algorithm", default="pbt", help="search algorithm name")
     search.add_argument("--max-trials", type=int, default=40,
@@ -109,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0, help="random seed")
     search.add_argument("--output", default=None,
                         help="optional path for the JSON result")
+    search.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="session checkpoint file: the run snapshots "
+                             "itself every --checkpoint-every trials, so a "
+                             "killed search can continue with --resume")
+    search.add_argument("--checkpoint-every", type=int, default=10,
+                        metavar="N",
+                        help="trials between automatic checkpoints "
+                             "(default 10; needs --checkpoint)")
+    search.add_argument("--resume", action="store_true",
+                        help="continue the run saved in --checkpoint "
+                             "(bit-for-bit identical to an uninterrupted "
+                             "run); dataset/model/seed, the execution "
+                             "context and the remaining budget all come "
+                             "from the checkpoint — runtime flags are "
+                             "ignored")
     add_parallel_options(search, "evaluation batches")
     add_async_option(search)
     add_cache_option(search)
@@ -254,54 +283,123 @@ def _cmd_algorithms(args, out) -> int:
 
 def _prefix_cache_bytes(args) -> int | None:
     """Convert the ``--prefix-cache-mb`` option to a byte budget."""
-    if args.prefix_cache_mb is None:
+    if getattr(args, "prefix_cache_mb", None) is None:
         return None
     return int(args.prefix_cache_mb * 1024 * 1024)
+
+
+def _resolve_context(args):
+    """Build the invocation's ExecutionContext from env < file < flags."""
+    import json
+    from pathlib import Path
+
+    from repro.core.context import ExecutionContext
+
+    context = ExecutionContext.from_env()
+    if getattr(args, "context", None):
+        data = json.loads(Path(args.context).read_text(encoding="utf-8"))
+        context = ExecutionContext.from_dict({**context.to_dict(), **data})
+    overrides: dict = {}
+    if getattr(args, "n_jobs", None) is not None:
+        overrides["n_jobs"] = args.n_jobs
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "async_mode", False):
+        overrides["async_mode"] = True
+    prefix_bytes = _prefix_cache_bytes(args)
+    if prefix_bytes is not None:
+        overrides["prefix_cache_bytes"] = prefix_bytes
+    return context.replace(**overrides) if overrides else context
 
 
 def _cmd_search(args, out) -> int:
     from repro.core.problem import AutoFPProblem
     from repro.search import make_search_algorithm
+    from repro.search.session import SearchSession
 
-    problem = AutoFPProblem.from_registry(
-        args.dataset, args.model, scale=args.scale, random_state=args.seed,
-        n_jobs=args.n_jobs, backend=args.backend, cache_dir=args.cache_dir,
-        async_mode=args.async_mode,
-        prefix_cache_bytes=_prefix_cache_bytes(args),
-    )
-    baseline = problem.baseline_accuracy()
-    algorithm = make_search_algorithm(args.algorithm, random_state=args.seed)
-    result = algorithm.search(problem, max_trials=args.max_trials)
-    result.baseline_accuracy = baseline
+    context = _resolve_context(args)
+    checkpoint = args.checkpoint
+    if args.resume:
+        if checkpoint is None:
+            out.write("error: --resume needs --checkpoint FILE\n")
+            return 2
+        ignored = [flag for flag, given in (
+            ("--context", args.context is not None),
+            ("--n-jobs", args.n_jobs is not None),
+            ("--backend", args.backend is not None),
+            ("--cache-dir", bool(args.cache_dir)),
+            ("--async", args.async_mode),
+            ("--prefix-cache-mb", args.prefix_cache_mb is not None),
+        ) if given]
+        if ignored:
+            # Don't silently run under a different configuration than the
+            # user asked for: the stored context governs a resumed run.
+            out.write("note         : " + ", ".join(ignored) + " ignored — "
+                      "a resumed run uses the checkpoint's stored context "
+                      "and budget\n")
+        # The checkpoint carries the problem (provenance), the runtime
+        # context and the remaining budget of the interrupted run.
+        session = SearchSession.resume(
+            checkpoint, checkpoint_path=checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+        problem = session.problem
+        out.write(f"resuming     : {checkpoint} "
+                  f"({len(session.result)} trials already done)\n")
+        result = session.run()
+        baseline = result.baseline_accuracy
+        if baseline is None:
+            baseline = problem.baseline_accuracy()
+    else:
+        if args.dataset is None:
+            out.write("error: --dataset is required (or pass --resume)\n")
+            return 2
+        problem = AutoFPProblem.from_registry(
+            args.dataset, args.model, scale=args.scale,
+            random_state=args.seed, context=context,
+        )
+        baseline = problem.baseline_accuracy()
+        algorithm = make_search_algorithm(args.algorithm,
+                                          random_state=args.seed)
+        session = SearchSession(
+            problem, algorithm, context=context,
+            checkpoint_path=checkpoint,
+            checkpoint_every=(args.checkpoint_every if checkpoint else None),
+        )
+        session.result.baseline_accuracy = baseline
+        result = session.run(max_trials=args.max_trials)
 
     if problem.evaluator.engine is not None:
         problem.evaluator.engine.close()
 
-    out.write(f"dataset      : {args.dataset} (scale {args.scale})\n")
-    out.write(f"model        : {args.model}\n")
-    out.write(f"algorithm    : {args.algorithm}\n")
+    scale = (problem.provenance or {}).get("scale", args.scale) \
+        if args.resume else args.scale
+    out.write(f"dataset      : {problem.name} (scale {scale})\n")
+    out.write(f"algorithm    : {result.algorithm}\n")
+    # A resumed run executes under the checkpoint's stored context.
+    out.write(f"execution    : {session.context.describe()}\n")
     out.write(f"trials       : {len(result)}\n")
     out.write(f"baseline acc : {baseline:.4f}\n")
     out.write(f"best acc     : {result.best_accuracy:.4f}\n")
     out.write(f"best pipeline: {result.best_pipeline.describe()}\n")
-    if args.cache_dir:
+    if session.context.cache_dir:
         info = problem.evaluator.cache_info()
         out.write(f"eval cache   : {info['misses']} uncached, "
                   f"{info['hits']} cached "
-                  f"({info.get('disk_hits', 0)} from {args.cache_dir})\n")
+                  f"({info.get('disk_hits', 0)} from "
+                  f"{session.context.cache_dir})\n")
     if problem.evaluator.prefix_cache is not None:
-        from repro.engine import resolve_backend_name
-
         info = problem.evaluator.cache_info()
-        # Process workers keep private caches whose counters never reach
-        # the parent — all zeros here would misread as "the flag did
-        # nothing", so say where the reuse happened.
-        note = (" (in worker processes; counters not merged back)"
-                if resolve_backend_name(args.n_jobs, args.backend) == "process"
-                else "")
+        # Counters include reuse inside process-pool workers (their private
+        # caches report per-evaluation deltas, merged back with results).
         out.write(f"prefix cache : {info['prefix_hits']} prefix hits, "
                   f"{info['steps_reused']} steps reused, "
-                  f"{info['bytes_held']} bytes held{note}\n")
+                  f"{info['bytes_held']} bytes held\n")
+    if session.last_checkpoint_path is not None:
+        out.write(f"checkpoint   : {session.last_checkpoint_path} "
+                  f"(resume with --resume)\n")
 
     if args.output:
         from repro.io import save_search_result
@@ -318,7 +416,7 @@ def _cmd_compare(args, out) -> int:
 
     problem = AutoFPProblem.from_registry(
         args.dataset, args.model, scale=args.scale, random_state=args.seed,
-        n_jobs=args.n_jobs, backend=args.backend,
+        context=_resolve_context(args),
     )
     baseline = problem.baseline_accuracy()
     accuracies: dict[str, float] = {}
@@ -345,8 +443,7 @@ def _cmd_experiment(args, out) -> int:
     from repro.analysis import format_ranking_table
     from repro.experiments import ExperimentConfig, run_experiment
 
-    from repro.engine import resolve_backend_name
-
+    context = _resolve_context(args)
     config = ExperimentConfig(
         datasets=tuple(args.datasets),
         models=tuple(args.models),
@@ -355,21 +452,17 @@ def _cmd_experiment(args, out) -> int:
         n_repeats=args.repeats,
         random_state=args.seed,
         dataset_scale=args.scale,
-        n_jobs=args.n_jobs,
-        backend=resolve_backend_name(args.n_jobs, args.backend),
-        cache_dir=args.cache_dir,
-        async_mode=args.async_mode,
-        prefix_cache_bytes=_prefix_cache_bytes(args),
+        context=context,
     )
     out.write(f"grid         : {len(config.datasets)} datasets x "
               f"{len(config.models)} models x {len(config.algorithms)} "
               f"algorithms x {config.n_repeats} repeats = {config.n_runs()} runs\n")
-    out.write(f"execution    : backend {config.backend}, n_jobs {config.n_jobs}\n\n")
+    out.write(f"execution    : {config.context.describe()}\n\n")
 
     outcome = run_experiment(config)
-    if config.cache_dir:
+    if config.context.cache_dir:
         out.write(f"eval cache   : {outcome.uncached_evaluations} uncached "
-                  f"evaluations (cache {config.cache_dir})\n\n")
+                  f"evaluations (cache {config.context.cache_dir})\n\n")
 
     header = f"{'dataset':<16} {'model':<6} {'baseline':>9}"
     for algorithm in config.algorithms:

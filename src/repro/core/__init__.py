@@ -1,6 +1,7 @@
 """Core Auto-FP abstractions: pipelines, search space, evaluation, budgets."""
 
 from repro.core.budget import Budget, CompositeBudget, TimeBudget, TrialBudget
+from repro.core.context import ExecutionContext
 from repro.core.evaluation import PipelineEvaluator
 from repro.core.pipeline import FittedPipeline, Pipeline
 from repro.core.problem import AutoFPProblem
@@ -8,6 +9,7 @@ from repro.core.result import SearchResult, TrialRecord
 from repro.core.search_space import SearchSpace
 
 __all__ = [
+    "ExecutionContext",
     "Pipeline",
     "FittedPipeline",
     "SearchSpace",

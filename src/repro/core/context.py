@@ -1,0 +1,317 @@
+"""The unified runtime-configuration surface: :class:`ExecutionContext`.
+
+Four PRs of scaling work each added their own keyword argument to every
+layer of the public API: ``n_jobs``/``backend`` (parallel engine),
+``cache_dir`` (persistent evaluation cache), ``async_mode``
+(completion-driven scheduling) and ``prefix_cache_bytes``
+(prefix-transform reuse) were threaded separately through
+``AutoFPProblem``, ``SearchAlgorithm.search``, ``ExperimentConfig``,
+``run_experiment``/``run_single`` and the CLI.  ``ExecutionContext``
+collapses that sprawl into one frozen, serializable object: every runtime
+knob lives here, every entry point accepts ``context=``, and the old
+per-kwarg spellings keep working through a deprecation shim
+(:func:`fold_legacy_kwargs`) that folds them into a context.
+
+Because the context is a frozen dataclass of plain scalars it is
+
+* **hashable** — usable as a memo key (the experiment runner's per-cell
+  problem memo),
+* **picklable** — shipped to process-pool grid workers inside
+  ``ExperimentConfig``,
+* **JSON-round-trippable** — ``to_dict``/``from_dict`` put it in session
+  checkpoints and config files, and :meth:`from_env` reads the same knobs
+  from ``REPRO_*`` environment variables for container deployments.
+
+The context is *declarative*: it never holds live resources.
+:meth:`build_engine` constructs the execution engine it describes, and
+:meth:`evaluator_options` yields the constructor options of a
+:class:`~repro.core.evaluation.PipelineEvaluator`, so one context can
+configure any number of problems/evaluators.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.exceptions import ReproDeprecationWarning, ValidationError
+
+#: sentinel distinguishing "kwarg not passed" from an explicit None/False,
+#: so the deprecation shim only warns about spellings the caller actually
+#: used
+_UNSET = object()
+
+#: environment variables read by :meth:`ExecutionContext.from_env`
+_ENV_PREFIX = "REPRO_"
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Every runtime knob of a run, bundled into one immutable object.
+
+    Attributes
+    ----------
+    backend:
+        Execution backend name (``"serial"``/``"thread"``/``"process"``)
+        or ``None`` to auto-select from ``n_jobs`` (process when parallel,
+        serial otherwise — see :func:`repro.engine.resolve_backend_name`).
+    n_jobs:
+        Parallel workers (``-1`` = one per CPU core, ``None``/``1`` =
+        serial).
+    cache_dir:
+        Root of the persistent cross-run evaluation cache
+        (:mod:`repro.io.evalcache`); ``None`` disables persistence.
+    prefix_cache_bytes:
+        Byte budget of the prefix-transform cache
+        (:mod:`repro.core.prefixcache`); ``None`` disables prefix reuse.
+    async_mode:
+        When True, searches run under the completion-driven
+        :class:`~repro.search.async_driver.AsyncSearchDriver` instead of
+        the synchronous barrier loop.
+    default_budget:
+        Default number of trials when a search is started without an
+        explicit budget (``None`` falls back to the entry point's own
+        default, currently 50).
+    seed:
+        Default random seed used by entry points whose caller did not pass
+        ``random_state`` explicitly; ``None`` keeps each entry point's own
+        default.
+    """
+
+    backend: str | None = None
+    n_jobs: int | None = None
+    cache_dir: str | None = None
+    prefix_cache_bytes: int | None = None
+    async_mode: bool = False
+    default_budget: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.engine.backends import BACKEND_NAMES
+
+            if self.backend not in BACKEND_NAMES:
+                raise ValidationError(
+                    f"backend must be one of {sorted(BACKEND_NAMES)} or None, "
+                    f"got {self.backend!r}"
+                )
+        if self.n_jobs is not None:
+            n_jobs = int(self.n_jobs)
+            if n_jobs == 0 or n_jobs < -1:
+                raise ValidationError(
+                    f"n_jobs must be a positive worker count, -1 (all cores) "
+                    f"or None, got {self.n_jobs!r}"
+                )
+            object.__setattr__(self, "n_jobs", n_jobs)
+        if self.cache_dir is not None:
+            # Normalise Path-likes to str so the context stays hashable and
+            # JSON-serializable.
+            object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
+        if self.prefix_cache_bytes is not None:
+            prefix_bytes = int(self.prefix_cache_bytes)
+            if prefix_bytes < 0:
+                raise ValidationError(
+                    f"prefix_cache_bytes must be >= 0 or None, "
+                    f"got {self.prefix_cache_bytes!r}"
+                )
+            object.__setattr__(self, "prefix_cache_bytes",
+                               prefix_bytes or None)
+        if self.default_budget is not None:
+            budget = int(self.default_budget)
+            if budget < 1:
+                raise ValidationError(
+                    f"default_budget must be at least 1, got {budget}"
+                )
+            object.__setattr__(self, "default_budget", budget)
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "async_mode", bool(self.async_mode))
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-scalar dictionary form (JSON-ready, stable key order)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "ExecutionContext":
+        """Rebuild a context from :meth:`to_dict` output.
+
+        Unknown keys are refused rather than silently dropped: a typo in a
+        config file must not quietly run with defaults.
+        """
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"ExecutionContext.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown ExecutionContext field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_env(cls, environ=None, *,
+                 base: "ExecutionContext | None" = None) -> "ExecutionContext":
+        """Read the context from ``REPRO_*`` environment variables.
+
+        Recognised variables (unset ones keep ``base``'s value, or the
+        field default): ``REPRO_BACKEND``, ``REPRO_N_JOBS``,
+        ``REPRO_CACHE_DIR``, ``REPRO_PREFIX_CACHE_MB`` (MiB, converted to
+        bytes), ``REPRO_ASYNC`` (``1``/``true``/``yes`` enable),
+        ``REPRO_MAX_TRIALS`` (``default_budget``) and ``REPRO_SEED``.
+        """
+        environ = os.environ if environ is None else environ
+        overrides: dict = {}
+
+        def read(name: str):
+            value = environ.get(_ENV_PREFIX + name, "")
+            return value if value.strip() else None
+
+        if read("BACKEND") is not None:
+            overrides["backend"] = read("BACKEND").strip()
+        for name, field_name in (("N_JOBS", "n_jobs"),
+                                 ("MAX_TRIALS", "default_budget"),
+                                 ("SEED", "seed")):
+            raw = read(name)
+            if raw is not None:
+                try:
+                    overrides[field_name] = int(raw)
+                except ValueError:
+                    raise ValidationError(
+                        f"{_ENV_PREFIX}{name} must be an integer, got {raw!r}"
+                    ) from None
+        if read("CACHE_DIR") is not None:
+            overrides["cache_dir"] = read("CACHE_DIR").strip()
+        raw = read("PREFIX_CACHE_MB")
+        if raw is not None:
+            try:
+                overrides["prefix_cache_bytes"] = int(float(raw) * 1024 * 1024)
+            except ValueError:
+                raise ValidationError(
+                    f"{_ENV_PREFIX}PREFIX_CACHE_MB must be a number, "
+                    f"got {raw!r}"
+                ) from None
+        raw = read("ASYNC")
+        if raw is not None:
+            overrides["async_mode"] = raw.strip().lower() in ("1", "true",
+                                                              "yes", "on")
+        base = base if base is not None else cls()
+        return base.replace(**overrides) if overrides else base
+
+    def replace(self, **changes) -> "ExecutionContext":
+        """A copy with ``changes`` applied (contexts are immutable)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------ resources
+    def backend_name(self) -> str:
+        """The effective backend name after ``n_jobs`` defaulting."""
+        from repro.engine import resolve_backend_name
+
+        return resolve_backend_name(self.n_jobs, self.backend)
+
+    def build_engine(self):
+        """Build the execution engine this context describes.
+
+        Returns ``None`` when the context resolves to plain single-worker
+        serial evaluation (no engine overhead) — the same rule as
+        :func:`repro.engine.resolve_engine`.  Each call builds a fresh
+        engine; the caller owns it (``engine.close()``).
+        """
+        from repro.engine import resolve_engine
+
+        return resolve_engine(self.n_jobs, self.backend)
+
+    def evaluator_options(self) -> dict:
+        """Constructor options for a :class:`PipelineEvaluator`.
+
+        The single path through which a context configures evaluation:
+        ``PipelineEvaluator.from_dataset(..., **context.evaluator_options())``
+        attaches the engine and both cache layers in one go.
+        """
+        return {
+            "engine": self.build_engine(),
+            "cache_dir": self.cache_dir,
+            "prefix_cache_bytes": self.prefix_cache_bytes,
+        }
+
+    def configure_evaluator(self, evaluator) -> None:
+        """Attach this context's engine to an existing ``evaluator``.
+
+        Cache knobs (``cache_dir``, ``prefix_cache_bytes``) are
+        construction-time options of the evaluator and cannot be changed
+        here; build the evaluator through :meth:`evaluator_options` to
+        apply them.
+        """
+        evaluator.set_engine(self.build_engine())
+
+    # ------------------------------------------------------------- defaults
+    def seed_or(self, default):
+        """This context's default seed, or ``default`` when unset."""
+        return self.seed if self.seed is not None else default
+
+    def trial_budget(self, max_trials: int | None = None):
+        """A :class:`~repro.core.budget.TrialBudget` for one search run.
+
+        ``max_trials`` (when given) wins over the context's
+        ``default_budget``; with neither set, 50 trials — the historical
+        ``SearchAlgorithm.search`` default.
+        """
+        from repro.core.budget import TrialBudget
+
+        if max_trials is None:
+            max_trials = self.default_budget if self.default_budget else 50
+        return TrialBudget(max_trials)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI banners, logs)."""
+        parts = [f"backend={self.backend_name()}",
+                 f"n_jobs={self.n_jobs if self.n_jobs is not None else 1}",
+                 f"driver={'async' if self.async_mode else 'sync'}"]
+        if self.cache_dir is not None:
+            parts.append(f"cache_dir={self.cache_dir}")
+        if self.prefix_cache_bytes is not None:
+            parts.append(f"prefix_cache={self.prefix_cache_bytes}B")
+        if self.default_budget is not None:
+            parts.append(f"default_budget={self.default_budget}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+#: the per-knob keywords the context replaced, mapped to their context field
+LEGACY_CONTEXT_KWARGS: tuple[str, ...] = (
+    "n_jobs", "backend", "cache_dir", "prefix_cache_bytes", "async_mode",
+)
+
+
+def fold_legacy_kwargs(context: ExecutionContext | None, *, where: str,
+                       stacklevel: int = 3, **legacy) -> ExecutionContext:
+    """The deprecation shim: fold per-knob keywords into a context.
+
+    ``legacy`` values equal to :data:`_UNSET` were not passed by the
+    caller and are ignored — as are explicit ``None``/``False``, the
+    historical "off" defaults, which change nothing when folded; each
+    *meaningful* value the caller passed emits a single
+    :class:`~repro.exceptions.ReproDeprecationWarning` (naming ``where``,
+    the entry point) and overrides the corresponding field of ``context``.
+    With no legacy keywords this is a plain ``context or
+    ExecutionContext()`` defaulting step, so modern callers pay nothing.
+    """
+    passed = {name: value for name, value in legacy.items()
+              if value is not _UNSET and value is not None
+              and value is not False}
+    context = context if context is not None else ExecutionContext()
+    if not passed:
+        return context
+    names = ", ".join(f"{name}=" for name in sorted(passed))
+    warnings.warn(
+        f"{where}: the keyword argument(s) {names} are deprecated; pass "
+        f"context=ExecutionContext({', '.join(sorted(passed))}, ...) instead",
+        ReproDeprecationWarning, stacklevel=stacklevel,
+    )
+    return context.replace(**passed)

@@ -118,10 +118,12 @@ class PipelineEvaluator:
         Results are written through to disk (scoped by :meth:`fingerprint`)
         and read back on in-memory misses, so a second run over the same
         data/model/seed performs zero uncached evaluations.  Requires
-        ``cache=True``; safe to share between concurrent processes.  Note
-        the disk cache keeps its own small in-memory index of every entry
-        it has seen, which ``cache_size`` does not bound (entries are four
-        scalars each; see :mod:`repro.io.evalcache`).
+        ``cache=True``; safe to share between concurrent processes.  The
+        disk cache keeps its own small in-memory index, bounded by the
+        same ``cache_size`` as the LRU (evicted index entries are
+        re-found by re-scanning their shard file on demand), so long-lived
+        cache roots cannot grow parent memory without limit; ``None``
+        keeps the index unbounded (see :mod:`repro.io.evalcache`).
     prefix_cache_bytes:
         Optional byte budget for the prefix-transform cache
         (:mod:`repro.core.prefixcache`).  When set, pipelines are fitted
@@ -165,13 +167,21 @@ class PipelineEvaluator:
         self.n_evaluations = 0
         self.prefix_cache_bytes = prefix_cache_bytes
         self._prefix_cache = make_prefix_cache(prefix_cache_bytes)
+        #: prefix-cache counter deltas merged back from process-pool
+        #: workers (each worker keeps a private cache; its per-evaluation
+        #: deltas ride back on the cache entries — see
+        #: :meth:`absorb_worker_counters`)
+        self._worker_prefix_counters: dict[str, int] = {}
+        self._fingerprint: str | None = None
         self.cache_dir = cache_dir
         if cache and cache_dir is not None:
             # Guarded so the default (no cache_dir) path never pays the
             # fingerprint hash over the full train/valid arrays.
             from repro.io.evalcache import open_eval_cache
 
-            self._disk_cache = open_eval_cache(cache_dir, self.fingerprint())
+            self._disk_cache = open_eval_cache(
+                cache_dir, self.fingerprint(), max_index_entries=cache_size,
+            )
         else:
             self._disk_cache = None
 
@@ -225,6 +235,7 @@ class PipelineEvaluator:
         state["_cache"] = OrderedDict()
         state["_disk_cache"] = None
         state["_prefix_cache"] = None
+        state["_worker_prefix_counters"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -240,8 +251,13 @@ class PipelineEvaluator:
         everything a cache entry's validity depends on.  Two evaluators with
         the same fingerprint produce bit-for-bit identical results for every
         ``(pipeline spec, fidelity)``, which is what makes the persistent
-        cache (``cache_dir``) safe to share across runs and processes.
+        cache (``cache_dir``) safe to share across runs and processes, and
+        what lets a session checkpoint verify on resume that it is being
+        continued against the same problem.  The digest is memoized: the
+        split and model prototype never change for the evaluator's lifetime.
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
         digest = hashlib.sha256()
         for array in (self.X_train, self.y_train, self.X_valid, self.y_valid):
             array = np.ascontiguousarray(array)
@@ -251,7 +267,8 @@ class PipelineEvaluator:
                       tuple(sorted(self.model.get_params().items())))
         digest.update(repr(model_spec).encode())
         digest.update(repr(self._subsample_seed).encode())
-        return digest.hexdigest()
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ----------------------------------------------------------- evaluation
     def baseline_accuracy(self) -> float:
@@ -397,6 +414,25 @@ class PipelineEvaluator:
         if self._disk_cache is not None:
             self._disk_cache.put_many(items)
 
+    def absorb_worker_counters(self, entry: dict) -> dict:
+        """Strip a worker's prefix-counter delta from ``entry`` and merge it.
+
+        Process-pool workers evaluate against *private* prefix caches; each
+        evaluation performed in a worker attaches the counter delta it
+        caused (hits, steps reused, ...) to the returned cache entry under
+        a reserved key.  The engine routes every worker-computed entry
+        through here before caching it, so the parent's :meth:`cache_info`
+        reflects reuse that happened in the workers — and the delta never
+        leaks into the memoization LRU or the persistent disk cache.
+        Idempotent: entries without a delta pass through untouched.
+        """
+        delta = entry.pop("_prefix_counter_delta", None)
+        if delta:
+            counters = self._worker_prefix_counters
+            for name, value in delta.items():
+                counters[name] = counters.get(name, 0) + int(value)
+        return entry
+
     def _memory_store(self, key: tuple, entry: dict) -> None:
         self._cache[key] = entry
         self._cache.move_to_end(key)
@@ -415,9 +451,12 @@ class PipelineEvaluator:
         With a prefix cache attached (``prefix_cache_bytes``), its counters
         are itemised under ``prefix_*`` keys plus ``steps_reused`` (pipeline
         steps served from cache instead of re-fitted) and ``bytes_held``
-        (current budget usage).  Note these cover this process only: process
-        backend workers keep their own caches, whose counters are not
-        merged back.
+        (current budget usage).  The monotonic counters include reuse that
+        happened inside process-pool workers (each worker's private cache
+        reports per-evaluation deltas, merged back with the results — see
+        :meth:`absorb_worker_counters`); the gauges ``prefix_entries`` and
+        ``bytes_held`` remain parent-process values, since worker caches
+        live in other address spaces.
         """
         info = {
             "hits": self.cache_hits,
@@ -438,13 +477,19 @@ class PipelineEvaluator:
             })
         if self._prefix_cache is not None:
             prefix = self._prefix_cache.info()
+            workers = self._worker_prefix_counters
             info.update({
-                "prefix_hits": prefix["hits"],
-                "prefix_misses": prefix["misses"],
-                "prefix_evictions": prefix["evictions"],
+                "prefix_hits": prefix["hits"] + workers.get("hits", 0),
+                "prefix_misses": prefix["misses"] + workers.get("misses", 0),
+                "prefix_evictions": (prefix["evictions"]
+                                     + workers.get("evictions", 0)),
                 "prefix_entries": prefix["entries"],
-                "prefix_short_circuits": prefix["failed_short_circuits"],
-                "steps_reused": prefix["steps_reused"],
+                "prefix_short_circuits": (
+                    prefix["failed_short_circuits"]
+                    + workers.get("failed_short_circuits", 0)
+                ),
+                "steps_reused": (prefix["steps_reused"]
+                                 + workers.get("steps_reused", 0)),
                 "bytes_held": prefix["bytes_held"],
                 "prefix_max_bytes": prefix["max_bytes"],
             })

@@ -172,6 +172,32 @@ class PrefixTransformCache:
             self._entries.clear()
             self.bytes_held = 0
 
+    #: the monotonic counters that are meaningful to merge across processes
+    #: (gauges like ``bytes_held``/``entries`` describe one address space
+    #: and are deliberately excluded)
+    COUNTER_NAMES: tuple[str, ...] = (
+        "hits", "misses", "insertions", "evictions", "steps_reused",
+        "failed_short_circuits",
+    )
+
+    def counters(self) -> dict:
+        """Snapshot of the monotonic counters (one consistent read).
+
+        Process-pool workers snapshot before and after each evaluation and
+        ship the difference (:meth:`counters_since`) back with the result,
+        so the parent evaluator can report reuse that happened in worker
+        address spaces.
+        """
+        with self._lock:
+            return {name: getattr(self, name) for name in self.COUNTER_NAMES}
+
+    def counters_since(self, before: dict) -> dict:
+        """Counter delta since a :meth:`counters` snapshot (non-zero only)."""
+        now = self.counters()
+        return {name: now[name] - before.get(name, 0)
+                for name in self.COUNTER_NAMES
+                if now[name] != before.get(name, 0)}
+
     def info(self) -> dict:
         """Counters for ``PipelineEvaluator.cache_info()`` and reports."""
         with self._lock:

@@ -4,12 +4,19 @@
 dataset (or a named registry dataset), a downstream model and a search space
 into a :class:`~repro.core.evaluation.PipelineEvaluator`, and exposes the
 no-preprocessing baseline that the paper uses as its reference point.
+
+Runtime configuration — parallel backend, caches, async scheduling — comes
+from one :class:`~repro.core.context.ExecutionContext` (``context=``); the
+per-knob keywords of earlier releases (``n_jobs=``/``backend=``/
+``cache_dir=``/``prefix_cache_bytes=``/``async_mode=``) still work through
+the deprecation shim, which folds them into a context.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.context import _UNSET, ExecutionContext, fold_legacy_kwargs
 from repro.core.evaluation import PipelineEvaluator
 from repro.core.search_space import SearchSpace
 from repro.models.base import Classifier
@@ -38,72 +45,119 @@ class AutoFPProblem:
     #: the completion-driven :class:`~repro.search.async_driver.AsyncSearchDriver`
     #: (overlapping Pick with Prep/Train) instead of the barrier loop
     async_mode: bool = False
+    #: the runtime configuration the problem was built with; searches and
+    #: :class:`~repro.search.session.SearchSession` default to it
+    context: ExecutionContext | None = None
+    #: how to rebuild this problem from scratch (registry dataset name,
+    #: model name, scale, seed) — recorded by :meth:`from_registry` so a
+    #: session checkpoint can resume in a fresh process without the caller
+    #: re-supplying the problem; ``None`` for problems built from raw arrays
+    provenance: dict | None = field(default=None, repr=False)
 
     @classmethod
     def from_arrays(cls, X, y, model: Classifier | str, *,
                     space: SearchSpace | None = None, valid_size: float = 0.2,
-                    fast_model: bool = True, random_state=0,
-                    name: str = "auto-fp", n_jobs: int | None = None,
-                    backend: str | None = None,
-                    cache_dir=None, async_mode: bool = False,
-                    prefix_cache_bytes: int | None = None) -> "AutoFPProblem":
+                    fast_model: bool = True, random_state=_UNSET,
+                    name: str = "auto-fp",
+                    context: ExecutionContext | None = None,
+                    n_jobs=_UNSET, backend=_UNSET, cache_dir=_UNSET,
+                    async_mode=_UNSET, prefix_cache_bytes=_UNSET,
+                    ) -> "AutoFPProblem":
         """Build a problem from raw arrays.
 
         ``model`` may be a classifier instance or a registry name
-        (``"lr"``, ``"xgb"``, ``"mlp"``).  ``n_jobs`` / ``backend`` attach a
-        parallel execution engine to the evaluator (see
-        :func:`repro.engine.resolve_engine`); by default evaluation is
-        serial.  A process-backed engine keeps a worker pool alive between
-        batches — call ``problem.evaluator.engine.close()`` when done with
-        the problem to release it eagerly (it is also released at
-        interpreter exit).  ``cache_dir`` enables the persistent cross-run
-        evaluation cache: repeated searches over the same data/model/seed
-        answer previously seen pipelines from disk instead of re-training.
-        ``async_mode=True`` schedules searches completion-driven: the
-        algorithm proposes the next pipeline while earlier evaluations are
-        still in flight, keeping all ``n_jobs`` workers saturated
-        (identical results under serial evaluation).  ``prefix_cache_bytes``
-        turns on incremental evaluation: fitted pipeline prefixes are cached
-        (up to the byte budget) so pipelines sharing a step prefix only pay
-        Prep for their uncached suffix — bit-for-bit identical results,
-        trading memory for the dominant Prep cost.
+        (``"lr"``, ``"xgb"``, ``"mlp"``).  ``context`` carries every
+        runtime knob (see :class:`~repro.core.context.ExecutionContext`):
+        its engine runs evaluation batches in parallel, ``cache_dir``
+        enables the persistent cross-run evaluation cache,
+        ``prefix_cache_bytes`` turns on incremental (prefix-reusing)
+        evaluation and ``async_mode`` schedules searches
+        completion-driven.  A process-backed engine keeps a worker pool
+        alive between batches — call ``problem.evaluator.engine.close()``
+        when done with the problem to release it eagerly (it is also
+        released at interpreter exit).  ``random_state`` defaults to the
+        context's ``seed`` (0 when neither is set).  The per-knob
+        keywords are deprecated spellings folded into the context.
         """
-        from repro.engine import resolve_engine
-
+        context = fold_legacy_kwargs(
+            context, where="AutoFPProblem.from_arrays",
+            n_jobs=n_jobs, backend=backend, cache_dir=cache_dir,
+            async_mode=async_mode, prefix_cache_bytes=prefix_cache_bytes,
+        )
+        if random_state is _UNSET:
+            random_state = context.seed_or(0)
         if isinstance(model, str):
             model = make_classifier(model, fast=fast_model)
         evaluator = PipelineEvaluator.from_dataset(
             X, y, model, valid_size=valid_size, random_state=random_state,
-            engine=resolve_engine(n_jobs, backend), cache_dir=cache_dir,
-            prefix_cache_bytes=prefix_cache_bytes,
+            **context.evaluator_options(),
         )
         return cls(evaluator=evaluator, space=space or SearchSpace(),
-                   name=name, async_mode=bool(async_mode))
+                   name=name, async_mode=context.async_mode, context=context)
 
     @classmethod
     def from_registry(cls, dataset_name: str, model: Classifier | str, *,
                       space: SearchSpace | None = None, scale: float = 1.0,
-                      fast_model: bool = True, random_state=0,
-                      n_jobs: int | None = None,
-                      backend: str | None = None,
-                      cache_dir=None, async_mode: bool = False,
-                      prefix_cache_bytes: int | None = None) -> "AutoFPProblem":
+                      fast_model: bool = True, random_state=_UNSET,
+                      context: ExecutionContext | None = None,
+                      n_jobs=_UNSET, backend=_UNSET, cache_dir=_UNSET,
+                      async_mode=_UNSET, prefix_cache_bytes=_UNSET,
+                      ) -> "AutoFPProblem":
         """Build a problem from a named dataset of the benchmark registry."""
         from repro.datasets.registry import load_dataset
 
+        context = fold_legacy_kwargs(
+            context, where="AutoFPProblem.from_registry",
+            n_jobs=n_jobs, backend=backend, cache_dir=cache_dir,
+            async_mode=async_mode, prefix_cache_bytes=prefix_cache_bytes,
+        )
+        if random_state is _UNSET:
+            random_state = context.seed_or(0)
         X, y = load_dataset(dataset_name, scale=scale)
         model_name = model if isinstance(model, str) else type(model).__name__
-        return cls.from_arrays(
+        problem = cls.from_arrays(
             X, y, model,
             space=space,
             fast_model=fast_model,
             random_state=random_state,
             name=f"{dataset_name}/{model_name}",
-            n_jobs=n_jobs,
-            backend=backend,
-            cache_dir=cache_dir,
-            async_mode=async_mode,
-            prefix_cache_bytes=prefix_cache_bytes,
+            context=context,
+        )
+        if isinstance(model, str):
+            # Only registry models are rebuildable from a name; a problem
+            # with a custom classifier instance must be re-supplied by the
+            # caller on resume.
+            problem.provenance = {
+                "dataset": dataset_name,
+                "model": model,
+                "scale": float(scale),
+                "fast_model": bool(fast_model),
+                "random_state": int(random_state),
+            }
+        return problem
+
+    @classmethod
+    def from_provenance(cls, provenance: dict,
+                        context: ExecutionContext | None = None,
+                        ) -> "AutoFPProblem":
+        """Rebuild a registry-backed problem from its recorded provenance.
+
+        The inverse of the record :meth:`from_registry` leaves in
+        :attr:`provenance`; used by ``SearchSession.resume`` to restore an
+        interrupted run in a fresh process.
+        """
+        from repro.exceptions import ValidationError
+
+        required = {"dataset", "model", "scale", "fast_model", "random_state"}
+        if not isinstance(provenance, dict) or not required <= set(provenance):
+            raise ValidationError(
+                "problem provenance must carry "
+                f"{sorted(required)}, got {provenance!r}"
+            )
+        return cls.from_registry(
+            provenance["dataset"], provenance["model"],
+            scale=provenance["scale"], fast_model=provenance["fast_model"],
+            random_state=provenance["random_state"], context=context,
         )
 
     def baseline_accuracy(self) -> float:

@@ -241,7 +241,23 @@ def _init_evaluation_worker(evaluator) -> None:
 
 def _evaluate_in_worker(pair):
     pipeline, fidelity = pair
-    return _WORKER_EVALUATOR._evaluate_uncached(pipeline, fidelity)
+    cache = _WORKER_EVALUATOR.prefix_cache
+    if cache is None:
+        return _WORKER_EVALUATOR._evaluate_uncached(pipeline, fidelity)
+    # The worker's prefix cache is private to this process: its counters
+    # would otherwise never reach the parent (prefix_hits reading 0 under
+    # the process backend despite real reuse).  Pool workers run one task
+    # at a time, so a before/after snapshot brackets exactly this
+    # evaluation; the delta rides back on a copy of the entry (the
+    # original may be aliased by the worker's own caches) and is stripped
+    # by ``PipelineEvaluator.absorb_worker_counters`` before the entry is
+    # stored anywhere.
+    before = cache.counters()
+    entry = dict(_WORKER_EVALUATOR._evaluate_uncached(pipeline, fidelity))
+    delta = cache.counters_since(before)
+    if delta:
+        entry["_prefix_counter_delta"] = delta
+    return entry
 
 
 class ProcessBackend(ExecutionBackend):

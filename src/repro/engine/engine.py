@@ -189,7 +189,10 @@ class ExecutionEngine:
                 (tasks[groups[i][0]].pipeline, tasks[groups[i][0]].fidelity)
                 for i in order
             ]
-            dispatched = self.backend.run_evaluations(evaluator, work)
+            dispatched = [
+                evaluator.absorb_worker_counters(entry)
+                for entry in self.backend.run_evaluations(evaluator, work)
+            ]
             entries: list = [None] * len(groups)
             for position, index in enumerate(order):
                 entries[index] = dispatched[position]
@@ -280,7 +283,9 @@ class ExecutionEngine:
                 # execution; keep the counters comparable.
                 evaluator.cache_hits += 1
             else:
-                entry = pending.future.result()
+                entry = evaluator.absorb_worker_counters(
+                    pending.future.result()
+                )
                 evaluator.n_evaluations += 1
                 evaluator.cache_store(pending.key, entry)
                 self._inflight.pop((id(evaluator), pending.key), None)

@@ -9,9 +9,12 @@ more time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, replace
 
+from repro.core.context import ExecutionContext
 from repro.datasets.registry import list_datasets
+from repro.exceptions import ReproDeprecationWarning
 from repro.search.registry import ALL_ALGORITHM_NAMES
 
 
@@ -35,33 +38,19 @@ class ExperimentConfig:
         Base seed; repetition ``r`` of algorithm ``a`` derives its own seed.
     fast_models:
         Use reduced-capacity downstream models (recommended for laptops).
-    n_jobs:
-        Parallel workers used to fan out the independent
-        (dataset, model, algorithm, repeat) grid cells.  ``1`` (default)
-        runs the grid serially; ``-1`` uses one worker per CPU core.
-        Results are identical for every worker count.
-    backend:
-        Execution backend for the fan-out: ``"serial"``, ``"thread"`` or
-        ``"process"`` (see :mod:`repro.engine`).  The default ``None``
-        auto-selects: process when ``n_jobs != 1``, serial otherwise; an
-        explicit choice (including ``"serial"``) is always honoured.
-    cache_dir:
-        Optional root of the persistent cross-run evaluation cache
-        (:mod:`repro.io.evalcache`).  Grid cells write every evaluation
-        through to disk and answer repeats from it, so re-running the same
-        configuration — or any configuration sharing (dataset, model, seed)
-        cells — performs zero uncached evaluations, with bit-for-bit
-        identical results.  ``None`` (default) disables persistence.
-    async_mode:
-        When True every cell's search runs under the completion-driven
-        :class:`~repro.search.async_driver.AsyncSearchDriver` instead of
-        the synchronous barrier loop.  With serial within-cell evaluation
-        (the grid default) results are bit-for-bit identical either way.
-    prefix_cache_bytes:
-        Optional byte budget for each cell evaluator's prefix-transform
-        cache (:mod:`repro.core.prefixcache`): pipelines sharing a step
-        prefix only pay Prep for their uncached suffix, with bit-for-bit
-        identical results.  ``None`` (default) disables prefix reuse.
+    context:
+        The run's :class:`~repro.core.context.ExecutionContext`: its
+        ``n_jobs``/``backend`` fan the independent (dataset, model,
+        algorithm, repeat) grid cells out across workers (results are
+        identical for every worker count and backend), ``cache_dir``
+        persists every evaluation across runs, ``async_mode`` runs each
+        cell's search completion-driven and ``prefix_cache_bytes`` gives
+        each cell evaluator a prefix-transform cache.  Defaults to a
+        plain serial context.
+    n_jobs / backend / cache_dir / async_mode / prefix_cache_bytes:
+        Deprecated per-knob spellings of the context fields.  Setting one
+        warns and folds it into :attr:`context`; after construction they
+        mirror the context's values, so existing readers keep working.
     """
 
     datasets: tuple[str, ...]
@@ -72,11 +61,71 @@ class ExperimentConfig:
     random_state: int = 0
     fast_models: bool = True
     dataset_scale: float = 1.0
+    context: ExecutionContext | None = None
     n_jobs: int = 1
     backend: str | None = None
     cache_dir: str | None = None
     async_mode: bool = False
     prefix_cache_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        context = self.context if self.context is not None else ExecutionContext()
+        # Only values that *deviate* from the context count as caller-passed
+        # legacy spellings: a config round-tripped through
+        # ``dataclasses.replace`` carries consistent mirrored fields and
+        # must not re-warn.
+        legacy: dict = {}
+        if self.n_jobs != 1 and self.n_jobs != (context.n_jobs or 1):
+            legacy["n_jobs"] = self.n_jobs
+        if self.backend is not None and self.backend != context.backend:
+            legacy["backend"] = self.backend
+        if self.cache_dir is not None and str(self.cache_dir) != context.cache_dir:
+            legacy["cache_dir"] = str(self.cache_dir)
+        if bool(self.async_mode) != context.async_mode and self.async_mode:
+            legacy["async_mode"] = True
+        if self.prefix_cache_bytes is not None \
+                and self.prefix_cache_bytes != context.prefix_cache_bytes:
+            legacy["prefix_cache_bytes"] = int(self.prefix_cache_bytes)
+        if legacy:
+            names = ", ".join(f"{name}=" for name in sorted(legacy))
+            warnings.warn(
+                f"ExperimentConfig: the field(s) {names} are deprecated; "
+                f"pass context=ExecutionContext(...) instead",
+                ReproDeprecationWarning, stacklevel=3,
+            )
+            context = context.replace(**legacy)
+        self.context = context
+        # Mirror the context back into the legacy fields (reads stay warning
+        # free and consistent with the context, whichever spelling was used).
+        self.n_jobs = context.n_jobs if context.n_jobs is not None else 1
+        self.backend = context.backend
+        self.cache_dir = context.cache_dir
+        self.async_mode = context.async_mode
+        self.prefix_cache_bytes = context.prefix_cache_bytes
+
+    def with_context(self, context: ExecutionContext) -> "ExperimentConfig":
+        """A copy of this config running under ``context``.
+
+        Keeps the mirrored legacy fields consistent, so the copy never
+        trips the deprecation shim.
+        """
+        return replace(
+            self, context=context,
+            n_jobs=context.n_jobs if context.n_jobs is not None else 1,
+            backend=context.backend, cache_dir=context.cache_dir,
+            async_mode=context.async_mode,
+            prefix_cache_bytes=context.prefix_cache_bytes,
+        )
+
+    def cell_context(self) -> ExecutionContext:
+        """The context each grid *cell* evaluates under.
+
+        ``n_jobs``/``backend`` describe the grid fan-out, not within-cell
+        evaluation (a cell nesting its own worker pool inside a grid
+        worker would oversubscribe the machine), so they are stripped;
+        the cache and scheduling knobs pass through.
+        """
+        return self.context.replace(n_jobs=None, backend=None)
 
     def n_runs(self) -> int:
         """Total number of search runs the configuration implies."""

@@ -9,9 +9,17 @@ per-run :class:`BottleneckReport` objects and the underlying
 Every (dataset, model, algorithm, repeat) cell of the grid is independent:
 it loads its own data, builds its own problem and derives its own seed from
 the configuration.  ``run_experiment`` therefore fans the cells out across
-an :class:`~repro.engine.engine.ExecutionEngine` (``n_jobs`` workers on a
-serial/thread/process backend) and merges the results back in grid order —
-the outcome is bit-for-bit identical for every worker count and backend.
+an :class:`~repro.engine.engine.ExecutionEngine` (the context's ``n_jobs``
+workers on a serial/thread/process backend).  Cells are *submitted* as
+individual futures and collected as they complete — no whole-grid barrier —
+with ``cell_callback`` reporting each completed cell in completion order,
+while the results are still merged in grid order: the outcome is
+bit-for-bit identical for every worker count and backend.
+
+Runtime configuration flows through one
+:class:`~repro.core.context.ExecutionContext` (``config.context`` or the
+``context=`` override); the per-knob keywords of earlier releases keep
+working via the deprecation shim.
 """
 
 from __future__ import annotations
@@ -25,11 +33,12 @@ import numpy as np
 
 from repro.analysis.bottleneck import BottleneckReport, analyze_result
 from repro.analysis.ranking import Scenario, average_rankings
+from repro.core.context import _UNSET, ExecutionContext, fold_legacy_kwargs
 from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult
 from repro.core.search_space import SearchSpace
 from repro.datasets.registry import load_dataset
-from repro.engine import ExecutionEngine, resolve_backend_name
+from repro.engine import ExecutionEngine
 from repro.experiments.config import ExperimentConfig
 from repro.models.registry import make_classifier
 from repro.search.registry import make_search_algorithm
@@ -61,30 +70,34 @@ class ExperimentOutcome:
 
 
 def run_single(dataset: str, model: str, algorithm: str, *, max_trials: int = 25,
-               random_state: int = 0, fast_model: bool = True,
+               random_state=_UNSET, fast_model: bool = True,
                dataset_scale: float = 1.0,
-               space: SearchSpace | None = None, n_jobs: int | None = None,
-               backend: str | None = None,
-               cache_dir: str | None = None,
-               async_mode: bool = False,
-               prefix_cache_bytes: int | None = None) -> tuple[SearchResult, float]:
+               space: SearchSpace | None = None,
+               context: ExecutionContext | None = None,
+               n_jobs=_UNSET, backend=_UNSET, cache_dir=_UNSET,
+               async_mode=_UNSET,
+               prefix_cache_bytes=_UNSET) -> tuple[SearchResult, float]:
     """Run one search and return ``(result, baseline_accuracy)``.
 
-    ``n_jobs`` / ``backend`` parallelise the *within-search* evaluation
-    batches (generations, rungs) via the execution engine; ``async_mode``
-    schedules them completion-driven (the algorithm proposes while earlier
-    evaluations are still in flight); ``cache_dir`` persists every
-    evaluation so a repeated run is answered from disk;
-    ``prefix_cache_bytes`` reuses fitted pipeline prefixes so each pipeline
-    only pays Prep for its uncached suffix.
+    ``context`` carries every runtime knob: its engine parallelises the
+    *within-search* evaluation batches (generations, rungs),
+    ``async_mode`` schedules them completion-driven, ``cache_dir``
+    persists every evaluation so a repeated run is answered from disk and
+    ``prefix_cache_bytes`` reuses fitted pipeline prefixes.  The per-knob
+    keywords are deprecated spellings folded into the context.
     """
+    context = fold_legacy_kwargs(
+        context, where="run_single", n_jobs=n_jobs, backend=backend,
+        cache_dir=cache_dir, async_mode=async_mode,
+        prefix_cache_bytes=prefix_cache_bytes,
+    )
+    if random_state is _UNSET:
+        random_state = context.seed_or(0)
     X, y = load_dataset(dataset, scale=dataset_scale)
     classifier = make_classifier(model, fast=fast_model)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, space=space, random_state=random_state,
-        name=f"{dataset}/{model}", n_jobs=n_jobs, backend=backend,
-        cache_dir=cache_dir, async_mode=async_mode,
-        prefix_cache_bytes=prefix_cache_bytes,
+        name=f"{dataset}/{model}", context=context,
     )
     try:
         baseline = problem.baseline_accuracy()
@@ -123,9 +136,9 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
     memo = getattr(_CELL_PROBLEMS, "memo", None)
     if memo is None:
         memo = _CELL_PROBLEMS.memo = OrderedDict()
+    cell_context = config.cell_context()
     key = (dataset, model, config.dataset_scale, config.fast_models,
-           config.random_state, config.cache_dir, config.async_mode,
-           config.prefix_cache_bytes)
+           config.random_state, cell_context)
     cached = memo.get(key)
     if cached is not None:
         memo.move_to_end(key)
@@ -135,9 +148,7 @@ def _cell_problem(config: ExperimentConfig, dataset: str, model: str):
     classifier = make_classifier(model, fast=config.fast_models)
     problem = AutoFPProblem.from_arrays(
         X, y, classifier, random_state=config.random_state,
-        name=f"{dataset}/{model}", cache_dir=config.cache_dir,
-        async_mode=config.async_mode,
-        prefix_cache_bytes=config.prefix_cache_bytes,
+        name=f"{dataset}/{model}", context=cell_context,
     )
     baseline = problem.baseline_accuracy()
     memo[key] = (problem, baseline)
@@ -169,46 +180,84 @@ def _run_cell(cell: tuple) -> tuple:
             (result if repeat == 0 else None), uncached)
 
 
+def _collect_cells(engine: ExecutionEngine, cells, cell_callback=None) -> list:
+    """Submit every grid cell as its own future; collect as they complete.
+
+    Unlike a barrier ``map``, a long-running cell cannot hold progress
+    reporting hostage: ``cell_callback(dataset, model, algorithm, repeat,
+    n_done, n_total)`` fires the moment each cell finishes, in completion
+    order.  Outputs still come back in submission (grid) order, so the
+    merge downstream is deterministic.  On the serial backend futures are
+    lazy and complete in submission order — the deterministic reference.
+    """
+    backend = engine.backend
+    futures = [backend.submit(_run_cell, cell) for cell in cells]
+    outputs: list = [None] * len(futures)
+    remaining = dict(enumerate(futures))
+    done = 0
+    while remaining:
+        ready = sorted(index for index, future in remaining.items()
+                       if future.done())
+        if not ready:
+            backend.wait_any(list(remaining.values()))
+            continue
+        for index in ready:
+            outputs[index] = remaining.pop(index).result()
+            done += 1
+            if cell_callback is not None:
+                _config, dataset, model, algorithm, repeat = cells[index]
+                cell_callback(dataset, model, algorithm, repeat,
+                              done, len(futures))
+    return outputs
+
+
 def run_experiment(config: ExperimentConfig, *, progress_callback=None,
-                   n_jobs: int | None = None,
-                   backend: str | None = None,
-                   cache_dir: str | None = None,
-                   prefix_cache_bytes: int | None = None) -> ExperimentOutcome:
+                   cell_callback=None,
+                   context: ExecutionContext | None = None,
+                   n_jobs=_UNSET,
+                   backend=_UNSET,
+                   cache_dir=_UNSET,
+                   prefix_cache_bytes=_UNSET) -> ExperimentOutcome:
     """Run the full (dataset x model x algorithm x repeat) grid of ``config``.
 
     Repetitions of the same (dataset, model, algorithm) cell are averaged:
     the scenario stores the mean best accuracy, and only the first repeat's
     search result / bottleneck report is retained.
 
-    The independent grid cells are fanned out across ``n_jobs`` workers on
-    the chosen execution backend (defaults come from ``config.n_jobs`` /
-    ``config.backend``); cell seeds are derived from the configuration and
-    results are merged in grid order, so the outcome does not depend on the
-    worker count or backend.  ``progress_callback(dataset, model,
-    algorithm, mean_accuracy)`` fires in grid order during the merge.
+    The independent grid cells are fanned out across the context's
+    ``n_jobs`` workers on its execution backend (``context=`` overrides
+    ``config.context``); cells are dispatched as individual futures and
+    collected per completion — ``cell_callback(dataset, model, algorithm,
+    repeat, n_done, n_total)`` fires as each cell lands, in completion
+    order.  Cell seeds are derived from the configuration and results are
+    merged in grid order, so the outcome does not depend on the worker
+    count or backend.  ``progress_callback(dataset, model, algorithm,
+    mean_accuracy)`` fires in grid order during the merge, as before.
 
-    ``cache_dir`` (or ``config.cache_dir``) turns on the persistent
-    cross-run evaluation cache: every worker writes its evaluations through
-    to disk and reads previous runs' entries back, so repeating a grid
-    performs zero uncached evaluations (``outcome.uncached_evaluations``)
-    while producing bit-for-bit identical scenarios.
-
-    ``prefix_cache_bytes`` (or ``config.prefix_cache_bytes``) gives every
-    cell evaluator a prefix-transform cache of that byte budget, so
-    pipelines sharing a step prefix within a cell only pay Prep for their
-    uncached suffix — same scenarios, less Prep time.
+    The context's ``cache_dir`` turns on the persistent cross-run
+    evaluation cache: every worker writes its evaluations through to disk
+    and reads previous runs' entries back, so repeating a grid performs
+    zero uncached evaluations (``outcome.uncached_evaluations``) while
+    producing bit-for-bit identical scenarios.  Its
+    ``prefix_cache_bytes`` gives every cell evaluator a prefix-transform
+    cache of that byte budget — same scenarios, less Prep time.  The
+    per-knob keywords are deprecated spellings folded into the context.
     """
-    from dataclasses import replace
-
-    if cache_dir is not None:
-        config = replace(config, cache_dir=str(cache_dir))
-    if prefix_cache_bytes is not None:
-        config = replace(config, prefix_cache_bytes=int(prefix_cache_bytes))
-    n_jobs = config.n_jobs if n_jobs is None else n_jobs
-    backend = resolve_backend_name(
-        n_jobs, config.backend if backend is None else backend
+    effective = fold_legacy_kwargs(
+        context if context is not None else config.context,
+        where="run_experiment", n_jobs=n_jobs, backend=backend,
+        cache_dir=cache_dir, prefix_cache_bytes=prefix_cache_bytes,
     )
-    engine = ExecutionEngine(backend, n_workers=None if n_jobs == -1 else n_jobs)
+    if effective is not config.context:
+        config = config.with_context(effective)
+    # An unset n_jobs means ONE grid worker even under an explicit
+    # parallel backend (matching the pre-context behaviour of
+    # config.n_jobs defaulting to 1); only -1 asks for every core.
+    n_jobs = config.context.n_jobs
+    engine = ExecutionEngine(
+        config.context.backend_name(),
+        n_workers=1 if n_jobs is None else (None if n_jobs == -1 else n_jobs),
+    )
 
     cells = [
         (config, dataset, model, algorithm, repeat)
@@ -221,7 +270,7 @@ def run_experiment(config: ExperimentConfig, *, progress_callback=None,
     try:
         cell_outputs = dict(zip(
             ((d, m, a, r) for _, d, m, a, r in cells),
-            engine.map(_run_cell, cells),
+            _collect_cells(engine, cells, cell_callback),
         ))
         outcome.uncached_evaluations = sum(
             output[3] for output in cell_outputs.values()

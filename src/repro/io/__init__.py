@@ -3,6 +3,10 @@
 from repro.io.evalcache import PersistentEvalCache, open_eval_cache
 from repro.io.serialization import (
     atomic_write_text,
+    decode_state_blob,
+    encode_state_blob,
+    load_session_checkpoint,
+    save_session_checkpoint,
     load_search_result,
     pipeline_from_dict,
     pipeline_to_dict,
@@ -28,6 +32,10 @@ __all__ = [
     "search_result_from_dict",
     "save_search_result",
     "load_search_result",
+    "save_session_checkpoint",
+    "load_session_checkpoint",
+    "encode_state_blob",
+    "decode_state_blob",
     "write_rows_csv",
     "read_rows_csv",
     "ResultKey",

@@ -28,12 +28,16 @@ Design notes:
   ``<root>/<fingerprint>/``, so one cache root can serve many datasets,
   models and seeds without any risk of cross-contamination — a different
   split or model hashes to a different directory.
-* **In-memory index.**  Loaded shards are indexed as plain dicts (one
-  small entry of four scalars per key) and the index is not subject to
-  the evaluator's ``cache_size`` LRU bound — it must know every key of
-  its fingerprint to answer lookups without re-reading files.  At the
-  paper's grid scale this is a few MB; bounding/evicting the index for
-  very long-lived cache roots is a noted ROADMAP follow-up.
+* **Bounded in-memory index.**  Loaded shards are indexed in memory (one
+  small entry of four scalars per key, but the key *tokens* — pipeline
+  spec reprs — dominate).  With ``max_index_entries`` set (the evaluator
+  passes its own ``cache_size``), the index is an LRU of that many
+  entries, so a long-lived cache root holding millions of evaluations
+  cannot grow the parent process without limit.  Eviction never loses
+  data: a lookup that misses the index while its shard has suffered
+  evictions falls back to re-scanning that one shard file (counted as a
+  ``rescan``), and the found entry re-enters the index.  ``None``
+  (default) keeps the historical unbounded behaviour.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from __future__ import annotations
 import json
 import os
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 
 from repro.exceptions import ValidationError
@@ -107,32 +112,57 @@ class PersistentEvalCache:
         subsample seed) — see ``PipelineEvaluator.fingerprint()``.
     n_shards:
         Number of append-log files the entries are spread over.
+    max_index_entries:
+        Optional bound on the in-memory index (LRU over entries).  An
+        index miss whose shard has evicted entries re-scans that shard
+        file; ``None`` keeps every loaded entry in memory.
     """
 
-    def __init__(self, root, *, fingerprint: str, n_shards: int = 16) -> None:
+    def __init__(self, root, *, fingerprint: str, n_shards: int = 16,
+                 max_index_entries: int | None = None) -> None:
         if not fingerprint:
             raise ValidationError("fingerprint must be a non-empty string")
         n_shards = int(n_shards)
         if n_shards < 1:
             raise ValidationError(f"n_shards must be at least 1, got {n_shards}")
+        if max_index_entries is not None:
+            max_index_entries = int(max_index_entries)
+            if max_index_entries < 1:
+                raise ValidationError(
+                    f"max_index_entries must be at least 1, "
+                    f"got {max_index_entries}"
+                )
         self.root = Path(root)
         self.fingerprint = str(fingerprint)
         self.n_shards = n_shards
+        self.max_index_entries = max_index_entries
         self._dir = self.root / self.fingerprint
-        self._entries: dict[str, dict] = {}
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._loaded_shards: set[int] = set()
+        #: shards that have had index entries evicted since their last full
+        #: read: an index miss there is inconclusive and triggers a rescan
+        self._evicted_shards: set[int] = set()
+        #: per-shard Bloom-style bitsets over every token known to be on
+        #: disk (bounded mode only).  A lookup missing both the index and
+        #: the filter is an authoritative miss — crucial because during an
+        #: active search most lookups are for never-evaluated pipelines,
+        #: and paying a shard-file rescan for each would make misses
+        #: O(shard size) once any eviction happened.  False positives just
+        #: cost one wasted rescan.
+        self._shard_filters: dict[int, bytearray] = {}
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.skipped_lines = 0
+        self.index_evictions = 0
+        self.rescans = 0
         self._adopt_meta()
 
     # ------------------------------------------------------------------ API
     def get(self, key: tuple) -> dict | None:
         """Return the stored entry for ``key``, or ``None``."""
         token = key_token(key)
-        self._ensure_shard(self._shard_of(token))
-        entry = self._entries.get(token)
+        entry = self._lookup(token)
         if entry is None:
             self.misses += 1
             return None
@@ -157,7 +187,10 @@ class PersistentEvalCache:
             self._ensure_shard(shard)
             if token in self._entries:
                 continue  # deterministic evaluations: re-writing is pure noise
-            self._entries[token] = entry
+            # A bounded index may have evicted this token even though the
+            # entry is on disk; the resulting duplicate append is harmless
+            # (last write wins, and compaction removes it).
+            self._remember(token, entry)
             line = json.dumps({"k": token, "e": entry}, separators=(",", ":"))
             by_shard.setdefault(shard, []).append(line)
             self.writes += 1
@@ -178,11 +211,10 @@ class PersistentEvalCache:
                 os.close(descriptor)
 
     def __contains__(self, key: tuple) -> bool:
-        token = key_token(key)
-        self._ensure_shard(self._shard_of(token))
-        return token in self._entries
+        return self._lookup(key_token(key)) is not None
 
     def __len__(self) -> int:
+        """Number of indexed entries (the *index* size under a bound)."""
         self.load_all()
         return len(self._entries)
 
@@ -210,6 +242,9 @@ class PersistentEvalCache:
             "writes": self.writes,
             "entries": len(self._entries),
             "skipped_lines": self.skipped_lines,
+            "index_evictions": self.index_evictions,
+            "rescans": self.rescans,
+            "max_index_entries": self.max_index_entries,
             "path": str(self._dir),
         }
 
@@ -237,8 +272,16 @@ class PersistentEvalCache:
             raw, bad = _replay_shard(self._shard_path(shard), live)
             before_lines += raw
             skipped += bad
-        self._entries = live
+        # Compaction needs every live entry at once to rewrite the files (a
+        # transient spike under a bounded index, acceptable for a
+        # maintenance operation); the index is re-trimmed after the rewrite.
+        self._entries = OrderedDict(live)
         self._loaded_shards = set(range(self.n_shards))
+        self._evicted_shards.clear()
+        if self.max_index_entries is not None:
+            self._shard_filters = {}
+            for token in self._entries:
+                self._filter_add(self._shard_of(token), token)
         by_shard: dict[int, list[str]] = {}
         for token, entry in self._entries.items():
             line = json.dumps({"k": token, "e": entry}, separators=(",", ":"))
@@ -251,11 +294,13 @@ class PersistentEvalCache:
                 atomic_write_text(path, "".join(line + "\n" for line in lines))
             elif path.exists():
                 path.unlink()
+        live_entries = len(self._entries)
+        self._trim()
         return {
             "path": str(self._dir),
             "lines_before": before_lines,
-            "entries": len(self._entries),
-            "lines_removed": before_lines - len(self._entries),
+            "entries": live_entries,
+            "lines_removed": before_lines - live_entries,
             "skipped_lines": skipped,
         }
 
@@ -309,8 +354,101 @@ class PersistentEvalCache:
         if shard in self._loaded_shards:
             return
         self._loaded_shards.add(shard)
-        _, skipped = _replay_shard(self._shard_path(shard), self._entries)
+        if self.max_index_entries is None:
+            _, skipped = _replay_shard(self._shard_path(shard), self._entries)
+        else:
+            # Replay into a scratch dict first so the membership filter can
+            # see every on-disk token of this shard before the LRU bound
+            # possibly evicts some of them.
+            scratch: dict[str, dict] = {}
+            _, skipped = _replay_shard(self._shard_path(shard), scratch)
+            for token in scratch:
+                self._filter_add(shard, token)
+            self._entries.update(scratch)
         self.skipped_lines += skipped
+        self._trim()
+
+    # ------------------------------------------------- bounded-index plumbing
+    #: bits per shard filter (2^20 bits = 128 KiB); with two hash functions
+    #: this stays useful up to a few hundred thousand tokens per shard
+    _FILTER_BITS = 1 << 20
+
+    def _filter_positions(self, token: str) -> tuple[int, int]:
+        data = token.encode("utf-8")
+        return (zlib.crc32(data) % self._FILTER_BITS,
+                zlib.crc32(data, 0x9E3779B9) % self._FILTER_BITS)
+
+    def _filter_add(self, shard: int, token: str) -> None:
+        bits = self._shard_filters.get(shard)
+        if bits is None:
+            bits = self._shard_filters[shard] = bytearray(self._FILTER_BITS // 8)
+        for position in self._filter_positions(token):
+            bits[position >> 3] |= 1 << (position & 7)
+
+    def _filter_contains(self, shard: int, token: str) -> bool:
+        bits = self._shard_filters.get(shard)
+        if bits is None:
+            return False
+        return all(bits[position >> 3] & (1 << (position & 7))
+                   for position in self._filter_positions(token))
+
+    def _lookup(self, token: str) -> dict | None:
+        """Index lookup with the shard-rescan fallback for evicted entries."""
+        shard = self._shard_of(token)
+        self._ensure_shard(shard)
+        entry = self._entries.get(token)
+        if entry is not None:
+            if self.max_index_entries is not None:
+                self._entries.move_to_end(token)
+            return entry
+        if shard not in self._evicted_shards:
+            return None  # the index saw the whole shard: authoritative miss
+        if not self._filter_contains(shard, token):
+            return None  # never written to this shard: no rescan needed
+        entry = self._probe_shard(shard, token)
+        if entry is not None:
+            self._remember(token, entry)
+        return entry
+
+    def _remember(self, token: str, entry: dict) -> None:
+        if self.max_index_entries is not None:
+            self._filter_add(self._shard_of(token), token)
+        self._entries[token] = entry
+        self._entries.move_to_end(token)
+        self._trim()
+
+    def _trim(self) -> None:
+        if self.max_index_entries is None:
+            return
+        while len(self._entries) > self.max_index_entries:
+            evicted_token, _ = self._entries.popitem(last=False)
+            self._evicted_shards.add(self._shard_of(evicted_token))
+            self.index_evictions += 1
+
+    def _probe_shard(self, shard: int, token: str) -> dict | None:
+        """Re-scan one shard file for ``token`` (last valid write wins).
+
+        The escape hatch that makes the bounded index lossless: the entry
+        is still in the append-log even after the index evicted it.  Only
+        the matching line is kept, so the probe costs I/O but no memory.
+        """
+        self.rescans += 1
+        found = None
+        try:
+            text = self._shard_path(shard).read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        for line in text.splitlines():
+            if not line.strip() or token not in line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("k") == token \
+                    and isinstance(record.get("e"), dict):
+                found = record["e"]
+        return found
 
     def __repr__(self) -> str:
         return (
@@ -320,11 +458,18 @@ class PersistentEvalCache:
         )
 
 
-def open_eval_cache(cache_dir, fingerprint: str) -> PersistentEvalCache | None:
-    """Build a cache for ``cache_dir`` (``None`` disables persistence)."""
+def open_eval_cache(cache_dir, fingerprint: str, *,
+                    max_index_entries: int | None = None,
+                    ) -> PersistentEvalCache | None:
+    """Build a cache for ``cache_dir`` (``None`` disables persistence).
+
+    ``max_index_entries`` bounds the in-memory index; the evaluator passes
+    its own ``cache_size`` so both memory layers obey one knob.
+    """
     if cache_dir is None:
         return None
-    return PersistentEvalCache(cache_dir, fingerprint=fingerprint)
+    return PersistentEvalCache(cache_dir, fingerprint=fingerprint,
+                               max_index_entries=max_index_entries)
 
 
 # ------------------------------------------------- cache-root maintenance

@@ -10,9 +10,11 @@ need the library at all.
 
 from __future__ import annotations
 
+import base64
 import csv
 import json
 import os
+import pickle
 import tempfile
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -159,6 +161,81 @@ def load_search_result(path) -> SearchResult:
     """Load a search result previously written by :func:`save_search_result`."""
     path = Path(path)
     return search_result_from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+# ---------------------------------------------------- session checkpoints
+#: schema version of SearchSession checkpoint documents; newer documents
+#: are refused rather than misread (mirroring search-result handling)
+SESSION_CHECKPOINT_VERSION = 1
+
+#: the ``kind`` marker distinguishing checkpoints from result documents
+SESSION_CHECKPOINT_KIND = "search-session-checkpoint"
+
+
+def encode_state_blob(state) -> str:
+    """Pickle ``state`` and return it base64-encoded for a JSON document.
+
+    The checkpoint document is JSON end to end — trial history, budget,
+    RNG state and context are all plain data — except for the algorithm's
+    internal state (surrogate models, populations, rungs), which is
+    arbitrary Python and goes through pickle.  The blob therefore carries
+    pickle's usual trust model: only load checkpoints you (or your own
+    interrupted runs) wrote, exactly as with any ``.pkl`` artifact.
+    """
+    return base64.b64encode(
+        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_state_blob(blob: str):
+    """Invert :func:`encode_state_blob` (see its trust-model note)."""
+    if not isinstance(blob, str):
+        raise ValidationError(
+            f"checkpoint state blob must be a base64 string, "
+            f"got {type(blob).__name__}"
+        )
+    try:
+        return pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception as error:
+        raise ValidationError(
+            f"checkpoint state blob failed to decode: {error}"
+        ) from error
+
+
+def save_session_checkpoint(document: Mapping, path) -> Path:
+    """Atomically write a session-checkpoint document; returns the path.
+
+    Atomicity is what makes the checkpoint→kill→resume story safe: a
+    crash mid-save leaves the previous complete checkpoint in place,
+    never a truncated document.
+    """
+    document = dict(document)
+    document.setdefault("format_version", SESSION_CHECKPOINT_VERSION)
+    document.setdefault("kind", SESSION_CHECKPOINT_KIND)
+    return atomic_write_text(path, json.dumps(document, indent=2))
+
+
+def load_session_checkpoint(path) -> dict:
+    """Load and validate a checkpoint written by :func:`save_session_checkpoint`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValidationError(
+            f"cannot read session checkpoint at {path}: {error}"
+        ) from error
+    if not isinstance(document, dict) \
+            or document.get("kind") != SESSION_CHECKPOINT_KIND:
+        raise ValidationError(
+            f"{path} is not a search-session checkpoint document"
+        )
+    version = document.get("format_version")
+    if isinstance(version, int) and version > SESSION_CHECKPOINT_VERSION:
+        raise ValidationError(
+            f"session checkpoint uses format version {version}; this build "
+            f"reads up to {SESSION_CHECKPOINT_VERSION}"
+        )
+    return document
 
 
 def write_rows_csv(rows: Sequence[Mapping], path, *,

@@ -19,12 +19,14 @@ from repro.search.registry import (
     taxonomy_table,
 )
 from repro.search.reinforce import Reinforce
+from repro.search.session import SearchSession
 from repro.search.smac import SMAC, expected_improvement
 from repro.search.tpe import TPE
 from repro.search.traditional import Anneal, RandomSearch
 
 __all__ = [
     "SearchAlgorithm",
+    "SearchSession",
     "AsyncSearchDriver",
     "ASHA",
     "RandomSearch",

@@ -1,6 +1,6 @@
 """Completion-driven search execution: overlap Pick with Prep/Train.
 
-The synchronous skeleton in :mod:`repro.search.base` evaluates each
+The synchronous skeleton in :mod:`repro.search.session` evaluates each
 iteration's proposals as one *barrier*: the algorithm cannot propose again
 until the whole batch has returned, so with a parallel backend the Pick
 step idles while stragglers finish, and fast workers idle once their share
@@ -31,6 +31,13 @@ Budget semantics are checked at *completion* granularity: admission
 driver exactly, and a wall-clock budget is consulted after every observed
 completion — the search stops within one completion of expiry, cancels the
 admitted-but-never-dispatched backlog and refunds its charges.
+
+The loop core is :meth:`AsyncSearchDriver.drive`: it starts from an
+explicit *loop state* (iteration counter, stall counter, the
+admitted-but-undispatched queue, deferred proposals) and can hand that
+state back when a :class:`~repro.search.session.SearchSession` asks it to
+pause — which is what makes asynchronous runs checkpointable and
+resumable.  :meth:`search` is the stateless wrapper for direct use.
 """
 
 from __future__ import annotations
@@ -43,6 +50,12 @@ from repro.core.result import SearchResult
 from repro.engine.engine import ExecutionEngine
 from repro.engine.tasks import EvalTask
 from repro.utils.random import check_random_state
+
+
+def fresh_loop_state() -> dict:
+    """Loop state of a run that has not admitted anything yet."""
+    return {"iteration": 0, "stalled": 0, "deferred": None, "queue": [],
+            "initial_done": False}
 
 
 class AsyncSearchDriver:
@@ -69,9 +82,37 @@ class AsyncSearchDriver:
         algorithm = self.algorithm
         budget = budget or TrialBudget(max_trials)
         rng = check_random_state(algorithm.random_state)
+        result = SearchResult(algorithm=algorithm.name)
+        algorithm._setup(problem, rng)
+        self.drive(problem, budget, result, rng, fresh_loop_state())
+        return result
+
+    def drive(self, problem, budget: Budget, result: SearchResult, rng,
+              state: dict, *, control=None) -> dict | None:
+        """Run the completion-driven loop from ``state``.
+
+        ``state`` is the serializable loop state (see
+        :func:`fresh_loop_state`): the iteration and stall counters, the
+        admitted-but-undispatched ``queue`` of ``(task, charge)`` pairs
+        (their budget charges are already consumed), proposals ``deferred``
+        by a fractional budget crumb, and whether the initial pipelines
+        were already admitted.  ``_setup`` must have been called by the
+        caller; trials already in ``result`` are treated as observed.
+
+        ``control`` (a :class:`~repro.search.session.SearchSession`) gets
+        two hooks: ``_driver_admitted(iteration, tasks)`` after each
+        proposal-batch admission and ``_driver_observed(record, capture)``
+        after each observed completion — ``capture`` is a zero-argument
+        closure snapshotting the current loop state for a checkpoint, and
+        a True return pauses the run.  On pause the still-cancellable
+        in-flight work is folded back into the queue (charges intact),
+        anything already running is drained and observed, and the loop
+        state is returned: resuming with it continues the search exactly
+        where it stopped.  A run that completes returns ``None``.
+        """
+        algorithm = self.algorithm
         space = problem.space
         evaluator = problem.evaluator
-        result = SearchResult(algorithm=algorithm.name)
 
         engine = evaluator.engine
         own_engine = engine is None
@@ -82,18 +123,33 @@ class AsyncSearchDriver:
         n_workers = self.n_workers or engine.n_workers
         interruptible = budget.can_interrupt()
 
-        algorithm._setup(problem, rng)
+        iteration = int(state.get("iteration", 0))
+        stalled = int(state.get("stalled", 0))
+        #: proposals that could not be admitted yet (e.g. a fractional
+        #: budget crumb only spendable once everything in flight drains);
+        #: retried before the algorithm is asked again, so state the
+        #: algorithm mutated while proposing (ASHA's promoted set) is
+        #: never silently discarded.  Serial runs admit like the sync
+        #: driver and never defer.
+        deferred: tuple | None = state.get("deferred")
+        initial_done = bool(state.get("initial_done", False))
 
-        #: admitted (task, charge) pairs not yet handed to the engine
-        queue: deque = deque()
-        #: (PendingTask, charge) pairs in submission order
+        #: admitted (task, key, charge) triples not yet handed to the
+        #: engine; restored entries keep their original charges (already
+        #: consumed when they were first admitted)
+        queue: deque = deque(
+            (task, evaluator.cache_key(task.pipeline, task.fidelity), charge)
+            for task, charge in state.get("queue", ())
+        )
+        #: (PendingTask, key, charge) triples in submission order
         inflight: list = []
         #: cache keys of queued/in-flight work, so a parallel run never
         #: re-dispatches (or re-charges) a proposal that is already running;
         #: empty whenever the serial driver proposes, preserving parity
-        pending_keys: set = set()
+        pending_keys: set = {key for _task, key, _charge in queue}
 
-        def admit(proposals, pick_per_proposal: float, iteration: int) -> int:
+        def admit(proposals, pick_per_proposal: float,
+                  admit_iteration: int) -> int:
             """Mirror of the sync driver's batch admission.
 
             Duplicates *within* one proposal batch are admitted and charged
@@ -103,7 +159,7 @@ class AsyncSearchDriver:
             can never be in, so serial parity is untouched.
             """
             already_pending = frozenset(pending_keys)
-            admitted = 0
+            admitted_tasks: list[EvalTask] = []
             for item in proposals:
                 pipeline, fidelity = algorithm._unpack_proposal(item)
                 key = evaluator.cache_key(pipeline, fidelity)
@@ -113,32 +169,42 @@ class AsyncSearchDriver:
                     break
                 if budget.admits(fidelity):
                     charge = fidelity
-                elif not admitted and not queue and not inflight:
+                elif not admitted_tasks and not queue and not inflight:
                     # Fractional leftover smaller than one proposal and no
                     # other work anywhere: spend it rather than stalling.
                     charge = budget.admissible(fidelity)
                 else:
                     break
-                queue.append((EvalTask(pipeline, fidelity=fidelity,
-                                       pick_time=pick_per_proposal,
-                                       iteration=iteration), key, charge))
+                task = EvalTask(pipeline, fidelity=fidelity,
+                                pick_time=pick_per_proposal,
+                                iteration=admit_iteration)
+                queue.append((task, key, charge))
                 pending_keys.add(key)
                 budget.consume(charge)
-                admitted += 1
-            return admitted
+                admitted_tasks.append(task)
+            if admitted_tasks and control is not None:
+                control._driver_admitted(admit_iteration, admitted_tasks)
+            return len(admitted_tasks)
 
-        admit(list(algorithm._initial_pipelines(space, rng)), 0.0, 0)
+        def capture() -> dict:
+            """Serializable snapshot of the loop, for a mid-run checkpoint.
 
-        iteration = 0
-        stalled = 0
+            Work in flight is recorded as queued (charges intact): a resume
+            re-dispatches it in submission order, which on the deterministic
+            configurations (serial evaluation, one worker) reproduces the
+            uninterrupted observation order exactly.
+            """
+            outstanding = [(entry[0].task, entry[2]) for entry in inflight]
+            outstanding += [(task, charge) for task, _key, charge in queue]
+            return {"iteration": iteration, "stalled": stalled,
+                    "deferred": deferred, "queue": outstanding,
+                    "initial_done": True}
+
+        if not initial_done:
+            admit(list(algorithm._initial_pipelines(space, rng)), 0.0, 0)
+
         interrupted = False
-        #: proposals that could not be admitted yet (e.g. a fractional
-        #: budget crumb only spendable once everything in flight drains);
-        #: retried before the algorithm is asked again, so state the
-        #: algorithm mutated while proposing (ASHA's promoted set) is
-        #: never silently discarded.  Serial runs admit like the sync
-        #: driver and never defer.
-        deferred: tuple | None = None
+        paused = False
         try:
             while True:
                 # Fill free worker slots from the admitted backlog.
@@ -208,29 +274,69 @@ class AsyncSearchDriver:
                     record = engine.resolve_task(evaluator, pending)
                     result.add(record)
                     algorithm._observe(record)
+                    if control is not None \
+                            and control._driver_observed(record, capture):
+                        paused = True
+                        break
                     if interruptible and budget.interrupted():
                         interrupted = True
                         break
-                if interrupted:
+                if interrupted or paused:
                     break
+
+            if paused:
+                return self._pause(engine, evaluator, result, control,
+                                   queue, inflight, capture)
+            return None
         finally:
             self._wind_down(engine, evaluator, budget, result,
                             queue, inflight)
             if own_engine:
                 engine.close()
-        return result
 
     # ------------------------------------------------------------ internals
+    def _pause(self, engine, evaluator, result, control, queue, inflight,
+               capture) -> dict:
+        """Suspend the loop, folding outstanding work back into the queue.
+
+        In-flight evaluations that never started are cancelled and re-queued
+        with their original charges (nothing is refunded: the serialized
+        queue still owns those charges); evaluations a worker already
+        started are drained and observed like any other completion.  The
+        returned loop state resumes the search exactly where it stopped.
+        """
+        algorithm = self.algorithm
+        drained: list = []
+        requeue: list = []
+        for pending, key, charge in inflight:
+            if engine.cancel_task(evaluator, pending):
+                requeue.append((pending.task, key, charge))
+            else:
+                drained.append((pending, key, charge))
+        inflight.clear()
+        for task, key, charge in reversed(requeue):
+            queue.appendleft((task, key, charge))
+        for pending, _key, _charge in drained:
+            record = engine.resolve_task(evaluator, pending)
+            result.add(record)
+            algorithm._observe(record)
+            if control is not None:
+                control._driver_observed(record, None)
+        state = capture()
+        queue.clear()
+        return state
+
     def _wind_down(self, engine, evaluator, budget, result, queue,
                    inflight) -> None:
         """Refund never-dispatched work; drain what is already running.
 
-        On a normal exit both collections are empty and this is a no-op.
-        After a wall-clock interruption (or an error) the admitted backlog
-        is cancelled and refunded — ``budget.used`` then reflects exactly
-        the work that ran, matching the sync driver's refund semantics —
-        while evaluations a thread/process worker already started are
-        allowed to finish and are observed like any other completion.
+        On a normal (or paused) exit both collections are empty and this is
+        a no-op.  After a wall-clock interruption (or an error) the admitted
+        backlog is cancelled and refunded — ``budget.used`` then reflects
+        exactly the work that ran, matching the sync driver's refund
+        semantics — while evaluations a thread/process worker already
+        started are allowed to finish and are observed like any other
+        completion.
         """
         algorithm = self.algorithm
         while queue:

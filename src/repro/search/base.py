@@ -8,10 +8,14 @@ Every search algorithm follows the same iterative skeleton:
 4. evaluate the sampled pipelines, record the results, and repeat until the
    budget is exhausted; finally return the pipeline with the lowest error.
 
-:class:`SearchAlgorithm` implements that skeleton once.  Concrete algorithms
-override four hooks — ``_initial_pipelines``, ``_update``, ``_propose`` and
-``_observe`` — and inherit budget accounting, pick-time measurement (the
-"Pick" component of the bottleneck analysis) and result collection.
+:class:`SearchAlgorithm` declares that skeleton's hooks once.  Concrete
+algorithms override four of them — ``_initial_pipelines``, ``_update``,
+``_propose`` and ``_observe`` — and inherit budget accounting, pick-time
+measurement (the "Pick" component of the bottleneck analysis) and result
+collection.  The loop itself lives in
+:class:`~repro.search.session.SearchSession` (the lifecycle facade that
+also provides callbacks, interruption and checkpoint/resume);
+:meth:`SearchAlgorithm.search` is a thin wrapper constructing a session.
 
 Step 4 evaluates each iteration's proposals as *one batch* through
 ``evaluator.evaluate_tasks``: algorithms that propose whole generations or
@@ -24,18 +28,15 @@ and serial execution produce identical search trajectories.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable
 
 import numpy as np
 
-from repro.core.budget import Budget, TrialBudget
+from repro.core.budget import Budget
 from repro.core.pipeline import Pipeline
 from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult, TrialRecord
 from repro.core.search_space import SearchSpace
-from repro.engine.tasks import EvalTask
-from repro.utils.random import check_random_state
 
 
 class SearchAlgorithm:
@@ -73,8 +74,15 @@ class SearchAlgorithm:
 
     # ----------------------------------------------------------------- API
     def search(self, problem: AutoFPProblem, budget: Budget | None = None,
-               *, max_trials: int = 50, driver: str | None = None) -> SearchResult:
+               *, max_trials: int | None = None, driver: str | None = None,
+               context=None) -> SearchResult:
         """Run the search on ``problem`` and return a :class:`SearchResult`.
+
+        A convenience wrapper over :class:`~repro.search.session.SearchSession`
+        — the session owns the canonical search loop, so plain searches and
+        checkpointable sessions share one implementation of admission,
+        budget accounting and driver selection.  Use a session directly for
+        progress callbacks, interruption and checkpoint/resume.
 
         Parameters
         ----------
@@ -84,116 +92,24 @@ class SearchAlgorithm:
             Any :class:`~repro.core.budget.Budget`.  Defaults to a
             :class:`TrialBudget` of ``max_trials`` evaluations.
         max_trials:
-            Evaluation budget used when ``budget`` is not given.
+            Evaluation budget used when ``budget`` is not given; ``None``
+            falls back to the context's ``default_budget``, then 50.
         driver:
-            ``"sync"`` runs the barrier loop below, ``"async"`` hands the
-            run to :class:`~repro.search.async_driver.AsyncSearchDriver`
-            (completion-driven scheduling that keeps the evaluator engine's
-            workers saturated).  The default ``None`` follows the problem's
+            ``"sync"`` runs the barrier loop, ``"async"`` the
+            completion-driven :class:`~repro.search.async_driver.AsyncSearchDriver`
+            (which keeps the evaluator engine's workers saturated).  The
+            default ``None`` follows the context's / problem's
             ``async_mode`` flag.  Both drivers are bit-for-bit identical
             under serial evaluation.
+        context:
+            Optional :class:`~repro.core.context.ExecutionContext`
+            overriding the problem's own; decides the driver and default
+            budget.
         """
-        if driver is None:
-            driver = "async" if getattr(problem, "async_mode", False) else "sync"
-        if driver == "async":
-            from repro.search.async_driver import AsyncSearchDriver
+        from repro.search.session import SearchSession
 
-            return AsyncSearchDriver(self).search(problem, budget,
-                                                  max_trials=max_trials)
-        if driver != "sync":
-            from repro.exceptions import ValidationError
-
-            raise ValidationError(
-                f"driver must be 'sync' or 'async', got {driver!r}"
-            )
-        budget = budget or TrialBudget(max_trials)
-        rng = check_random_state(self.random_state)
-        space = problem.space
-        evaluator = problem.evaluator
-        result = SearchResult(algorithm=self.name)
-
-        self._setup(problem, rng)
-
-        # Step 1: initial pipelines, evaluated as one batch.
-        self._evaluate_proposals(
-            self._initial_pipelines(space, rng), evaluator, budget, result,
-            pick_per_proposal=0.0, iteration=0,
-        )
-
-        # Steps 2-4: the iterative loop.  Each iteration's proposals form
-        # one evaluation batch; the evaluator's engine (if any) decides
-        # whether the batch runs serially or on parallel workers.
-        iteration = 0
-        stalled = 0
-        while not budget.exhausted():
-            iteration += 1
-            pick_start = time.perf_counter()
-            self._update(result.trials, space, rng)
-            proposals = list(self._propose_batch(space, rng, result.trials))
-            pick_time = time.perf_counter() - pick_start
-
-            if not proposals:
-                stalled += 1
-                if stalled >= 3:
-                    # The algorithm has nothing left to propose (e.g. PNAS
-                    # exhausted its beam); fall back to random sampling so the
-                    # budget is still honoured, as the paper's framework does.
-                    proposals = [space.sample_pipeline(rng)]
-                else:
-                    continue
-            stalled = 0
-
-            self._evaluate_proposals(
-                proposals, evaluator, budget, result,
-                pick_per_proposal=pick_time / len(proposals),
-                iteration=iteration,
-            )
-
-        return result
-
-    def _evaluate_proposals(self, proposals, evaluator, budget: Budget,
-                            result: SearchResult, *, pick_per_proposal: float,
-                            iteration: int) -> None:
-        """Evaluate one iteration's proposals, honouring the budget.
-
-        Admission clips the batch to what the budget actually has left
-        (``budget.admits``): a batch of k proposals can never over-admit a
-        count budget, no matter how large k is.  The one exception is the
-        first proposal of a batch when only a fractional trial remains — it
-        still runs, charged only the remainder, so the search always makes
-        progress and ``TrialBudget.used`` never exceeds ``max_trials``.
-
-        Dispatch then goes through ``evaluator.evaluate_tasks(budget=...)``:
-        serially the wall clock is checked between trials (as before
-        batching existed); with an engine it is checked between chunks of
-        ``n_workers`` tasks — one parallel wave, the granularity at which
-        running work can actually stop.  Tasks cut off by an expired time
-        budget are refunded, so trial accounting reflects what really ran.
-        """
-        tasks: list[EvalTask] = []
-        for item in proposals:
-            pipeline, fidelity = self._unpack_proposal(item)
-            if budget.exhausted():
-                break
-            if budget.admits(fidelity):
-                charge = fidelity
-            elif not tasks:
-                # Fractional leftover smaller than one proposal: spend it on
-                # the first proposal rather than stalling the search loop.
-                charge = budget.admissible(fidelity)
-            else:
-                break
-            tasks.append(EvalTask(pipeline, fidelity=fidelity,
-                                  pick_time=pick_per_proposal,
-                                  iteration=iteration))
-            budget.consume(charge)
-        records = evaluator.evaluate_tasks(tasks, budget=budget)
-        for record in records:
-            result.add(record)
-            self._observe(record)
-        for task in tasks[len(records):]:
-            # Admitted but never dispatched (time budget expired mid-batch).
-            budget.consume(-task.fidelity)
+        session = SearchSession(problem, self, context=context)
+        return session.run(budget, max_trials=max_trials, driver=driver)
 
     # ------------------------------------------------------------- taxonomy
     @classmethod

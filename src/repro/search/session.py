@@ -1,0 +1,560 @@
+"""The search-lifecycle facade: :class:`SearchSession`.
+
+``SearchAlgorithm.search`` answers "run this search to completion"; a
+production service needs more — progress events while the search runs,
+graceful interruption, and the ability to persist a long run's state so a
+killed process can pick up exactly where it left off.  ``SearchSession``
+is that lifecycle object, in the spirit of scikit-learn's ``BaseSearchCV``
+facade over its search loops:
+
+* **step-wise driving** — the session owns the canonical synchronous
+  search loop (``SearchAlgorithm.search`` delegates here) and drives the
+  asynchronous loop through
+  :meth:`~repro.search.async_driver.AsyncSearchDriver.drive`, observing
+  every trial as it completes;
+* **events** — ``on_trial(session, record)`` after every observed trial,
+  ``on_batch(session, iteration, tasks)`` after every proposal-batch
+  admission, ``on_checkpoint(session, path)`` after every checkpoint
+  write;
+* **checkpoint / resume** — :meth:`checkpoint` snapshots the run after
+  any completed trial (trial history, budget remainder, RNG stream and
+  the algorithm's internal state) into one JSON document;
+  :meth:`SearchSession.resume` restores it — in the same process or a
+  fresh one — and :meth:`run` continues the search **bit-for-bit
+  identically** to a run that was never interrupted (enforced by the
+  determinism matrix in ``tests/engine/test_determinism.py``);
+* **interruption** — :meth:`stop` ends the run after the current trial,
+  leaving the session resumable in memory or via a checkpoint.
+
+Checkpointing requires a :class:`~repro.core.budget.TrialBudget` (the
+deterministic budget): a wall-clock budget's remainder is not meaningful
+to freeze.  The trial history and all scalars serialize as plain JSON
+through :mod:`repro.io.serialization`; the algorithm's internal state
+(surrogates, populations, rungs) is arbitrary Python and rides along as a
+pickled blob — see :func:`repro.io.serialization.encode_state_blob` for
+the trust model.  Checkpoints can also live inside a
+:class:`~repro.io.store.ResultStore` next to their run's result file
+(``store.save_checkpoint``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.budget import Budget, TrialBudget
+from repro.core.context import ExecutionContext
+from repro.core.result import SearchResult, TrialRecord
+from repro.engine.tasks import EvalTask
+from repro.exceptions import ValidationError
+from repro.io.serialization import (
+    decode_state_blob,
+    encode_state_blob,
+    load_session_checkpoint,
+    save_session_checkpoint,
+    trial_from_dict,
+    trial_to_dict,
+)
+from repro.utils.random import check_random_state
+
+
+class SearchSession:
+    """Drive one search run through its whole lifecycle.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.AutoFPProblem` to search.
+    algorithm:
+        The :class:`~repro.search.base.SearchAlgorithm` instance (its
+        internal state belongs to this session once the run starts).
+    context:
+        Runtime configuration; defaults to the problem's own context.
+        Decides the driver (``async_mode``) and the default budget.
+    on_trial / on_batch / on_checkpoint:
+        Optional event callbacks (see the module docstring).
+    checkpoint_path:
+        Default path for :meth:`checkpoint` and automatic checkpoints.
+    checkpoint_every:
+        With ``checkpoint_path`` set, automatically checkpoint after every
+        N observed trials — the knob behind the kill-and-resume story.
+    """
+
+    def __init__(self, problem, algorithm, context: ExecutionContext | None = None,
+                 *, on_trial=None, on_batch=None, on_checkpoint=None,
+                 checkpoint_path=None, checkpoint_every: int | None = None) -> None:
+        self.problem = problem
+        self.algorithm = algorithm
+        if context is None:
+            context = getattr(problem, "context", None) or ExecutionContext()
+        self.context = context
+        self.on_trial = on_trial
+        self.on_batch = on_batch
+        self.on_checkpoint = on_checkpoint
+        self.checkpoint_path = None if checkpoint_path is None \
+            else Path(checkpoint_path)
+        if checkpoint_every is not None:
+            checkpoint_every = int(checkpoint_every)
+            if checkpoint_every < 1:
+                raise ValidationError(
+                    f"checkpoint_every must be at least 1, got {checkpoint_every}"
+                )
+        self.checkpoint_every = checkpoint_every
+
+        self.result = SearchResult(algorithm=algorithm.name)
+        self.stopped = False
+        self._driver: str | None = None
+        self._budget: Budget | None = None
+        self._rng = None
+        self._iteration = 0
+        self._stalled = 0
+        self._initialized = False
+        self._running = False
+        #: records of the current sync batch that were evaluated (and
+        #: charged) but not yet observed when the run stopped mid-batch
+        self._pending_records: list[TrialRecord] = []
+        #: paused async loop state (queue of charged tasks, deferred
+        #: proposals), as returned by ``AsyncSearchDriver.drive``
+        self._async_state: dict | None = None
+        self._checkpoint_request: Path | None = None
+        self._stop_request = False
+        self._trials_since_checkpoint = 0
+        self.last_checkpoint_path: Path | None = None
+
+    # ----------------------------------------------------------------- API
+    def run(self, budget: Budget | None = None, *,
+            max_trials: int | None = None,
+            driver: str | None = None) -> SearchResult:
+        """Run (or continue) the search and return the result so far.
+
+        ``budget`` defaults to the restored budget on a resumed session,
+        else to ``TrialBudget(max_trials)`` with ``max_trials`` falling
+        back to the context's ``default_budget`` (then 50).  ``driver``
+        (``"sync"``/``"async"``) defaults to the session's earlier choice,
+        then to the context/problem ``async_mode`` flag.  Calling ``run``
+        again after :meth:`stop` continues the same search.
+        """
+        if self._running:
+            raise ValidationError("this session is already running")
+        if budget is not None:
+            if self._budget is not None and budget is not self._budget:
+                raise ValidationError(
+                    "a resumed/continued session already has a budget; "
+                    "run() must not replace it mid-search"
+                )
+            self._budget = budget
+        elif self._budget is None:
+            self._budget = self.context.trial_budget(max_trials)
+        if driver is None:
+            driver = self._driver
+        if driver is None:
+            driver = "async" if (self.context.async_mode
+                                 or getattr(self.problem, "async_mode", False)) \
+                else "sync"
+        if driver not in ("sync", "async"):
+            raise ValidationError(
+                f"driver must be 'sync' or 'async', got {driver!r}"
+            )
+        if self._driver is not None and driver != self._driver:
+            raise ValidationError(
+                f"this session ran under the {self._driver!r} driver and "
+                f"cannot switch to {driver!r} mid-search"
+            )
+        self._driver = driver
+        if self.checkpoint_every is not None and self.checkpoint_path is not None:
+            # Fail before the search starts, not at the first periodic
+            # snapshot deep inside the loop.
+            self._check_checkpointable(self._budget)
+        if self._rng is None:
+            self._rng = check_random_state(self.algorithm.random_state)
+        self.stopped = False
+        self._stop_request = False
+        self._running = True
+        try:
+            if driver == "async":
+                self._run_async()
+            else:
+                self._run_sync()
+        finally:
+            # A hard interruption (Ctrl-C, kill) does not write a
+            # checkpoint here: a snapshot taken mid-batch would not be at
+            # a trial boundary, and overwriting the last *consistent*
+            # periodic checkpoint (``checkpoint_every``) with it would
+            # break the resume guarantee.
+            self._running = False
+        if self._checkpoint_request is not None:
+            # A request that arrived too late to be serviced inside the
+            # loop (e.g. during an async pause drain): the run is at rest
+            # now, so snapshot the final state.
+            path, self._checkpoint_request = self._checkpoint_request, None
+            self._write_checkpoint(path, pending_records=self._pending_records,
+                                   async_capture=None)
+        self.stopped = self._stop_request
+        return self.result
+
+    def stop(self) -> None:
+        """Request a graceful stop after the currently observed trial.
+
+        The run returns its partial result; the session stays resumable —
+        call :meth:`run` again to continue in-process, or
+        :meth:`checkpoint` to persist and continue elsewhere.
+        """
+        self._stop_request = True
+
+    def checkpoint(self, path=None) -> Path:
+        """Write (or, mid-run, schedule) a checkpoint; returns its path.
+
+        Outside a run the snapshot is written immediately.  During a run
+        (i.e. called from an event callback) the write happens right after
+        the current trial completes — "after any completed trial" is the
+        natural consistency point of the search loop.
+        """
+        path = Path(path) if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValidationError(
+                "no checkpoint path: pass one to checkpoint() or set "
+                "checkpoint_path on the session"
+            )
+        self._check_checkpointable(self._budget)
+        if self._running:
+            self._checkpoint_request = path
+            return path
+        self._write_checkpoint(path, pending_records=self._pending_records,
+                               async_capture=None)
+        return path
+
+    @classmethod
+    def resume(cls, path, *, problem=None,
+               context: ExecutionContext | None = None,
+               on_trial=None, on_batch=None, on_checkpoint=None,
+               checkpoint_path=None, checkpoint_every: int | None = None,
+               ) -> "SearchSession":
+        """Restore a session from a checkpoint written by :meth:`checkpoint`.
+
+        ``problem`` may be omitted for registry-built problems (the
+        checkpoint carries their provenance and the problem is rebuilt);
+        problems built from raw arrays must be re-supplied by the caller.
+        Either way the problem's evaluator fingerprint is verified against
+        the checkpoint, so a run can never silently continue against
+        different data, model or seed.  The restored session's
+        :meth:`run` continues bit-for-bit identically to a run that was
+        never interrupted.
+        """
+        document = load_session_checkpoint(path)
+        stored_context = ExecutionContext.from_dict(document["context"])
+        if context is None:
+            context = stored_context
+        blob = decode_state_blob(document["state_blob"])
+        algorithm = blob["algorithm"]
+        problem_info = document.get("problem") or {}
+        if problem is None:
+            provenance = problem_info.get("provenance")
+            if provenance is None:
+                raise ValidationError(
+                    "this checkpoint's problem was built from raw arrays "
+                    "and cannot be rebuilt automatically; pass problem="
+                )
+            from repro.core.problem import AutoFPProblem
+
+            problem = AutoFPProblem.from_provenance(provenance,
+                                                    context=context)
+        expected = problem_info.get("fingerprint")
+        if expected and problem.evaluator.fingerprint() != expected:
+            raise ValidationError(
+                "checkpoint fingerprint mismatch: the supplied problem has "
+                "different data, model or seed than the interrupted run"
+            )
+        session = cls(problem, algorithm, context=context,
+                      on_trial=on_trial, on_batch=on_batch,
+                      on_checkpoint=on_checkpoint,
+                      checkpoint_path=(checkpoint_path
+                                       if checkpoint_path is not None
+                                       else path),
+                      checkpoint_every=checkpoint_every)
+        session._driver = document.get("driver") or "sync"
+        budget_info = document["budget"]
+        budget = TrialBudget(budget_info["max_trials"])
+        budget.used = float(budget_info["used"])
+        session._budget = budget
+        rng = blob.get("rng")
+        if rng is None:
+            # Older checkpoints carried only the JSON state (safe for every
+            # algorithm that does not alias the session generator).
+            rng = np.random.default_rng()
+            rng.bit_generator.state = document["rng_state"]
+        session._rng = rng
+        loop = document.get("loop") or {}
+        session._iteration = int(loop.get("iteration", 0))
+        session._stalled = int(loop.get("stalled", 0))
+        session._initialized = bool(loop.get("initialized", True))
+        for entry in document.get("trials", []):
+            session.result.add(trial_from_dict(entry))
+        session.result.baseline_accuracy = document.get("baseline_accuracy")
+        session._pending_records = list(blob.get("pending_records") or [])
+        session._async_state = blob.get("async_state")
+        return session
+
+    # ------------------------------------------------------------ sync loop
+    def _run_sync(self) -> None:
+        """The canonical barrier loop (Algorithm 1 of the paper).
+
+        ``SearchAlgorithm.search`` delegates here, so the session *is* the
+        synchronous driver: one implementation of admission, budget
+        accounting and the stall fallback serves plain searches and
+        checkpointable sessions alike.
+        """
+        problem, algorithm, budget = self.problem, self.algorithm, self._budget
+        space = problem.space
+        if not self._initialized:
+            algorithm._setup(problem, self._rng)
+            self._initialized = True
+            # Step 1: initial pipelines, evaluated as one batch.
+            if self._evaluate_batch(
+                    list(algorithm._initial_pipelines(space, self._rng)),
+                    0.0, 0):
+                return
+        elif self._pending_records:
+            # Resumed mid-batch: observe the already-evaluated remainder of
+            # the interrupted batch before asking the algorithm again.
+            if self._drain_pending():
+                return
+
+        # Steps 2-4: the iterative loop.  Each iteration's proposals form
+        # one evaluation batch; the evaluator's engine (if any) decides
+        # whether the batch runs serially or on parallel workers.
+        while not budget.exhausted():
+            if self._stop_request:
+                return
+            self._iteration += 1
+            pick_start = time.perf_counter()
+            algorithm._update(self.result.trials, space, self._rng)
+            proposals = list(
+                algorithm._propose_batch(space, self._rng, self.result.trials)
+            )
+            pick_time = time.perf_counter() - pick_start
+
+            if not proposals:
+                self._stalled += 1
+                if self._stalled >= 3:
+                    # The algorithm has nothing left to propose (e.g. PNAS
+                    # exhausted its beam); fall back to random sampling so the
+                    # budget is still honoured, as the paper's framework does.
+                    proposals = [space.sample_pipeline(self._rng)]
+                else:
+                    continue
+            self._stalled = 0
+
+            if self._evaluate_batch(proposals, pick_time / len(proposals),
+                                    self._iteration):
+                return
+
+    def _evaluate_batch(self, proposals, pick_per_proposal: float,
+                        iteration: int) -> bool:
+        """Admit, evaluate and observe one proposal batch; True if stopped.
+
+        Admission clips the batch to what the budget actually has left
+        (``budget.admits``): a batch of k proposals can never over-admit a
+        count budget, no matter how large k is.  The one exception is the
+        first proposal of a batch when only a fractional trial remains — it
+        still runs, charged only the remainder, so the search always makes
+        progress and ``TrialBudget.used`` never exceeds ``max_trials``.
+
+        Dispatch then goes through ``evaluator.evaluate_tasks(budget=...)``:
+        serially the wall clock is checked between trials; with an engine it
+        is checked between chunks of ``n_workers`` tasks — one parallel
+        wave, the granularity at which running work can actually stop.
+        Tasks cut off by an expired time budget are refunded, so trial
+        accounting reflects what really ran.
+        """
+        budget = self._budget
+        evaluator = self.problem.evaluator
+        algorithm = self.algorithm
+        tasks: list[EvalTask] = []
+        for item in proposals:
+            pipeline, fidelity = algorithm._unpack_proposal(item)
+            if budget.exhausted():
+                break
+            if budget.admits(fidelity):
+                charge = fidelity
+            elif not tasks:
+                # Fractional leftover smaller than one proposal: spend it on
+                # the first proposal rather than stalling the search loop.
+                charge = budget.admissible(fidelity)
+            else:
+                break
+            tasks.append(EvalTask(pipeline, fidelity=fidelity,
+                                  pick_time=pick_per_proposal,
+                                  iteration=iteration))
+            budget.consume(charge)
+        if tasks and self.on_batch is not None:
+            self.on_batch(self, iteration, list(tasks))
+        records = evaluator.evaluate_tasks(tasks, budget=budget)
+        stopped = self._drain_records(records)
+        for task in tasks[len(records):]:
+            # Admitted but never dispatched (time budget expired mid-batch).
+            budget.consume(-task.fidelity)
+        return stopped
+
+    def _drain_records(self, records) -> bool:
+        """Observe evaluated records one at a time; True when stopped early.
+
+        Between any two observations the session is at a consistent
+        boundary: checkpoint requests are serviced here (the not-yet-
+        observed remainder of the batch rides along in the document), and
+        a stop request parks that remainder in ``_pending_records`` so a
+        later :meth:`run` call continues exactly where this one stopped.
+        """
+        records = list(records)
+        for position, record in enumerate(records):
+            self.result.add(record)
+            self.algorithm._observe(record)
+            pending = records[position + 1:]
+            self._after_trial(record, pending_records=pending,
+                              async_capture=None)
+            if self._stop_request:
+                self._pending_records = pending
+                return True
+        return False
+
+    def _drain_pending(self) -> bool:
+        pending, self._pending_records = self._pending_records, []
+        return self._drain_records(pending)
+
+    # ----------------------------------------------------------- async loop
+    def _run_async(self) -> None:
+        from repro.search.async_driver import AsyncSearchDriver, fresh_loop_state
+
+        algorithm = self.algorithm
+        state = self._async_state
+        if not self._initialized:
+            algorithm._setup(self.problem, self._rng)
+            self._initialized = True
+            state = fresh_loop_state()
+        elif state is None:
+            state = fresh_loop_state()
+            state["initial_done"] = True
+        state.setdefault("iteration", self._iteration)
+        state.setdefault("stalled", self._stalled)
+        self._async_state = None
+        driver = AsyncSearchDriver(algorithm)
+        paused = driver.drive(self.problem, self._budget, self.result,
+                              self._rng, state, control=self)
+        if paused is not None:
+            self._async_state = paused
+            self._iteration = int(paused.get("iteration", self._iteration))
+            self._stalled = int(paused.get("stalled", self._stalled))
+
+    # ------------------------------------------------- driver control hooks
+    def _driver_admitted(self, iteration: int, tasks) -> None:
+        """AsyncSearchDriver hook: a proposal batch was admitted."""
+        self._iteration = iteration
+        if self.on_batch is not None:
+            self.on_batch(self, iteration, list(tasks))
+
+    def _driver_observed(self, record: TrialRecord, capture) -> bool:
+        """AsyncSearchDriver hook: one completion was observed.
+
+        ``capture`` snapshots the driver's loop state for a checkpoint;
+        ``None`` means the driver is already pausing (drain notifications).
+        Returns True to pause the driver.
+        """
+        self._after_trial(record, pending_records=[], async_capture=capture)
+        return capture is not None and self._stop_request
+
+    # ------------------------------------------------------------ internals
+    def _after_trial(self, record: TrialRecord, *, pending_records,
+                     async_capture) -> None:
+        """Shared per-trial bookkeeping: events, auto/requested checkpoints."""
+        self._trials_since_checkpoint += 1
+        if self.on_trial is not None:
+            self.on_trial(self, record)
+        path = None
+        if self._checkpoint_request is not None:
+            path, self._checkpoint_request = self._checkpoint_request, None
+        elif (self.checkpoint_every is not None
+                and self.checkpoint_path is not None
+                and self._trials_since_checkpoint >= self.checkpoint_every):
+            path = self.checkpoint_path
+        if path is not None and async_capture is None and self._driver == "async":
+            # Drain notification during an async pause: defer the request
+            # to the post-run checkpoint rather than snapshotting a loop
+            # that is mid-teardown.
+            self._checkpoint_request = path
+            return
+        if path is not None:
+            self._write_checkpoint(path, pending_records=pending_records,
+                                   async_capture=async_capture)
+
+    @staticmethod
+    def _check_checkpointable(budget) -> None:
+        """Checkpointing freezes a trial count; other budgets cannot resume.
+
+        Raised from :meth:`checkpoint` and at ``run()`` start when periodic
+        checkpoints are configured, so an impossible snapshot is rejected
+        at request time instead of aborting the search mid-loop.
+        """
+        if budget is None:
+            raise ValidationError(
+                "nothing to checkpoint: the session has not started a run"
+            )
+        if not isinstance(budget, TrialBudget):
+            raise ValidationError(
+                "checkpointing requires a TrialBudget (deterministic trial "
+                f"accounting); this session runs under {budget!r}"
+            )
+
+    def _write_checkpoint(self, path, *, pending_records,
+                          async_capture) -> Path:
+        budget = self._budget
+        self._check_checkpointable(budget)
+        async_state = async_capture() if async_capture is not None \
+            else self._async_state
+        if async_state is not None:
+            iteration = int(async_state.get("iteration", self._iteration))
+            stalled = int(async_state.get("stalled", self._stalled))
+        else:
+            iteration, stalled = self._iteration, self._stalled
+        problem = self.problem
+        document = {
+            "algorithm": self.algorithm.name,
+            "driver": self._driver or "sync",
+            "context": self.context.to_dict(),
+            "problem": {
+                "name": problem.name,
+                "fingerprint": problem.evaluator.fingerprint(),
+                "provenance": getattr(problem, "provenance", None),
+            },
+            "budget": {"max_trials": budget.max_trials, "used": budget.used},
+            "loop": {"iteration": iteration, "stalled": stalled,
+                     "initialized": self._initialized},
+            "rng_state": self._rng.bit_generator.state,
+            "baseline_accuracy": self.result.baseline_accuracy,
+            "trials": [trial_to_dict(trial) for trial in self.result.trials],
+            # The RNG rides in the SAME pickle as the algorithm: some
+            # algorithms capture the session generator in _setup (Anneal's
+            # acceptance draws interleave with the propose draws on one
+            # stream), and pickling them together preserves that object
+            # identity — two separate restores would fork the stream and
+            # break bit-for-bit resume.  The JSON ``rng_state`` above is
+            # informational.
+            "state_blob": encode_state_blob({
+                "algorithm": self.algorithm,
+                "rng": self._rng,
+                "pending_records": list(pending_records),
+                "async_state": async_state,
+            }),
+        }
+        path = Path(path)
+        save_session_checkpoint(document, path)
+        self._trials_since_checkpoint = 0
+        self.last_checkpoint_path = path
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self, path)
+        return path
+
+    def __repr__(self) -> str:
+        return (f"SearchSession(problem={self.problem.name!r}, "
+                f"algorithm={self.algorithm!r}, "
+                f"trials={len(self.result)}, driver={self._driver!r})")

@@ -1,0 +1,246 @@
+"""ExecutionContext: the unified runtime-configuration object.
+
+Covers the serialization round-trips (dict, env), resource construction
+(``build_engine`` / ``evaluator_options``) and — the compatibility
+contract of the API redesign — the deprecation shim: every legacy
+per-knob keyword spelling (``n_jobs=``, ``backend=``, ``cache_dir=``,
+``prefix_cache_bytes=``, ``async_mode=``) warns
+:class:`~repro.exceptions.ReproDeprecationWarning` and produces results
+identical to the equivalent ``context=ExecutionContext(...)`` call.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.context import ExecutionContext, fold_legacy_kwargs
+from repro.core.problem import AutoFPProblem
+from repro.datasets.synthetic import distort_features, make_classification
+from repro.engine import ExecutionEngine
+from repro.exceptions import ReproDeprecationWarning, ValidationError
+from repro.experiments import ExperimentConfig, quick_config, run_experiment, run_single
+from repro.search import make_search_algorithm
+
+
+def _data():
+    X, y = make_classification(n_samples=120, n_features=6, n_classes=2,
+                               class_sep=2.0, random_state=3)
+    return distort_features(X, random_state=3), y
+
+
+def _trials(result):
+    return [(t.pipeline.spec(), round(t.fidelity, 6), t.accuracy, t.iteration)
+            for t in result.trials]
+
+
+class TestExecutionContext:
+    def test_defaults_describe_a_serial_run(self):
+        context = ExecutionContext()
+        assert context.backend_name() == "serial"
+        assert context.build_engine() is None
+        assert context.evaluator_options() == {
+            "engine": None, "cache_dir": None, "prefix_cache_bytes": None,
+        }
+
+    def test_dict_round_trip(self):
+        context = ExecutionContext(backend="thread", n_jobs=3,
+                                   cache_dir="/tmp/c", prefix_cache_bytes=1024,
+                                   async_mode=True, default_budget=20, seed=7)
+        assert ExecutionContext.from_dict(context.to_dict()) == context
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError):
+            ExecutionContext.from_dict({"n_jbos": 2})
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ExecutionContext(backend="gpu")
+        with pytest.raises(ValidationError):
+            ExecutionContext(n_jobs=0)
+        with pytest.raises(ValidationError):
+            ExecutionContext(default_budget=0)
+        # 0 prefix bytes normalises to "disabled", and Paths become strings.
+        assert ExecutionContext(prefix_cache_bytes=0).prefix_cache_bytes is None
+
+    def test_context_is_hashable_and_frozen(self):
+        context = ExecutionContext(n_jobs=2, backend="thread")
+        assert len({context, context.replace()}) == 1
+        with pytest.raises((AttributeError, TypeError)):
+            context.n_jobs = 4
+
+    def test_from_env_reads_every_knob(self):
+        environ = {
+            "REPRO_BACKEND": "thread",
+            "REPRO_N_JOBS": "3",
+            "REPRO_CACHE_DIR": "/tmp/cache",
+            "REPRO_PREFIX_CACHE_MB": "1.5",
+            "REPRO_ASYNC": "true",
+            "REPRO_MAX_TRIALS": "30",
+            "REPRO_SEED": "9",
+        }
+        context = ExecutionContext.from_env(environ)
+        assert context == ExecutionContext(
+            backend="thread", n_jobs=3, cache_dir="/tmp/cache",
+            prefix_cache_bytes=int(1.5 * 1024 * 1024), async_mode=True,
+            default_budget=30, seed=9,
+        )
+        assert ExecutionContext.from_env({}) == ExecutionContext()
+        with pytest.raises(ValidationError):
+            ExecutionContext.from_env({"REPRO_N_JOBS": "many"})
+
+    def test_build_engine_honours_parallel_options(self):
+        engine = ExecutionContext(n_jobs=2, backend="thread").build_engine()
+        try:
+            assert isinstance(engine, ExecutionEngine)
+            assert engine.backend.name == "thread"
+            assert engine.n_workers == 2
+        finally:
+            engine.close()
+
+    def test_configure_evaluator_attaches_engine(self):
+        X, y = _data()
+        problem = AutoFPProblem.from_arrays(X, y, "lr", random_state=0)
+        assert problem.evaluator.engine is None
+        ExecutionContext(n_jobs=2, backend="thread").configure_evaluator(
+            problem.evaluator)
+        try:
+            assert problem.evaluator.engine.backend.name == "thread"
+        finally:
+            problem.evaluator.engine.close()
+
+    def test_trial_budget_defaulting(self):
+        assert ExecutionContext().trial_budget().max_trials == 50
+        assert ExecutionContext(default_budget=12).trial_budget().max_trials == 12
+        assert ExecutionContext(default_budget=12).trial_budget(7).max_trials == 7
+
+    def test_seed_or(self):
+        assert ExecutionContext().seed_or(4) == 4
+        assert ExecutionContext(seed=11).seed_or(4) == 11
+
+    def test_describe_mentions_the_active_knobs(self):
+        text = ExecutionContext(n_jobs=2, backend="thread", async_mode=True,
+                                cache_dir="/tmp/c").describe()
+        assert "backend=thread" in text and "driver=async" in text
+        assert "cache_dir=/tmp/c" in text
+
+
+class TestFoldLegacyKwargs:
+    def test_unset_and_off_values_fold_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            context = fold_legacy_kwargs(None, where="here", n_jobs=None,
+                                         backend=None, async_mode=False)
+        assert context == ExecutionContext()
+
+    def test_meaningful_values_warn_and_override(self):
+        base = ExecutionContext(cache_dir="/keep")
+        with pytest.warns(ReproDeprecationWarning, match="here"):
+            context = fold_legacy_kwargs(base, where="here", n_jobs=2,
+                                         backend="thread")
+        assert context == base.replace(n_jobs=2, backend="thread")
+
+
+class TestDeprecationShimEquivalence:
+    """Every legacy spelling warns AND matches its context equivalent."""
+
+    def test_from_arrays_legacy_kwargs_warn_and_match(self):
+        X, y = _data()
+        modern = AutoFPProblem.from_arrays(
+            X, y, "lr", random_state=0,
+            context=ExecutionContext(n_jobs=2, backend="thread",
+                                     prefix_cache_bytes=1 << 22,
+                                     async_mode=True),
+        )
+        with pytest.warns(ReproDeprecationWarning) as caught:
+            legacy = AutoFPProblem.from_arrays(
+                X, y, "lr", random_state=0, n_jobs=2, backend="thread",
+                prefix_cache_bytes=1 << 22, async_mode=True,
+            )
+        assert any("n_jobs" in str(w.message) for w in caught)
+        assert legacy.context == modern.context
+        assert legacy.async_mode is True
+        assert legacy.evaluator.prefix_cache is not None
+        for problem in (modern, legacy):
+            problem.evaluator.engine.close()
+        modern_result = make_search_algorithm("rs", random_state=0).search(
+            AutoFPProblem.from_arrays(
+                X, y, "lr", random_state=0,
+                context=ExecutionContext(prefix_cache_bytes=1 << 22)),
+            max_trials=6,
+        )
+        with pytest.warns(ReproDeprecationWarning):
+            legacy_problem = AutoFPProblem.from_arrays(
+                X, y, "lr", random_state=0, prefix_cache_bytes=1 << 22)
+        legacy_result = make_search_algorithm("rs", random_state=0).search(
+            legacy_problem, max_trials=6)
+        assert _trials(legacy_result) == _trials(modern_result)
+
+    def test_from_registry_legacy_cache_dir_warns_and_matches(self, tmp_path):
+        modern = AutoFPProblem.from_registry(
+            "blood", "lr", scale=0.5, random_state=0,
+            context=ExecutionContext(cache_dir=str(tmp_path / "a")),
+        )
+        with pytest.warns(ReproDeprecationWarning, match="cache_dir"):
+            legacy = AutoFPProblem.from_registry(
+                "blood", "lr", scale=0.5, random_state=0,
+                cache_dir=str(tmp_path / "b"),
+            )
+        assert legacy.evaluator.disk_cache is not None
+        assert modern.baseline_accuracy() == legacy.baseline_accuracy()
+
+    def test_run_single_legacy_kwargs_warn_and_match(self):
+        modern, baseline_m = run_single(
+            "blood", "lr", "rs", max_trials=5, dataset_scale=0.5,
+            context=ExecutionContext(n_jobs=2, backend="thread"),
+        )
+        with pytest.warns(ReproDeprecationWarning):
+            legacy, baseline_l = run_single(
+                "blood", "lr", "rs", max_trials=5, dataset_scale=0.5,
+                n_jobs=2, backend="thread",
+            )
+        assert baseline_l == baseline_m
+        assert _trials(legacy) == _trials(modern)
+
+    def test_run_experiment_legacy_kwargs_warn_and_match(self, tmp_path):
+        config = quick_config(datasets=("blood",), algorithms=("rs",),
+                              max_trials=4, dataset_scale=0.5)
+        modern = run_experiment(
+            config, context=ExecutionContext(
+                n_jobs=2, backend="thread",
+                cache_dir=str(tmp_path / "modern"),
+                prefix_cache_bytes=1 << 22),
+        )
+        with pytest.warns(ReproDeprecationWarning):
+            legacy = run_experiment(
+                config, n_jobs=2, backend="thread",
+                cache_dir=str(tmp_path / "legacy"),
+                prefix_cache_bytes=1 << 22,
+            )
+        assert [s.accuracies for s in legacy.scenarios] == \
+            [s.accuracies for s in modern.scenarios]
+
+    def test_experiment_config_legacy_fields_warn_and_mirror(self):
+        with pytest.warns(ReproDeprecationWarning):
+            config = ExperimentConfig(datasets=("blood",), n_jobs=2,
+                                      backend="thread", async_mode=True,
+                                      prefix_cache_bytes=1 << 22)
+        assert config.context == ExecutionContext(
+            n_jobs=2, backend="thread", async_mode=True,
+            prefix_cache_bytes=1 << 22,
+        )
+        # Mirrored fields read back consistently, and a round-trip through
+        # dataclasses.replace does not re-warn.
+        from dataclasses import replace
+
+        assert config.n_jobs == 2 and config.backend == "thread"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            copy = replace(config, max_trials=9)
+        assert copy.context == config.context
+
+    def test_context_seed_is_the_default_random_state(self):
+        X, y = _data()
+        seeded = AutoFPProblem.from_arrays(
+            X, y, "lr", context=ExecutionContext(seed=5))
+        explicit = AutoFPProblem.from_arrays(X, y, "lr", random_state=5)
+        assert seeded.evaluator.fingerprint() == explicit.evaluator.fingerprint()

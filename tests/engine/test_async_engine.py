@@ -310,21 +310,39 @@ class TestAsyncTimeBudget:
 
 class TestAsyncModePlumbing:
     def test_problem_async_mode_selects_async_driver(self, monkeypatch):
+        from repro.core.context import ExecutionContext
+
         X, y = make_classification(n_samples=110, n_features=6, class_sep=2.0,
                                    random_state=7)
         problem = AutoFPProblem.from_arrays(
-            X, y, "lr", random_state=0, async_mode=True,
+            X, y, "lr", random_state=0,
+            context=ExecutionContext(async_mode=True),
         )
         calls = []
-        original = AsyncSearchDriver.search
+        original = AsyncSearchDriver.drive
 
         def spying(self, *args, **kwargs):
             calls.append(1)
             return original(self, *args, **kwargs)
 
-        monkeypatch.setattr(AsyncSearchDriver, "search", spying)
+        # `drive` is the completion-driven loop shared by AsyncSearchDriver
+        # and SearchSession; a search on an async_mode problem must route
+        # through it.
+        monkeypatch.setattr(AsyncSearchDriver, "drive", spying)
         make_search_algorithm("rs", random_state=0).search(problem, max_trials=4)
         assert calls == [1]
+
+    def test_legacy_async_mode_kwarg_warns_and_still_works(self):
+        from repro.exceptions import ReproDeprecationWarning
+
+        X, y = make_classification(n_samples=110, n_features=6, class_sep=2.0,
+                                   random_state=7)
+        with pytest.warns(ReproDeprecationWarning):
+            problem = AutoFPProblem.from_arrays(
+                X, y, "lr", random_state=0, async_mode=True,
+            )
+        assert problem.async_mode is True
+        assert problem.context.async_mode is True
 
     def test_invalid_driver_rejected(self):
         from repro.exceptions import ValidationError

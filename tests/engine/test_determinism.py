@@ -40,13 +40,15 @@ MATRIX_ALGORITHMS = ALL_ALGORITHM_NAMES + tuple(sorted(EXTENSION_ALGORITHM_CLASS
 
 
 def _make_problem(engine=None, prefix_cache_bytes=None):
+    from repro.core.context import ExecutionContext
+
     X, y = make_classification(n_samples=140, n_features=8, n_classes=2,
                                class_sep=2.0, random_state=2)
     X = distort_features(X, random_state=2)
     problem = AutoFPProblem.from_arrays(
         X, y, LogisticRegression(max_iter=60), space=SearchSpace(max_length=3),
         random_state=0, name="determinism/lr",
-        prefix_cache_bytes=prefix_cache_bytes,
+        context=ExecutionContext(prefix_cache_bytes=prefix_cache_bytes),
     )
     problem.evaluator.set_engine(engine)
     return problem
@@ -195,6 +197,118 @@ class TestPrefixCacheDeterminism:
         must still be invisible in the results."""
         off, on = self._run_pair("pmne", {"beam_width": 3}, None, 1, "sync")
         assert _trial_set(on) == _trial_set(off)
+
+
+#: (algorithm, kwargs) cells of the checkpoint/resume matrix: one per
+#: paper category with non-trivial internal state — evolution (TEVO_H),
+#: progressive NAS (PMNE, surrogate + beam), TPE (density estimators) and
+#: ASHA (rungs + promotion sets, fractional fidelities)
+CHECKPOINT_ALGORITHMS = [
+    ("tevo_h", {}),
+    ("pmne", {"beam_width": 3}),
+    ("tpe", {}),
+    ("asha", {}),
+    # Anneal aliases the session RNG in _setup (acceptance draws and
+    # propose draws interleave on one stream): the regression case for
+    # checkpointing the generator together with the algorithm state.
+    ("anneal", {}),
+]
+
+
+class TestCheckpointResumeDeterminism:
+    """An interrupted+resumed session finishes bit-for-bit identical.
+
+    The SearchSession acceptance contract: checkpoint after any completed
+    trial, kill the session, resume from the document (fresh problem
+    object, fresh evaluator caches, fresh process for all the state
+    carried) — the final trial set must equal an uninterrupted run's,
+    under both the synchronous and the completion-driven driver.
+    """
+
+    def _interrupt_and_resume(self, algorithm, kwargs, driver, tmp_path,
+                              stop_at):
+        from repro.search import SearchSession
+
+        path = tmp_path / f"{algorithm}-{driver}-{stop_at}.checkpoint"
+
+        def interrupt(session, record):
+            if len(session.result) == stop_at:
+                session.checkpoint(path)
+                session.stop()
+
+        session = SearchSession(
+            _make_problem(None),
+            make_search_algorithm(algorithm, random_state=0, **kwargs),
+            on_trial=interrupt,
+        )
+        partial = session.run(max_trials=12, driver=driver)
+        assert len(partial) == stop_at
+        # Resume against a *fresh* problem (cold caches), as a new process
+        # would after loading the document.
+        resumed = SearchSession.resume(path, problem=_make_problem(None))
+        return resumed.run()
+
+    @pytest.mark.parametrize("algorithm,kwargs", CHECKPOINT_ALGORITHMS)
+    @pytest.mark.parametrize("driver", ["sync", "async"])
+    def test_interrupted_run_finishes_bit_for_bit_identical(
+            self, algorithm, kwargs, driver, tmp_path):
+        resumed = self._interrupt_and_resume(algorithm, kwargs, driver,
+                                             tmp_path, stop_at=5)
+        reference = make_search_algorithm(
+            algorithm, random_state=0, **kwargs
+        ).search(_make_problem(None), max_trials=12, driver=driver)
+        assert _trial_set(resumed) == _trial_set(reference)
+        assert resumed.best_accuracy == reference.best_accuracy
+
+    def test_double_interruption_still_bit_for_bit(self, tmp_path):
+        """Checkpoint → kill → resume → checkpoint → kill → resume."""
+        from repro.search import SearchSession
+
+        path = tmp_path / "twice.checkpoint"
+
+        def interrupt_at(n):
+            def hook(session, record):
+                if len(session.result) == n:
+                    session.checkpoint(path)
+                    session.stop()
+            return hook
+
+        session = SearchSession(
+            _make_problem(None), make_search_algorithm("tevo_h", random_state=0),
+            on_trial=interrupt_at(3),
+        )
+        session.run(max_trials=12)
+        second = SearchSession.resume(path, problem=_make_problem(None),
+                                      on_trial=interrupt_at(8))
+        second.run()
+        third = SearchSession.resume(path, problem=_make_problem(None))
+        final = third.run()
+        reference = make_search_algorithm("tevo_h", random_state=0).search(
+            _make_problem(None), max_trials=12)
+        assert _trial_set(final) == _trial_set(reference)
+
+    def test_mid_batch_checkpoint_resumes_bit_for_bit(self, tmp_path):
+        """PBT observes its 8-wide initial batch one record at a time; a
+        checkpoint taken two observations in carries the evaluated-but-
+        unobserved remainder and must still resume exactly."""
+        from repro.search import SearchSession
+
+        path = tmp_path / "midbatch.checkpoint"
+
+        def interrupt(session, record):
+            if len(session.result) == 2:
+                session.checkpoint(path)
+                session.stop()
+
+        session = SearchSession(_make_problem(None),
+                                make_search_algorithm("pbt", random_state=0),
+                                on_trial=interrupt)
+        session.run(max_trials=12)
+        resumed = SearchSession.resume(path, problem=_make_problem(None))
+        final = resumed.run()
+        reference = make_search_algorithm("pbt", random_state=0).search(
+            _make_problem(None), max_trials=12)
+        assert _trial_set(final) == _trial_set(reference)
 
 
 class TestSerialTimeBudgetSemantics:

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.context import ExecutionContext
 from repro.experiments import quick_config, run_experiment, run_single
 
 BENCH_PATH = (
@@ -32,7 +33,8 @@ def _accuracies(outcome):
 
 class TestPersistentExperimentCache:
     def test_warm_rerun_does_zero_uncached_evaluations(self, tmp_path):
-        config = _tiny_config(cache_dir=str(tmp_path / "cache"))
+        config = _tiny_config(
+            context=ExecutionContext(cache_dir=str(tmp_path / "cache")))
         reference = run_experiment(_tiny_config())  # cache off
 
         cold = run_experiment(config)
@@ -49,28 +51,43 @@ class TestPersistentExperimentCache:
     def test_every_backend_shares_the_cache(self, tmp_path, backend):
         """A cold serial run warms the cache for every parallel backend."""
         cache_dir = str(tmp_path / "cache")
-        config = _tiny_config(cache_dir=cache_dir)
+        config = _tiny_config(context=ExecutionContext(cache_dir=cache_dir))
         cold = run_experiment(config)
 
-        warm = run_experiment(config, n_jobs=2, backend=backend)
+        warm = run_experiment(config, context=ExecutionContext(
+            cache_dir=cache_dir, n_jobs=2, backend=backend))
         assert warm.uncached_evaluations == 0
         assert _accuracies(warm) == _accuracies(cold)
 
     def test_parallel_cold_run_warms_the_serial_one(self, tmp_path):
         """Process workers write through to the shared cache root."""
         cache_dir = str(tmp_path / "cache")
-        config = _tiny_config(cache_dir=cache_dir)
-        cold = run_experiment(config, n_jobs=2, backend="process")
+        config = _tiny_config(context=ExecutionContext(
+            cache_dir=cache_dir, n_jobs=2, backend="process"))
+        cold = run_experiment(config)
         assert cold.uncached_evaluations > 0
+
+        config = _tiny_config(context=ExecutionContext(cache_dir=cache_dir))
 
         warm = run_experiment(config)
         assert warm.uncached_evaluations == 0
         assert _accuracies(warm) == _accuracies(cold)
 
-    def test_cache_dir_override_beats_config(self, tmp_path):
+    def test_context_override_beats_config(self, tmp_path):
         config = _tiny_config()  # no cache_dir in the config
-        run_experiment(config, cache_dir=str(tmp_path / "cache"))
-        warm = run_experiment(config, cache_dir=str(tmp_path / "cache"))
+        override = ExecutionContext(cache_dir=str(tmp_path / "cache"))
+        run_experiment(config, context=override)
+        warm = run_experiment(config, context=override)
+        assert warm.uncached_evaluations == 0
+
+    def test_legacy_cache_dir_kwarg_warns_and_works(self, tmp_path):
+        from repro.exceptions import ReproDeprecationWarning
+
+        config = _tiny_config()
+        with pytest.warns(ReproDeprecationWarning):
+            run_experiment(config, cache_dir=str(tmp_path / "cache"))
+        with pytest.warns(ReproDeprecationWarning):
+            warm = run_experiment(config, cache_dir=str(tmp_path / "cache"))
         assert warm.uncached_evaluations == 0
 
     def test_outcome_counts_uncached_without_cache_dir(self):
@@ -84,12 +101,11 @@ class TestPersistentExperimentCache:
 
     def test_run_single_reuses_the_cache(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
+        context = ExecutionContext(cache_dir=cache_dir)
         cold, baseline_cold = run_single("blood", "lr", "rs", max_trials=5,
-                                         dataset_scale=0.5,
-                                         cache_dir=cache_dir)
+                                         dataset_scale=0.5, context=context)
         warm, baseline_warm = run_single("blood", "lr", "rs", max_trials=5,
-                                         dataset_scale=0.5,
-                                         cache_dir=cache_dir)
+                                         dataset_scale=0.5, context=context)
         assert baseline_warm == baseline_cold
         assert [t.accuracy for t in warm.trials] == \
             [t.accuracy for t in cold.trials]

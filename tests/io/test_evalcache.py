@@ -222,3 +222,117 @@ class TestPersistentEvalCache:
         assert open_eval_cache(None, FP) is None
         cache = open_eval_cache(tmp_path, FP)
         assert isinstance(cache, PersistentEvalCache)
+
+
+class TestBoundedIndex:
+    """The in-memory index obeys ``max_index_entries`` without losing data.
+
+    Long-lived cache roots hold far more entries than a parent process
+    should index; the bound turns the index into an LRU whose evictions
+    fall back to re-scanning the entry's shard file — every stored entry
+    stays retrievable, only its lookup cost changes.
+    """
+
+    def test_every_entry_retrievable_despite_a_tiny_index(self, tmp_path):
+        writer = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=4)
+        for i in range(60):
+            writer.put(_key(f"step{i}"), _entry(i / 100.0))
+
+        reader = PersistentEvalCache(tmp_path, fingerprint=FP,
+                                     max_index_entries=8)
+        for i in range(60):
+            assert reader.get(_key(f"step{i}")) == _entry(i / 100.0), i
+        assert len(reader._entries) <= 8
+        assert reader.hits == 60
+        assert reader.index_evictions > 0
+        assert reader.rescans > 0
+
+    def test_bound_applies_while_writing_too(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP,
+                                    max_index_entries=5)
+        for i in range(40):
+            cache.put(_key(f"step{i}"), _entry(i / 100.0))
+        assert len(cache._entries) <= 5
+        # Old and new entries both answer (old ones via shard rescans).
+        assert cache.get(_key("step0")) == _entry(0.0)
+        assert cache.get(_key("step39")) == _entry(0.39)
+
+    def test_unevicted_shards_answer_misses_without_rescanning(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP,
+                                    max_index_entries=100)
+        cache.put(_key("present"), _entry(0.5))
+        assert cache.get(_key("absent")) is None
+        assert cache.rescans == 0  # no eviction ever happened: miss is final
+
+    def test_rescan_finds_the_last_write_and_tolerates_garbage(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=1,
+                                    max_index_entries=2)
+        cache.put(_key("target"), _entry(0.1))
+        # Supersede on disk (duplicate append) and interleave torn lines.
+        shard = cache._shard_path(0)
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write("{\"k\": \"gar\n")
+            handle.write(json.dumps(
+                {"k": key_token(_key("target")), "e": _entry(0.8)}) + "\n")
+        # Evict "target" from the index by touching other keys.
+        cache.put(_key("filler1"), _entry(0.2))
+        cache.put(_key("filler2"), _entry(0.3))
+        cache.put(_key("filler3"), _entry(0.4))
+        assert cache.get(_key("target")) == _entry(0.8)
+
+    def test_compact_respects_the_bound_afterwards(self, tmp_path):
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP,
+                                    max_index_entries=4)
+        for i in range(20):
+            cache.put(_key(f"step{i}"), _entry(i / 100.0))
+        summary = cache.compact()
+        assert summary["entries"] == 20  # compaction saw every live entry
+        assert len(cache._entries) <= 4  # the index re-trimmed afterwards
+        fresh = PersistentEvalCache(tmp_path, fingerprint=FP)
+        fresh.load_all()
+        assert len(fresh) == 20  # nothing was lost on disk
+
+    def test_validation_and_info(self, tmp_path):
+        with pytest.raises(ValidationError):
+            PersistentEvalCache(tmp_path, fingerprint=FP, max_index_entries=0)
+        cache = open_eval_cache(tmp_path, FP, max_index_entries=7)
+        info = cache.info()
+        assert info["max_index_entries"] == 7
+        assert info["index_evictions"] == 0 and info["rescans"] == 0
+
+    def test_evaluator_cache_size_bounds_the_disk_index(self, tmp_path):
+        """The evaluator threads its own LRU bound down to the disk index."""
+        import numpy as np
+
+        from repro.core.evaluation import PipelineEvaluator
+        from repro.models.linear import LogisticRegression
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] > 0).astype(int)
+        evaluator = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=25), random_state=0,
+            cache_dir=tmp_path, cache_size=3,
+        )
+        assert evaluator.disk_cache.max_index_entries == 3
+        unbounded = PipelineEvaluator.from_dataset(
+            X, y, LogisticRegression(max_iter=25), random_state=0,
+            cache_dir=tmp_path,
+        )
+        assert unbounded.disk_cache.max_index_entries is None
+
+    def test_unknown_keys_never_pay_a_rescan_even_after_evictions(self, tmp_path):
+        """The per-shard membership filter keeps the common case — probing
+        a pipeline that was never cached — O(1) under a bounded index."""
+        cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=2,
+                                    max_index_entries=3)
+        for i in range(30):
+            cache.put(_key(f"step{i}"), _entry(i / 100.0))
+        assert cache.index_evictions > 0
+        before = cache.rescans
+        for i in range(50):
+            assert cache.get(_key(f"never-seen-{i}")) is None
+        assert cache.rescans == before  # authoritative misses, no file reads
+        # Evicted-but-real keys still resolve (via a rescan).
+        assert cache.get(_key("step0")) == _entry(0.0)
+        assert cache.rescans > before
