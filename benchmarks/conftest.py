@@ -13,12 +13,22 @@ still written to ``benchmarks/output/``.
 
 from __future__ import annotations
 
+import json
+import re
 from pathlib import Path
 
 import pytest
 
 #: directory where every benchmark writes its regenerated artefact
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: machine-readable result records, one per bench test, keyed by nodeid.
+#: Each becomes a ``BENCH_<test>.json`` file in :data:`OUTPUT_DIR` so CI can
+#: upload timings and derived metrics as artifacts and diff them across runs.
+_BENCH_RECORDS: dict[str, dict] = {}
+
+#: nodeid of the currently running test (stack, for safety under nesting)
+_CURRENT_NODE: list[str] = []
 
 #: seconds-scale harnesses whose full run is cheap enough for the CI smoke
 #: step; every other bench test is auto-marked ``slow`` below
@@ -42,11 +52,62 @@ def pytest_collection_modifyitems(items) -> None:
         item.add_marker(pytest.mark.slow)
 
 
-def emit_artifact(name: str, text: str) -> None:
-    """Print a regenerated artefact and persist it under benchmarks/output/."""
+def _sanitize(name: str) -> str:
+    """Make a test name safe as a filename component."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+@pytest.fixture(autouse=True)
+def _bench_node(request):
+    """Track the running test so :func:`emit_artifact` can attach metrics."""
+    _CURRENT_NODE.append(request.node.nodeid)
+    yield
+    _CURRENT_NODE.pop()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Write ``BENCH_<test>.json`` after each bench test's call phase.
+
+    The record carries the test name, its parametrisation, the measured
+    wall-clock and any derived metrics the test registered through
+    ``emit_artifact(..., metrics=...)`` — the machine-readable counterpart
+    of the printed tables, uploaded as a CI artifact.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    record = _BENCH_RECORDS.setdefault(item.nodeid, {})
+    callspec = getattr(item, "callspec", None)
+    record.update(
+        name=item.name,
+        nodeid=item.nodeid,
+        outcome=report.outcome,
+        wall_clock_s=round(report.duration, 6),
+        params={key: repr(value) for key, value in callspec.params.items()}
+        if callspec is not None else {},
+    )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{_sanitize(item.name)}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def emit_artifact(name: str, text: str, metrics: dict | None = None) -> None:
+    """Print a regenerated artefact and persist it under benchmarks/output/.
+
+    ``metrics`` (optional) attaches derived numbers to the running test's
+    ``BENCH_<test>.json`` record — keep values JSON-serialisable.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    if _CURRENT_NODE:
+        record = _BENCH_RECORDS.setdefault(_CURRENT_NODE[-1], {})
+        record.setdefault("artifacts", []).append(path.name)
+        if metrics:
+            record.setdefault("metrics", {}).update(metrics)
     print(f"\n===== {name} =====")
     print(text)
 

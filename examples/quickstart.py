@@ -161,6 +161,38 @@ def main() -> None:
     #      ...kill it...
     #      repro search --resume --checkpoint run.checkpoint
 
+    # 8. Observing a search.  Telemetry rides the same context: "counters"
+    #    keeps cheap cross-backend metrics (cache hit rates, prefix steps
+    #    reused, budget refunds) readable via session.metrics_snapshot() or
+    #    the on_metrics callback; "trace" additionally writes per-trial
+    #    phase spans (propose -> cache lookup -> prep -> train) to a
+    #    process-safe JSONL sink under telemetry_dir, plus a heartbeat
+    #    file a dashboard can poll.  Telemetry never changes search
+    #    results — "off" vs "trace" runs are bit-for-bit identical.
+    trace_dir = Path(tempfile.mkdtemp())
+    observed = SearchSession(
+        AutoFPProblem.from_arrays(
+            X, y, model="lr", random_state=0, name="heart/lr",
+            context=ExecutionContext(telemetry_mode="trace",
+                                     telemetry_dir=trace_dir),
+        ),
+        make_search_algorithm("rs", random_state=0),
+        on_metrics=lambda session, snapshot: None,  # live counters per trial
+    )
+    traced = observed.run(max_trials=10)
+    snapshot = observed.metrics_snapshot()
+    print(f"\n[telemetry] {int(snapshot['session.trials'])} trials traced, "
+          f"{int(snapshot.get('evaluator.cache_hits', 0))} cache hits; "
+          f"trace + heartbeat in {trace_dir}")
+    #    Aggregate the trace into the paper's Table-5 pick/prep/train
+    #    breakdown (or export --chrome for chrome://tracing):
+    #      repro trace summary --trace <telemetry_dir>
+    from repro.telemetry import read_trace, summarize_trace
+    overall = summarize_trace(read_trace(trace_dir / "trace.jsonl"))["overall"]
+    print(f"[telemetry] prep {overall['prep_pct']:.0f}% vs train "
+          f"{overall['train_pct']:.0f}% of trial time over "
+          f"{len(traced)} trials (the paper's Table-5 shape)")
+
 
 if __name__ == "__main__":
     main()

@@ -23,6 +23,9 @@ from repro.core.search_space import SearchSpace
 from repro.extensions.param_space import ParameterizedSpace
 from repro.models.registry import make_classifier
 from repro.search.registry import make_search_algorithm
+from repro.utils.log import get_logger
+
+log = get_logger("automl.comparison")
 
 #: capability matrix of the FP modules of popular AutoML tools (Table 8)
 AUTOML_FP_CAPABILITIES: dict[str, dict] = {
@@ -81,6 +84,8 @@ def compare_automl_context(X, y, model_name: str, *, dataset_name: str = "datase
         name=f"{dataset_name}/{model_name}",
     )
     baseline = problem.baseline_accuracy()
+    log.debug("comparison %s: baseline=%.4f, budget=%d trials per contender",
+              problem.name, baseline, max_trials)
 
     # Auto-FP with the leading search algorithm.
     if extended_space is not None:
@@ -105,6 +110,9 @@ def compare_automl_context(X, y, model_name: str, *, dataset_name: str = "datase
         max_trials=max_trials,
     )
 
+    log.debug("comparison %s: auto_fp=%.4f tpot_fp=%.4f hpo=%.4f",
+              problem.name, auto_fp_result.best_accuracy,
+              tpot_result.best_accuracy, hpo_result.best_accuracy)
     return AutoMLComparison(
         dataset=dataset_name,
         model=model_name,

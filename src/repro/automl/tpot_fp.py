@@ -19,7 +19,10 @@ from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult
 from repro.core.search_space import SearchSpace
 from repro.preprocessing.registry import default_preprocessors
+from repro.utils.log import get_logger
 from repro.utils.random import check_random_state
+
+log = get_logger("automl.tpot_fp")
 
 #: the five preprocessors exposed by TPOT's FP module (Table 8)
 TPOT_PREPROCESSOR_NAMES: tuple[str, ...] = (
@@ -126,6 +129,8 @@ class GeneticProgrammingFP:
             combined = combined[: self.population_size]
             population = [pipeline for pipeline, _ in combined]
             fitness = [score for _, score in combined]
+            log.debug("generation %d: %d trials so far, best=%.4f",
+                      generation, len(result), max(fitness))
 
         return result
 

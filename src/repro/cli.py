@@ -17,7 +17,10 @@ driven without writing Python:
   grid, optionally fanned out across parallel workers,
 * ``python -m repro evalcache`` — inspect (``stats``) or prune/compact
   (``prune --keep-fingerprints N``) a persistent evaluation-cache root,
-* ``python -m repro metafeatures`` — print the 40 meta-features of a dataset.
+* ``python -m repro metafeatures`` — print the 40 meta-features of a dataset,
+* ``python -m repro trace`` — summarize (``summary``, the paper's Table-5
+  per-phase breakdown) or export (``export --chrome``) the telemetry trace
+  a ``--telemetry trace --telemetry-dir DIR`` run wrote.
 
 Runtime configuration resolves into one
 :class:`~repro.core.context.ExecutionContext` per invocation, layered as
@@ -110,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
                                   "uncached suffix, with identical results "
                                   "(default: no prefix reuse)")
 
+    def add_telemetry_options(command) -> None:
+        from repro.telemetry import TELEMETRY_MODES
+
+        command.add_argument("--telemetry", choices=TELEMETRY_MODES,
+                             default=None,
+                             help="observability level: counters (metrics "
+                                  "snapshots + heartbeat) or trace (adds "
+                                  "per-phase span events; needs "
+                                  "--telemetry-dir). never changes results "
+                                  "(default: off)")
+        command.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                             help="directory for telemetry artifacts "
+                                  "(trace.jsonl, heartbeat.json)")
+
     search = subparsers.add_parser("search", help="run one Auto-FP search")
     search.add_argument("--dataset", default=None,
                         help="registry dataset name (required unless "
@@ -142,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_async_option(search)
     add_cache_option(search)
     add_prefix_cache_option(search)
+    add_telemetry_options(search)
 
     compare = subparsers.add_parser(
         "compare", help="compare several algorithms on one dataset")
@@ -178,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_async_option(experiment)
     add_cache_option(experiment)
     add_prefix_cache_option(experiment)
+    add_telemetry_options(experiment)
 
     evalcache = subparsers.add_parser(
         "evalcache",
@@ -204,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
     metafeatures.add_argument("--dataset", required=True, help="registry dataset name")
     metafeatures.add_argument("--scale", type=float, default=1.0,
                               help="dataset scale factor (default 1.0)")
+
+    trace = subparsers.add_parser(
+        "trace", help="summarize or export a run's telemetry trace")
+    trace_actions = trace.add_subparsers(dest="action", required=True)
+    trace_summary = trace_actions.add_parser(
+        "summary",
+        help="per-phase / per-algorithm time breakdown (the paper's "
+             "Table 5 shape)")
+    trace_summary.add_argument("--trace", required=True, metavar="PATH",
+                               help="trace.jsonl file, or the telemetry "
+                                    "directory containing one")
+    trace_export = trace_actions.add_parser(
+        "export", help="convert a trace to another format")
+    trace_export.add_argument("--trace", required=True, metavar="PATH",
+                              help="trace.jsonl file, or the telemetry "
+                                   "directory containing one")
+    trace_export.add_argument("--chrome", action="store_true",
+                              help="Chrome trace-event JSON, viewable in "
+                                   "about:tracing / perfetto")
+    trace_export.add_argument("--output", default=None, metavar="FILE",
+                              help="output file (default: stdout)")
     return parser
 
 
@@ -311,6 +351,10 @@ def _resolve_context(args):
     prefix_bytes = _prefix_cache_bytes(args)
     if prefix_bytes is not None:
         overrides["prefix_cache_bytes"] = prefix_bytes
+    if getattr(args, "telemetry", None) is not None:
+        overrides["telemetry_mode"] = args.telemetry
+    if getattr(args, "telemetry_dir", None):
+        overrides["telemetry_dir"] = args.telemetry_dir
     return context.replace(**overrides) if overrides else context
 
 
@@ -332,6 +376,8 @@ def _cmd_search(args, out) -> int:
             ("--cache-dir", bool(args.cache_dir)),
             ("--async", args.async_mode),
             ("--prefix-cache-mb", args.prefix_cache_mb is not None),
+            ("--telemetry", args.telemetry is not None),
+            ("--telemetry-dir", bool(args.telemetry_dir)),
         ) if given]
         if ignored:
             # Don't silently run under a different configuration than the
@@ -400,6 +446,16 @@ def _cmd_search(args, out) -> int:
     if session.last_checkpoint_path is not None:
         out.write(f"checkpoint   : {session.last_checkpoint_path} "
                   f"(resume with --resume)\n")
+    if session.context.telemetry_mode == "trace" \
+            and session.context.telemetry_dir is not None:
+        from pathlib import Path
+
+        from repro.telemetry import TRACE_FILE_NAME
+
+        trace_path = Path(session.context.telemetry_dir) / TRACE_FILE_NAME
+        out.write(f"trace        : {trace_path} "
+                  f"(summarize with `repro trace summary --trace "
+                  f"{trace_path}`)\n")
 
     if args.output:
         from repro.io import save_search_result
@@ -510,6 +566,65 @@ def _cmd_evalcache(args, out) -> int:
     return 0
 
 
+def _resolve_trace_path(raw):
+    """Accept either a trace.jsonl file or the directory holding one."""
+    from pathlib import Path
+
+    from repro.telemetry import TRACE_FILE_NAME
+
+    path = Path(raw)
+    if path.is_dir():
+        return path / TRACE_FILE_NAME
+    return path
+
+
+def _cmd_trace(args, out) -> int:
+    import json
+
+    from repro.telemetry import read_trace, summarize_trace, to_chrome_trace
+
+    events = read_trace(_resolve_trace_path(args.trace))
+
+    if args.action == "export":
+        if not args.chrome:
+            out.write("error: `repro trace export` needs a format flag "
+                      "(--chrome)\n")
+            return 2
+        document = json.dumps(to_chrome_trace(events), indent=2)
+        if args.output:
+            from repro.io.serialization import atomic_write_text
+
+            path = atomic_write_text(args.output, document)
+            out.write(f"wrote {len(events)} event(s) to {path}\n")
+        else:
+            out.write(document + "\n")
+        return 0
+
+    summary = summarize_trace(events)
+    algorithms, overall = summary["algorithms"], summary["overall"]
+    if not events:
+        out.write("empty trace: no events found\n")
+        return 1
+    out.write(f"{len(events)} event(s), {overall['trials']} trial(s)\n\n")
+    if algorithms:
+        out.write(f"{'algorithm':<14} {'trials':>6} {'total(s)':>9} "
+                  f"{'pick%':>7} {'prep%':>7} {'train%':>7}\n")
+        rows = sorted(algorithms.items()) + [("overall", overall)]
+        for name, row in rows:
+            out.write(f"{name:<14} {row['trials']:>6d} {row['total']:>9.3f} "
+                      f"{row['pick_pct']:>7.1f} {row['prep_pct']:>7.1f} "
+                      f"{row['train_pct']:>7.1f}\n")
+    else:
+        out.write("no trial events (was the search run with "
+                  "--telemetry trace?)\n")
+    if summary["spans"]:
+        out.write(f"\n{'span':<14} {'count':>6} {'total(s)':>9}\n")
+        for name, tally in sorted(summary["spans"].items()):
+            out.write(f"{name:<14} {tally['count']:>6d} "
+                      f"{tally['total']:>9.3f}\n")
+    return 0
+
+
 def _cmd_metafeatures(args, out) -> int:
     from repro.datasets import load_dataset
     from repro.metafeatures import compute_metafeatures
@@ -531,6 +646,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "evalcache": _cmd_evalcache,
     "metafeatures": _cmd_metafeatures,
+    "trace": _cmd_trace,
 }
 
 

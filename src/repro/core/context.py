@@ -77,6 +77,16 @@ class ExecutionContext:
         Default random seed used by entry points whose caller did not pass
         ``random_state`` explicitly; ``None`` keeps each entry point's own
         default.
+    telemetry_mode:
+        Observability level: ``"off"`` (default, no overhead),
+        ``"counters"`` (metrics snapshots + heartbeat files) or
+        ``"trace"`` (counters plus per-phase span events written to a
+        JSONL sink under ``telemetry_dir``).  Telemetry never changes
+        search results — only what is observed about them.
+    telemetry_dir:
+        Directory receiving telemetry artifacts (``trace.jsonl``,
+        ``heartbeat.json``).  Required for span tracing; ``None`` keeps
+        counters in-memory only.
     """
 
     backend: str | None = None
@@ -86,6 +96,8 @@ class ExecutionContext:
     async_mode: bool = False
     default_budget: int | None = None
     seed: int | None = None
+    telemetry_mode: str = "off"
+    telemetry_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -127,6 +139,16 @@ class ExecutionContext:
         if self.seed is not None:
             object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "async_mode", bool(self.async_mode))
+        from repro.telemetry import TELEMETRY_MODES
+
+        if self.telemetry_mode not in TELEMETRY_MODES:
+            raise ValidationError(
+                f"telemetry_mode must be one of {list(TELEMETRY_MODES)}, "
+                f"got {self.telemetry_mode!r}"
+            )
+        if self.telemetry_dir is not None:
+            object.__setattr__(self, "telemetry_dir",
+                               os.fspath(self.telemetry_dir))
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> dict:
@@ -163,7 +185,9 @@ class ExecutionContext:
         field default): ``REPRO_BACKEND``, ``REPRO_N_JOBS``,
         ``REPRO_CACHE_DIR``, ``REPRO_PREFIX_CACHE_MB`` (MiB, converted to
         bytes), ``REPRO_ASYNC`` (``1``/``true``/``yes`` enable),
-        ``REPRO_MAX_TRIALS`` (``default_budget``) and ``REPRO_SEED``.
+        ``REPRO_MAX_TRIALS`` (``default_budget``), ``REPRO_SEED``,
+        ``REPRO_TELEMETRY`` (``off``/``counters``/``trace``) and
+        ``REPRO_TELEMETRY_DIR``.
         """
         environ = os.environ if environ is None else environ
         overrides: dict = {}
@@ -200,6 +224,10 @@ class ExecutionContext:
         if raw is not None:
             overrides["async_mode"] = raw.strip().lower() in ("1", "true",
                                                               "yes", "on")
+        if read("TELEMETRY") is not None:
+            overrides["telemetry_mode"] = read("TELEMETRY").strip().lower()
+        if read("TELEMETRY_DIR") is not None:
+            overrides["telemetry_dir"] = read("TELEMETRY_DIR").strip()
         base = base if base is not None else cls()
         return base.replace(**overrides) if overrides else base
 
@@ -237,6 +265,8 @@ class ExecutionContext:
             "engine": self.build_engine(),
             "cache_dir": self.cache_dir,
             "prefix_cache_bytes": self.prefix_cache_bytes,
+            "telemetry_mode": self.telemetry_mode,
+            "telemetry_dir": self.telemetry_dir,
         }
 
     def configure_evaluator(self, evaluator) -> None:
@@ -280,6 +310,11 @@ class ExecutionContext:
             parts.append(f"default_budget={self.default_budget}")
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
+        if self.telemetry_mode != "off":
+            telemetry = f"telemetry={self.telemetry_mode}"
+            if self.telemetry_dir is not None:
+                telemetry += f":{self.telemetry_dir}"
+            parts.append(telemetry)
         return " ".join(parts)
 
 

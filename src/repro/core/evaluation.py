@@ -53,8 +53,15 @@ from repro.core.result import TrialRecord
 from repro.exceptions import ValidationError
 from repro.models.base import Classifier
 from repro.models.metrics import accuracy_score, train_test_split
+from repro.telemetry.metrics import MetricSet, metric_property
+from repro.telemetry.tracing import make_tracer, trace_span
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_X_y
+
+#: reserved cache-entry key carrying a worker's metric delta back to the
+#: parent; stripped by ``PipelineEvaluator.absorb_worker_counters`` before
+#: the entry is stored anywhere
+METRICS_DELTA_KEY = "_metrics_delta"
 
 
 def _is_readonly_write(error: BaseException) -> bool:
@@ -138,10 +145,22 @@ class PipelineEvaluator:
         ``None`` (default) disables prefix reuse.
     """
 
+    #: metrics of the evaluator's own memoization layer, telemetry-backed;
+    #: the classic attribute spellings remain as properties below
+    COUNTER_NAMES: tuple[str, ...] = (
+        "cache_hits", "cache_misses", "cache_evictions", "n_evaluations",
+    )
+
+    cache_hits = metric_property("cache_hits")
+    cache_misses = metric_property("cache_misses")
+    cache_evictions = metric_property("cache_evictions")
+    n_evaluations = metric_property("n_evaluations")
+
     def __init__(self, X_train, y_train, X_valid, y_valid, model: Classifier,
                  *, cache: bool = True, cache_size: int | None = None,
                  random_state=None, engine=None, cache_dir=None,
-                 prefix_cache_bytes: int | None = None) -> None:
+                 prefix_cache_bytes: int | None = None,
+                 telemetry_mode: str = "off", telemetry_dir=None) -> None:
         self.X_train, self.y_train = check_X_y(X_train, y_train)
         self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
         if self.X_train.shape[1] != self.X_valid.shape[1]:
@@ -154,9 +173,7 @@ class PipelineEvaluator:
                 raise ValidationError(f"cache_size must be at least 1, got {cache_size}")
         self.cache_size = cache_size
         self._cache: OrderedDict = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_evictions = 0
+        self.metrics = MetricSet(self.COUNTER_NAMES)
         self._rng = check_random_state(random_state)
         if isinstance(random_state, (int, np.integer)):
             self._subsample_seed = int(random_state)
@@ -164,14 +181,18 @@ class PipelineEvaluator:
             # Fix the subsample seed once so evaluation order never matters.
             self._subsample_seed = int(self._rng.integers(0, 2**32 - 1))
         self._engine = engine
-        self.n_evaluations = 0
         self.prefix_cache_bytes = prefix_cache_bytes
         self._prefix_cache = make_prefix_cache(prefix_cache_bytes)
-        #: prefix-cache counter deltas merged back from process-pool
-        #: workers (each worker keeps a private cache; its per-evaluation
-        #: deltas ride back on the cache entries — see
-        #: :meth:`absorb_worker_counters`)
-        self._worker_prefix_counters: dict[str, int] = {}
+        #: metric deltas merged back from process-pool workers (each worker
+        #: attaches the delta its evaluation caused — prefix-cache reuse and
+        #: anything else recorded in its address space — to the returned
+        #: entry; see :meth:`absorb_worker_counters`)
+        self._worker_metrics = MetricSet()
+        self.telemetry_mode = telemetry_mode
+        self.telemetry_dir = telemetry_dir
+        #: the span sink; ``None`` unless telemetry_mode == "trace" with a
+        #: telemetry_dir, so untraced runs pay only a None check per phase
+        self._tracer = make_tracer(telemetry_mode, telemetry_dir)
         self._fingerprint: str | None = None
         self.cache_dir = cache_dir
         if cache and cache_dir is not None:
@@ -190,7 +211,9 @@ class PipelineEvaluator:
     def from_dataset(cls, X, y, model: Classifier, *, valid_size: float = 0.2,
                      cache: bool = True, cache_size: int | None = None,
                      random_state=0, engine=None, cache_dir=None,
-                     prefix_cache_bytes: int | None = None) -> "PipelineEvaluator":
+                     prefix_cache_bytes: int | None = None,
+                     telemetry_mode: str = "off",
+                     telemetry_dir=None) -> "PipelineEvaluator":
         """Split ``(X, y)`` 80:20 (stratified) and build an evaluator."""
         X_train, X_valid, y_train, y_valid = train_test_split(
             X, y, test_size=valid_size, random_state=random_state
@@ -198,7 +221,8 @@ class PipelineEvaluator:
         return cls(X_train, y_train, X_valid, y_valid, model,
                    cache=cache, cache_size=cache_size,
                    random_state=random_state, engine=engine,
-                   cache_dir=cache_dir, prefix_cache_bytes=prefix_cache_bytes)
+                   cache_dir=cache_dir, prefix_cache_bytes=prefix_cache_bytes,
+                   telemetry_mode=telemetry_mode, telemetry_dir=telemetry_dir)
 
     # ------------------------------------------------------------- engine
     @property
@@ -220,6 +244,11 @@ class PipelineEvaluator:
         """The prefix-transform cache (``None`` when ``prefix_cache_bytes`` unset)."""
         return self._prefix_cache
 
+    @property
+    def tracer(self):
+        """The span sink (``None`` unless telemetry tracing is enabled)."""
+        return self._tracer
+
     def __getstate__(self) -> dict:
         # Workers evaluate serially and start with a cold cache: shipping
         # the parent's (potentially large) cache or its engine would only
@@ -230,12 +259,15 @@ class PipelineEvaluator:
         # fresh one per process, and because the process backend ships the
         # evaluator once through the pool initializer, each worker's cache
         # then persists across batches for the lifetime of the pool.
+        # The tracer *is* shipped: it pickles down to its path, and worker
+        # spans append to the same O_APPEND sink as the parent's.
         state = self.__dict__.copy()
         state["_engine"] = None
         state["_cache"] = OrderedDict()
         state["_disk_cache"] = None
         state["_prefix_cache"] = None
-        state["_worker_prefix_counters"] = {}
+        state["_worker_metrics"] = MetricSet()
+        state["metrics"] = MetricSet(self.COUNTER_NAMES)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -296,7 +328,8 @@ class PipelineEvaluator:
             raise ValidationError(f"fidelity must be in (0, 1], got {fidelity}")
 
         key = self.cache_key(pipeline, fidelity)
-        entry = self.cache_lookup(key)
+        with trace_span(self._tracer, "cache_lookup"):
+            entry = self.cache_lookup(key)
         if entry is None:
             entry = self._evaluate_uncached(pipeline, fidelity)
             self.n_evaluations += 1
@@ -415,22 +448,22 @@ class PipelineEvaluator:
             self._disk_cache.put_many(items)
 
     def absorb_worker_counters(self, entry: dict) -> dict:
-        """Strip a worker's prefix-counter delta from ``entry`` and merge it.
+        """Strip a worker's metric delta from ``entry`` and merge it.
 
-        Process-pool workers evaluate against *private* prefix caches; each
-        evaluation performed in a worker attaches the counter delta it
-        caused (hits, steps reused, ...) to the returned cache entry under
-        a reserved key.  The engine routes every worker-computed entry
-        through here before caching it, so the parent's :meth:`cache_info`
-        reflects reuse that happened in the workers — and the delta never
-        leaks into the memoization LRU or the persistent disk cache.
-        Idempotent: entries without a delta pass through untouched.
+        Process-pool workers record metrics into *private* stores (their
+        own prefix cache's counters, their own registry); each evaluation
+        performed in a worker attaches the :class:`MetricsSnapshot` delta
+        it caused to the returned cache entry under the reserved
+        :data:`METRICS_DELTA_KEY`.  The engine routes every
+        worker-computed entry through here before caching it, so the
+        parent's :meth:`cache_info` reflects reuse that happened in the
+        workers — and the delta never leaks into the memoization LRU or
+        the persistent disk cache.  Idempotent: entries without a delta
+        pass through untouched.
         """
-        delta = entry.pop("_prefix_counter_delta", None)
+        delta = entry.pop(METRICS_DELTA_KEY, None)
         if delta:
-            counters = self._worker_prefix_counters
-            for name, value in delta.items():
-                counters[name] = counters.get(name, 0) + int(value)
+            self._worker_metrics.merge(delta)
         return entry
 
     def _memory_store(self, key: tuple, entry: dict) -> None:
@@ -477,19 +510,20 @@ class PipelineEvaluator:
             })
         if self._prefix_cache is not None:
             prefix = self._prefix_cache.info()
-            workers = self._worker_prefix_counters
+            workers = self._worker_metrics
             info.update({
-                "prefix_hits": prefix["hits"] + workers.get("hits", 0),
-                "prefix_misses": prefix["misses"] + workers.get("misses", 0),
+                "prefix_hits": prefix["hits"] + workers.get("prefix.hits"),
+                "prefix_misses": (prefix["misses"]
+                                  + workers.get("prefix.misses")),
                 "prefix_evictions": (prefix["evictions"]
-                                     + workers.get("evictions", 0)),
+                                     + workers.get("prefix.evictions")),
                 "prefix_entries": prefix["entries"],
                 "prefix_short_circuits": (
                     prefix["failed_short_circuits"]
-                    + workers.get("failed_short_circuits", 0)
+                    + workers.get("prefix.failed_short_circuits")
                 ),
                 "steps_reused": (prefix["steps_reused"]
-                                 + workers.get("steps_reused", 0)),
+                                 + workers.get("prefix.steps_reused")),
                 "bytes_held": prefix["bytes_held"],
                 "prefix_max_bytes": prefix["max_bytes"],
             })
@@ -519,6 +553,13 @@ class PipelineEvaluator:
         """
         X_train, y_train = self._training_subset(fidelity, pipeline)
 
+        # Tracing reuses the durations this method measures anyway: phase
+        # events are emitted from the wall-clock start plus the
+        # perf_counter-measured duration, so untraced runs pay nothing and
+        # traced runs pay only the JSONL append.
+        tracer = self._tracer
+        wall = time.time() if tracer is not None else 0.0
+
         # Prefix reuse applies only at full fidelity: a low-fidelity
         # training subset is derived from the *full* pipeline spec, so its
         # prefixes could only ever be re-hit by the exact same (spec,
@@ -529,6 +570,9 @@ class PipelineEvaluator:
             prep = self._prep_incremental(pipeline, fidelity, X_train, y_train)
         else:
             prep = self._prep_cold(pipeline, X_train, y_train)
+        if tracer is not None:
+            tracer.emit("prep", ts=wall, dur=prep["prep_time"],
+                        steps=len(pipeline), failed=prep["failed"])
         if prep["failed"]:
             return {"accuracy": 0.0, "prep_time": prep["prep_time"],
                     "train_time": 0.0, "failed": True}
@@ -544,6 +588,8 @@ class PipelineEvaluator:
         if X_valid_t is self.X_valid:
             X_valid_t = X_valid_t.copy()
 
+        if tracer is not None:
+            wall = time.time()
         train_start = time.perf_counter()
         model = self.model.clone()
         try:
@@ -556,6 +602,8 @@ class PipelineEvaluator:
             raise
         accuracy = accuracy_score(self.y_valid, predictions)
         train_time = time.perf_counter() - train_start
+        if tracer is not None:
+            tracer.emit("train", ts=wall, dur=train_time)
 
         return {"accuracy": accuracy, "prep_time": prep["prep_time"],
                 "train_time": train_time, "failed": False}
@@ -647,6 +695,13 @@ class PipelineEvaluator:
 
     def _make_record(self, pipeline: Pipeline, entry: dict, *, fidelity: float,
                      pick_time: float, iteration: int) -> TrialRecord:
+        # phase_timings is derived, in-memory-only telemetry: it never
+        # enters result comparison or checkpoint bytes unless telemetry is
+        # on (see serialization.trial_to_dict).
+        phase_timings = None
+        if self.telemetry_mode != "off":
+            phase_timings = {"pick": pick_time, "prep": entry["prep_time"],
+                             "train": entry["train_time"]}
         return TrialRecord(
             pipeline=pipeline,
             accuracy=entry["accuracy"],
@@ -655,6 +710,7 @@ class PipelineEvaluator:
             train_time=entry["train_time"],
             fidelity=fidelity,
             iteration=iteration,
+            phase_timings=phase_timings,
         )
 
     def record_from_entry(self, task, entry: dict) -> TrialRecord:

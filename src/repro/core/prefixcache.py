@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.telemetry.metrics import MetricSet, metric_property
 
 #: default budget used when a caller asks for "a" prefix cache without
 #: sizing it: 256 MiB, roughly a few thousand laptop-scale split copies
@@ -99,12 +100,9 @@ class PrefixTransformCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, PrefixEntry]" = OrderedDict()
         self.bytes_held = 0
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.steps_reused = 0
-        self.failed_short_circuits = 0
+        #: monotonic counters, telemetry-backed; the classic attribute
+        #: spellings (``cache.hits`` etc.) remain as properties below
+        self.metrics = MetricSet(self.COUNTER_NAMES)
 
     # ------------------------------------------------------------------- API
     @staticmethod
@@ -180,6 +178,13 @@ class PrefixTransformCache:
         "failed_short_circuits",
     )
 
+    hits = metric_property("hits")
+    misses = metric_property("misses")
+    insertions = metric_property("insertions")
+    evictions = metric_property("evictions")
+    steps_reused = metric_property("steps_reused")
+    failed_short_circuits = metric_property("failed_short_circuits")
+
     def counters(self) -> dict:
         """Snapshot of the monotonic counters (one consistent read).
 
@@ -189,14 +194,11 @@ class PrefixTransformCache:
         address spaces.
         """
         with self._lock:
-            return {name: getattr(self, name) for name in self.COUNTER_NAMES}
+            return self.metrics.snapshot()
 
     def counters_since(self, before: dict) -> dict:
         """Counter delta since a :meth:`counters` snapshot (non-zero only)."""
-        now = self.counters()
-        return {name: now[name] - before.get(name, 0)
-                for name in self.COUNTER_NAMES
-                if now[name] != before.get(name, 0)}
+        return self.counters().diff(before)
 
     def info(self) -> dict:
         """Counters for ``PipelineEvaluator.cache_info()`` and reports."""

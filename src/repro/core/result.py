@@ -36,6 +36,11 @@ class TrialRecord:
         evaluation; bandit-based algorithms use lower fidelities).
     iteration:
         Index of the framework iteration that produced this trial.
+    phase_timings:
+        Optional per-phase wall-clock dict (``{"pick", "prep", "train"}``)
+        populated only when telemetry is on.  Derived observability data:
+        it never participates in result equality across backends, and
+        checkpoints omit it when ``None``.
     """
 
     pipeline: Pipeline
@@ -45,6 +50,7 @@ class TrialRecord:
     train_time: float = 0.0
     fidelity: float = 1.0
     iteration: int = 0
+    phase_timings: dict | None = None
 
     @property
     def error(self) -> float:

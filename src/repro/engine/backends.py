@@ -256,7 +256,11 @@ def _evaluate_in_worker(pair):
     entry = dict(_WORKER_EVALUATOR._evaluate_uncached(pipeline, fidelity))
     delta = cache.counters_since(before)
     if delta:
-        entry["_prefix_counter_delta"] = delta
+        from repro.core.evaluation import METRICS_DELTA_KEY
+
+        entry[METRICS_DELTA_KEY] = {
+            f"prefix.{name}": value for name, value in delta.items()
+        }
     return entry
 
 

@@ -24,11 +24,13 @@ serial, thread and process backends produce bit-for-bit identical results.
 
 from __future__ import annotations
 
+import time
 import weakref
 
 from repro.core.result import TrialRecord
 from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.tasks import EvalTask
+from repro.telemetry.metrics import get_registry
 
 
 class PendingTask:
@@ -173,6 +175,11 @@ class ExecutionEngine:
 
         if pending:
             groups = list(pending.values())
+            tracer = getattr(evaluator, "tracer", None)
+            batch_wall = time.time() if tracer is not None else 0.0
+            batch_start = time.perf_counter()
+            inflight = get_registry().gauge("engine.inflight")
+            inflight.inc(len(groups))
             # Longest-processing-time-first dispatch: parallel waves finish
             # at the speed of their slowest member, so a long pipeline
             # landing last tail-blocks the whole batch.  Pipeline length is
@@ -189,10 +196,18 @@ class ExecutionEngine:
                 (tasks[groups[i][0]].pipeline, tasks[groups[i][0]].fidelity)
                 for i in order
             ]
-            dispatched = [
-                evaluator.absorb_worker_counters(entry)
-                for entry in self.backend.run_evaluations(evaluator, work)
-            ]
+            try:
+                dispatched = [
+                    evaluator.absorb_worker_counters(entry)
+                    for entry in self.backend.run_evaluations(evaluator, work)
+                ]
+            finally:
+                inflight.dec(len(groups))
+            if tracer is not None:
+                tracer.emit("engine.batch", ts=batch_wall,
+                            dur=time.perf_counter() - batch_start,
+                            tasks=len(tasks), dispatched=len(groups),
+                            backend=type(self.backend).__name__)
             entries: list = [None] * len(groups)
             for position, index in enumerate(order):
                 entries[index] = dispatched[position]
@@ -238,6 +253,9 @@ class ExecutionEngine:
         future = self.backend.submit_evaluation(
             evaluator, (task.pipeline, task.fidelity)
         )
+        # Only primaries count toward in-flight depth: aliases and
+        # cache-resolved tasks never dispatched work of their own.
+        get_registry().gauge("engine.inflight").inc()
         pending = PendingTask(task, key, future=future)
         if evaluator.cache_enabled:
             self._inflight[(id(evaluator), key)] = (weakref.ref(evaluator),
@@ -286,6 +304,7 @@ class ExecutionEngine:
                 entry = evaluator.absorb_worker_counters(
                     pending.future.result()
                 )
+                get_registry().gauge("engine.inflight").dec()
                 evaluator.n_evaluations += 1
                 evaluator.cache_store(pending.key, entry)
                 self._inflight.pop((id(evaluator), pending.key), None)
@@ -297,9 +316,12 @@ class ExecutionEngine:
         """Cancel a pending task if its work never ran; True on success."""
         if not pending.cancel():
             return False
-        if pending._primary is None and \
-                self._inflight_primary(evaluator, pending.key) is pending:
-            del self._inflight[(id(evaluator), pending.key)]
+        if pending._primary is None:
+            # A cancelled primary's dispatched work will never resolve:
+            # release its in-flight slot here instead.
+            get_registry().gauge("engine.inflight").dec()
+            if self._inflight_primary(evaluator, pending.key) is pending:
+                del self._inflight[(id(evaluator), pending.key)]
         return True
 
     def wait_any(self, pending) -> None:

@@ -49,6 +49,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.exceptions import ValidationError
+from repro.telemetry.metrics import MetricSet, metric_property
 
 #: cache-format version; bump to invalidate old on-disk layouts
 FORMAT_VERSION = 1
@@ -150,13 +151,23 @@ class PersistentEvalCache:
         #: O(shard size) once any eviction happened.  False positives just
         #: cost one wasted rescan.
         self._shard_filters: dict[int, bytearray] = {}
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        self.skipped_lines = 0
-        self.index_evictions = 0
-        self.rescans = 0
+        #: monotonic counters, telemetry-backed; the classic attribute
+        #: spellings (``cache.hits`` etc.) remain as properties below
+        self.metrics = MetricSet(self.COUNTER_NAMES)
         self._adopt_meta()
+
+    #: the monotonic counters this cache maintains
+    COUNTER_NAMES: tuple[str, ...] = (
+        "hits", "misses", "writes", "skipped_lines", "index_evictions",
+        "rescans",
+    )
+
+    hits = metric_property("hits")
+    misses = metric_property("misses")
+    writes = metric_property("writes")
+    skipped_lines = metric_property("skipped_lines")
+    index_evictions = metric_property("index_evictions")
+    rescans = metric_property("rescans")
 
     # ------------------------------------------------------------------ API
     def get(self, key: tuple) -> dict | None:
@@ -187,6 +198,13 @@ class PersistentEvalCache:
             self._ensure_shard(shard)
             if token in self._entries:
                 continue  # deterministic evaluations: re-writing is pure noise
+            # Underscore-prefixed entry keys are reserved for in-memory
+            # telemetry payloads (worker metric deltas, phase timings) and
+            # must never reach the append-log: a cache populated by a traced
+            # run has to stay byte-identical to one from an untraced run.
+            if any(name.startswith("_") for name in entry):
+                entry = {name: value for name, value in entry.items()
+                         if not name.startswith("_")}
             # A bounded index may have evicted this token even though the
             # entry is on disk; the resulting duplicate append is harmless
             # (last write wins, and compaction removes it).

@@ -64,8 +64,13 @@ def pipeline_from_dict(data: Mapping) -> Pipeline:
 
 
 def trial_to_dict(trial: TrialRecord) -> dict:
-    """JSON-serialisable description of one trial."""
-    return {
+    """JSON-serialisable description of one trial.
+
+    ``phase_timings`` — telemetry-only derived data — is included only
+    when present, so documents written by untraced runs stay
+    byte-identical to what earlier releases produced.
+    """
+    data = {
         "pipeline": pipeline_to_dict(trial.pipeline),
         "accuracy": trial.accuracy,
         "pick_time": trial.pick_time,
@@ -74,10 +79,14 @@ def trial_to_dict(trial: TrialRecord) -> dict:
         "fidelity": trial.fidelity,
         "iteration": trial.iteration,
     }
+    if trial.phase_timings is not None:
+        data["phase_timings"] = dict(trial.phase_timings)
+    return data
 
 
 def trial_from_dict(data: Mapping) -> TrialRecord:
     """Rebuild a trial from :func:`trial_to_dict` output."""
+    phase_timings = data.get("phase_timings")
     return TrialRecord(
         pipeline=pipeline_from_dict(data["pipeline"]),
         accuracy=float(data["accuracy"]),
@@ -86,6 +95,7 @@ def trial_from_dict(data: Mapping) -> TrialRecord:
         train_time=float(data.get("train_time", 0.0)),
         fidelity=float(data.get("fidelity", 1.0)),
         iteration=int(data.get("iteration", 0)),
+        phase_timings=dict(phase_timings) if phase_timings else None,
     )
 
 
@@ -165,11 +175,40 @@ def load_search_result(path) -> SearchResult:
 
 # ---------------------------------------------------- session checkpoints
 #: schema version of SearchSession checkpoint documents; newer documents
-#: are refused rather than misread (mirroring search-result handling)
-SESSION_CHECKPOINT_VERSION = 1
+#: are refused rather than misread (mirroring search-result handling).
+#: Version history:
+#:
+#: * 0 — pre-versioning documents (no ``format_version`` field)
+#: * 1 — versioned documents with ``driver``/``loop`` sections
+#: * 2 — the context dict carries ``telemetry_mode``/``telemetry_dir``
+SESSION_CHECKPOINT_VERSION = 2
 
 #: the ``kind`` marker distinguishing checkpoints from result documents
 SESSION_CHECKPOINT_KIND = "search-session-checkpoint"
+
+
+def _migrate_checkpoint_v0(document: dict) -> dict:
+    """v0 → v1: stamp the version and the sections v1 made mandatory."""
+    document.setdefault("driver", "sync")
+    document.setdefault("loop", {})
+    return document
+
+
+def _migrate_checkpoint_v1(document: dict) -> dict:
+    """v1 → v2: give the stored context its telemetry fields."""
+    context = document.get("context")
+    if isinstance(context, dict):
+        context.setdefault("telemetry_mode", "off")
+        context.setdefault("telemetry_dir", None)
+    return document
+
+
+#: migrations applied in sequence until a loaded document reaches
+#: :data:`SESSION_CHECKPOINT_VERSION`; each entry upgrades *from* its key
+_SESSION_CHECKPOINT_MIGRATIONS = {
+    0: _migrate_checkpoint_v0,
+    1: _migrate_checkpoint_v1,
+}
 
 
 def encode_state_blob(state) -> str:
@@ -230,11 +269,21 @@ def load_session_checkpoint(path) -> dict:
             f"{path} is not a search-session checkpoint document"
         )
     version = document.get("format_version")
-    if isinstance(version, int) and version > SESSION_CHECKPOINT_VERSION:
+    if not isinstance(version, int):
+        version = 0  # pre-versioning document
+    if version > SESSION_CHECKPOINT_VERSION:
         raise ValidationError(
             f"session checkpoint uses format version {version}; this build "
-            f"reads up to {SESSION_CHECKPOINT_VERSION}"
+            f"reads up to {SESSION_CHECKPOINT_VERSION} — load it with a "
+            f"newer release, or re-run the search to produce a fresh "
+            f"checkpoint"
         )
+    # Upgrade older documents in place, one version step at a time, so a
+    # single load path serves every format this build has ever written.
+    while version < SESSION_CHECKPOINT_VERSION:
+        document = _SESSION_CHECKPOINT_MIGRATIONS[version](document)
+        version += 1
+        document["format_version"] = version
     return document
 
 

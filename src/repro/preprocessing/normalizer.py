@@ -43,10 +43,15 @@ class Normalizer(Preprocessor):
             # Rescale each row by its max magnitude before squaring: tiny
             # rows would otherwise underflow to denormals in X*X and lose
             # the precision of the resulting norm (and huge rows overflow).
+            # Divide the *scaled* row by the *scaled* norm — multiplying the
+            # peak back in first would round the norm in the denormal range
+            # and destroy the precision the rescaling just bought.
             peak = np.abs(X).max(axis=1, keepdims=True)
             safe_peak = np.where(peak == 0.0, 1.0, peak)
             scaled = X / safe_peak
-            norms = safe_peak[:, 0] * np.sqrt((scaled * scaled).sum(axis=1))
+            norms = np.sqrt((scaled * scaled).sum(axis=1)).copy()
+            norms[norms == 0.0] = 1.0
+            return scaled / norms[:, np.newaxis]
         else:  # max
             norms = np.abs(X).max(axis=1)
         norms = norms.copy()

@@ -49,7 +49,11 @@ from repro.core.budget import Budget, TrialBudget
 from repro.core.result import SearchResult
 from repro.engine.engine import ExecutionEngine
 from repro.engine.tasks import EvalTask
+from repro.telemetry.metrics import get_registry
+from repro.utils.log import get_logger
 from repro.utils.random import check_random_state
+
+log = get_logger("search.async_driver")
 
 
 def fresh_loop_state() -> dict:
@@ -226,12 +230,19 @@ class AsyncSearchDriver:
                         # Still unadmittable: wait for more completions.
                     else:
                         iteration += 1
+                        tracer = getattr(evaluator, "tracer", None)
+                        pick_wall = time.time() if tracer is not None else 0.0
                         pick_start = time.perf_counter()
                         algorithm._update(result.trials, space, rng)
                         proposals = list(
                             algorithm._propose_batch(space, rng, result.trials)
                         )
                         pick_time = time.perf_counter() - pick_start
+                        if tracer is not None:
+                            tracer.emit("propose", ts=pick_wall, dur=pick_time,
+                                        algorithm=algorithm.name,
+                                        iteration=iteration,
+                                        proposals=len(proposals))
                         if not proposals and not inflight:
                             stalled += 1
                             if stalled >= 3:
@@ -339,17 +350,24 @@ class AsyncSearchDriver:
         completion.
         """
         algorithm = self.algorithm
+        refunded = 0
         while queue:
             _task, _key, charge = queue.popleft()
             budget.consume(-charge)
+            refunded += 1
         for pending, _key, charge in inflight:
             if engine.cancel_task(evaluator, pending):
                 budget.consume(-charge)
+                refunded += 1
             else:
                 record = engine.resolve_task(evaluator, pending)
                 result.add(record)
                 algorithm._observe(record)
         inflight.clear()
+        if refunded:
+            get_registry().counter("budget.refunded_trials").inc(refunded)
+            log.debug("refunded %d admitted-but-undispatched task(s)",
+                      refunded)
 
     def __repr__(self) -> str:
         return (f"AsyncSearchDriver({self.algorithm!r}, "

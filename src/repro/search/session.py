@@ -39,6 +39,7 @@ the trust model.  Checkpoints can also live inside a
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -50,6 +51,7 @@ from repro.core.result import SearchResult, TrialRecord
 from repro.engine.tasks import EvalTask
 from repro.exceptions import ValidationError
 from repro.io.serialization import (
+    atomic_write_text,
     decode_state_blob,
     encode_state_blob,
     load_session_checkpoint,
@@ -57,7 +59,13 @@ from repro.io.serialization import (
     trial_from_dict,
     trial_to_dict,
 )
+from repro.telemetry import HEARTBEAT_FILE_NAME
+from repro.telemetry.metrics import MetricsSnapshot, get_registry
+from repro.telemetry.tracing import make_tracer
+from repro.utils.log import get_logger
 from repro.utils.random import check_random_state
+
+log = get_logger("search.session")
 
 
 class SearchSession:
@@ -75,6 +83,13 @@ class SearchSession:
         Decides the driver (``async_mode``) and the default budget.
     on_trial / on_batch / on_checkpoint:
         Optional event callbacks (see the module docstring).
+    on_metrics:
+        Optional callback ``on_metrics(session, snapshot)`` fired after
+        every observed trial when the context's ``telemetry_mode`` is not
+        ``"off"``; ``snapshot`` is a
+        :class:`~repro.telemetry.metrics.MetricsSnapshot` combining the
+        process registry with the evaluator's cache counters (see
+        :meth:`metrics_snapshot`).
     checkpoint_path:
         Default path for :meth:`checkpoint` and automatic checkpoints.
     checkpoint_every:
@@ -84,7 +99,8 @@ class SearchSession:
 
     def __init__(self, problem, algorithm, context: ExecutionContext | None = None,
                  *, on_trial=None, on_batch=None, on_checkpoint=None,
-                 checkpoint_path=None, checkpoint_every: int | None = None) -> None:
+                 on_metrics=None, checkpoint_path=None,
+                 checkpoint_every: int | None = None) -> None:
         self.problem = problem
         self.algorithm = algorithm
         if context is None:
@@ -93,6 +109,12 @@ class SearchSession:
         self.on_trial = on_trial
         self.on_batch = on_batch
         self.on_checkpoint = on_checkpoint
+        self.on_metrics = on_metrics
+        #: the session's own handle on the trace sink (same JSONL file the
+        #: evaluator appends to — O_APPEND keeps concurrent writers safe);
+        #: None unless the context enables tracing
+        self._tracer = make_tracer(context.telemetry_mode,
+                                   context.telemetry_dir)
         self.checkpoint_path = None if checkpoint_path is None \
             else Path(checkpoint_path)
         if checkpoint_every is not None:
@@ -172,6 +194,9 @@ class SearchSession:
         self.stopped = False
         self._stop_request = False
         self._running = True
+        log.debug("run: algorithm=%s driver=%s budget=%r context=[%s]",
+                  self.algorithm.name, driver, self._budget,
+                  self.context.describe())
         try:
             if driver == "async":
                 self._run_async()
@@ -229,7 +254,8 @@ class SearchSession:
     def resume(cls, path, *, problem=None,
                context: ExecutionContext | None = None,
                on_trial=None, on_batch=None, on_checkpoint=None,
-               checkpoint_path=None, checkpoint_every: int | None = None,
+               on_metrics=None, checkpoint_path=None,
+               checkpoint_every: int | None = None,
                ) -> "SearchSession":
         """Restore a session from a checkpoint written by :meth:`checkpoint`.
 
@@ -268,7 +294,7 @@ class SearchSession:
             )
         session = cls(problem, algorithm, context=context,
                       on_trial=on_trial, on_batch=on_batch,
-                      on_checkpoint=on_checkpoint,
+                      on_checkpoint=on_checkpoint, on_metrics=on_metrics,
                       checkpoint_path=(checkpoint_path
                                        if checkpoint_path is not None
                                        else path),
@@ -328,12 +354,18 @@ class SearchSession:
             if self._stop_request:
                 return
             self._iteration += 1
+            pick_wall = time.time() if self._tracer is not None else 0.0
             pick_start = time.perf_counter()
             algorithm._update(self.result.trials, space, self._rng)
             proposals = list(
                 algorithm._propose_batch(space, self._rng, self.result.trials)
             )
             pick_time = time.perf_counter() - pick_start
+            if self._tracer is not None:
+                self._tracer.emit("propose", ts=pick_wall, dur=pick_time,
+                                  algorithm=algorithm.name,
+                                  iteration=self._iteration,
+                                  proposals=len(proposals))
 
             if not proposals:
                 self._stalled += 1
@@ -392,9 +424,14 @@ class SearchSession:
             self.on_batch(self, iteration, list(tasks))
         records = evaluator.evaluate_tasks(tasks, budget=budget)
         stopped = self._drain_records(records)
-        for task in tasks[len(records):]:
+        refunded = tasks[len(records):]
+        for task in refunded:
             # Admitted but never dispatched (time budget expired mid-batch).
             budget.consume(-task.fidelity)
+        if refunded:
+            get_registry().counter("budget.refunded_trials").inc(len(refunded))
+            log.debug("refunded %d undispatched task(s) after budget expiry",
+                      len(refunded))
         return stopped
 
     def _drain_records(self, records) -> bool:
@@ -470,6 +507,8 @@ class SearchSession:
         self._trials_since_checkpoint += 1
         if self.on_trial is not None:
             self.on_trial(self, record)
+        if self.context.telemetry_mode != "off":
+            self._emit_trial_telemetry(record)
         path = None
         if self._checkpoint_request is not None:
             path, self._checkpoint_request = self._checkpoint_request, None
@@ -486,6 +525,86 @@ class SearchSession:
         if path is not None:
             self._write_checkpoint(path, pending_records=pending_records,
                                    async_capture=async_capture)
+
+    # ------------------------------------------------------------ telemetry
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """One flat reading of everything observable about this run.
+
+        Combines the process-wide registry (engine in-flight depth, budget
+        refunds, ...) with the evaluator's per-instance cache counters,
+        namespaced ``evaluator.*`` / ``prefix.*``, plus the session's own
+        progress gauges.  This is the payload handed to ``on_metrics`` and
+        written to the heartbeat file.
+        """
+        snapshot = get_registry().snapshot()
+        evaluator = getattr(self.problem, "evaluator", None)
+        if evaluator is not None:
+            snapshot = snapshot.merge({
+                f"evaluator.{name}": value
+                for name, value in evaluator.metrics.snapshot().items()
+            })
+            if evaluator.prefix_cache is not None:
+                snapshot = snapshot.merge({
+                    f"prefix.{name}": value
+                    for name, value in evaluator.prefix_cache.counters().items()
+                })
+            snapshot = snapshot.merge(evaluator._worker_metrics.snapshot())
+        snapshot["session.trials"] = len(self.result)
+        snapshot["session.iteration"] = self._iteration
+        return snapshot
+
+    def _emit_trial_telemetry(self, record: TrialRecord) -> None:
+        """Per-trial observability: trial span, metrics event, heartbeat.
+
+        The ``trial`` trace event carries the algorithm attribution the
+        evaluator cannot know (workers see pipelines, not algorithms) and
+        the per-phase split ``repro trace summary`` aggregates into the
+        paper's Table-5 shape.  Purely observational: nothing here feeds
+        back into the search.
+        """
+        if self._tracer is not None:
+            self._tracer.emit(
+                "trial", ts=time.time() - record.total_time,
+                dur=record.total_time, algorithm=self.algorithm.name,
+                iteration=record.iteration, accuracy=record.accuracy,
+                fidelity=record.fidelity, pick=record.pick_time,
+                prep=record.prep_time, train=record.train_time,
+            )
+        snapshot = None
+        if self.on_metrics is not None:
+            snapshot = self.metrics_snapshot()
+            self.on_metrics(self, snapshot)
+        if self.context.telemetry_dir is not None:
+            if snapshot is None:
+                snapshot = self.metrics_snapshot()
+            self._write_heartbeat(snapshot)
+
+    def _write_heartbeat(self, snapshot: MetricsSnapshot) -> None:
+        """Atomically refresh the heartbeat file (progress + metrics).
+
+        Liveness-probe shaped: one small JSON document a supervisor (or a
+        human with ``watch cat``) can poll without touching the trace sink.
+        Atomic replace means a reader never sees a torn document.
+        """
+        heartbeat = {
+            "algorithm": self.algorithm.name,
+            "trials": len(self.result),
+            "iteration": self._iteration,
+            "best_accuracy": (self.result.best_accuracy
+                              if len(self.result) else None),
+            "budget_used": getattr(self._budget, "used", None),
+            "time": time.time(),
+            "metrics": snapshot.to_dict(),
+        }
+        try:
+            atomic_write_text(
+                Path(self.context.telemetry_dir) / HEARTBEAT_FILE_NAME,
+                json.dumps(heartbeat, indent=2, default=str),
+            )
+        except OSError as error:
+            # Telemetry must never kill a search: an unwritable heartbeat
+            # (full disk, revoked permissions) degrades to a log line.
+            log.warning("heartbeat write failed: %s", error)
 
     @staticmethod
     def _check_checkpointable(budget) -> None:
@@ -548,6 +667,8 @@ class SearchSession:
         }
         path = Path(path)
         save_session_checkpoint(document, path)
+        log.debug("checkpoint written: %s (%d trials)", path,
+                  len(self.result))
         self._trials_since_checkpoint = 0
         self.last_checkpoint_path = path
         if self.on_checkpoint is not None:

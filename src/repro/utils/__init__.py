@@ -1,5 +1,6 @@
-"""Shared utilities: validation helpers, RNG handling and reproducibility."""
+"""Shared utilities: validation helpers, RNG handling, logging."""
 
+from repro.utils.log import get_logger
 from repro.utils.random import check_random_state, spawn_rng
 from repro.utils.validation import (
     check_array,
@@ -15,4 +16,5 @@ __all__ = [
     "check_X_y",
     "check_is_fitted",
     "column_or_1d",
+    "get_logger",
 ]

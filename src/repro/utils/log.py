@@ -1,0 +1,50 @@
+"""Structured logging baseline: library loggers without import side effects.
+
+Library code must never call ``logging.basicConfig`` (that belongs to the
+application embedding it), yet unconfigured loggers print Python's
+"No handlers could be found" noise.  :func:`get_logger` threads that
+needle the stdlib-recommended way: every repro logger hangs off one
+``"repro"`` root carrying a :class:`logging.NullHandler`, so the library
+stays silent until the consumer attaches real handlers — and the
+``REPRO_LOG_LEVEL`` environment variable (``DEBUG``/``INFO``/...) sets
+the root level for quick field diagnostics without touching code.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> logging.Logger:
+    """Attach the NullHandler and the env-var level to the repro root once."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if not _configured:
+        if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+            root.addHandler(logging.NullHandler())
+        level = os.environ.get("REPRO_LOG_LEVEL", "").strip().upper()
+        if level:
+            try:
+                root.setLevel(level)
+            except ValueError:
+                pass  # a bad env value must not break library import paths
+        _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``).
+
+    Pass a module-ish suffix (``"search.session"``) or a full
+    ``repro.*`` name; either way the logger propagates to the ``repro``
+    root configured by :func:`_configure_root`, so one handler/level
+    choice by the embedding application governs the whole library.
+    """
+    _configure_root()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

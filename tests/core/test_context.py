@@ -40,6 +40,7 @@ class TestExecutionContext:
         assert context.build_engine() is None
         assert context.evaluator_options() == {
             "engine": None, "cache_dir": None, "prefix_cache_bytes": None,
+            "telemetry_mode": "off", "telemetry_dir": None,
         }
 
     def test_dict_round_trip(self):

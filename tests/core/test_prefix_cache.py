@@ -382,7 +382,7 @@ class TestWorkerCounterMergeBack:
         # The delta never leaks into cached entries or records.
         assert all(record.accuracy is not None for record in records)
         for entry in evaluator._cache.values():
-            assert "_prefix_counter_delta" not in entry
+            assert "_metrics_delta" not in entry
 
     def test_futures_path_merges_worker_deltas(self, data):
         from repro.engine import ExecutionEngine

@@ -39,7 +39,8 @@ SEARCHERS = [
 MATRIX_ALGORITHMS = ALL_ALGORITHM_NAMES + tuple(sorted(EXTENSION_ALGORITHM_CLASSES))
 
 
-def _make_problem(engine=None, prefix_cache_bytes=None):
+def _make_problem(engine=None, prefix_cache_bytes=None,
+                  telemetry_mode="off", telemetry_dir=None):
     from repro.core.context import ExecutionContext
 
     X, y = make_classification(n_samples=140, n_features=8, n_classes=2,
@@ -48,7 +49,9 @@ def _make_problem(engine=None, prefix_cache_bytes=None):
     problem = AutoFPProblem.from_arrays(
         X, y, LogisticRegression(max_iter=60), space=SearchSpace(max_length=3),
         random_state=0, name="determinism/lr",
-        context=ExecutionContext(prefix_cache_bytes=prefix_cache_bytes),
+        context=ExecutionContext(prefix_cache_bytes=prefix_cache_bytes,
+                                 telemetry_mode=telemetry_mode,
+                                 telemetry_dir=telemetry_dir),
     )
     problem.evaluator.set_engine(engine)
     return problem
@@ -341,3 +344,57 @@ class TestBatchedRandomSearchEquivalence:
         assert [t.pipeline.spec() for t in single.trials] == \
             [t.pipeline.spec() for t in batched.trials]
         assert batched.best_accuracy == single.best_accuracy
+
+
+#: (backend, n_workers, driver) cells of the telemetry matrix — the same
+#: configurations the prefix-cache matrix declares deterministic.
+TELEMETRY_CELLS = PREFIX_CACHE_CELLS
+
+
+class TestTelemetryDeterminism:
+    """Observability never observes itself into the results.
+
+    The telemetry tentpole's acceptance contract: a run with
+    ``telemetry_mode="trace"`` (full span sink + per-trial metrics) is
+    bit-for-bit identical to the same run with telemetry off, on every
+    backend and driver.  Spans time the phases, counters tally the
+    caches — nothing feeds back into proposal order, RNG consumption or
+    evaluation values.
+    """
+
+    def _run_pair(self, tmp_path, backend, n_workers, driver):
+        results = []
+        for mode, directory in (("off", None), ("trace", tmp_path)):
+            engine = None if backend is None else \
+                ExecutionEngine(backend, n_workers=n_workers)
+            searcher = make_search_algorithm("pbt", random_state=0)
+            result = searcher.search(
+                _make_problem(engine, telemetry_mode=mode,
+                              telemetry_dir=directory),
+                max_trials=12, driver=driver,
+            )
+            if engine is not None:
+                engine.close()
+            results.append(result)
+        return results
+
+    @pytest.mark.parametrize("backend,n_workers,driver", TELEMETRY_CELLS)
+    def test_trace_mode_bit_for_bit_identical_to_off(self, tmp_path, backend,
+                                                     n_workers, driver):
+        off, traced = self._run_pair(tmp_path, backend, n_workers, driver)
+        assert _trial_set(traced) == _trial_set(off)
+        assert traced.best_accuracy == off.best_accuracy
+        # The traced run really did trace: the sink holds a span per trial.
+        from repro.telemetry.tracing import read_trace
+
+        events = read_trace(tmp_path / "trace.jsonl")
+        assert sum(e["name"] == "trial" for e in events) == len(traced.trials)
+
+    def test_counters_mode_matches_off_serially(self):
+        off = make_search_algorithm("pbt", random_state=0).search(
+            _make_problem(None), max_trials=12
+        )
+        counted = make_search_algorithm("pbt", random_state=0).search(
+            _make_problem(None, telemetry_mode="counters"), max_trials=12
+        )
+        assert _trial_set(counted) == _trial_set(off)

@@ -1,0 +1,128 @@
+"""Session-checkpoint format migration: old documents load, newer refuse.
+
+Version history (see ``repro.io.serialization``): v0 documents predate
+the ``format_version`` stamp and the ``driver``/``loop`` sections; v1
+documents predate the context's telemetry fields.  Both must load
+through the migration shim and resume to the identical result a current
+checkpoint produces; documents from a *future* format must be refused
+with actionable guidance, never silently misread.
+"""
+
+import json
+
+import pytest
+
+from repro.core.problem import AutoFPProblem
+from repro.datasets.synthetic import distort_features, make_classification
+from repro.exceptions import ValidationError
+from repro.io.serialization import (
+    SESSION_CHECKPOINT_KIND,
+    SESSION_CHECKPOINT_VERSION,
+    load_session_checkpoint,
+    save_session_checkpoint,
+)
+from repro.search import SearchSession, make_search_algorithm
+
+
+def _problem():
+    X, y = make_classification(n_samples=120, n_features=6, n_classes=2,
+                               class_sep=2.0, random_state=3)
+    X = distort_features(X, random_state=3)
+    return AutoFPProblem.from_arrays(X, y, "lr", random_state=0)
+
+
+def _trials(result):
+    return [(t.pipeline.spec(), round(t.fidelity, 6), t.accuracy, t.iteration)
+            for t in result.trials]
+
+
+class TestDocumentMigration:
+    def _minimal(self, **overrides):
+        document = {"kind": SESSION_CHECKPOINT_KIND,
+                    "context": {"backend": "serial"}}
+        document.update(overrides)
+        return document
+
+    def test_v0_document_gains_every_later_section(self, tmp_path):
+        path = tmp_path / "v0.checkpoint"
+        document = self._minimal()  # no format_version at all
+        path.write_text(json.dumps(document))
+        loaded = load_session_checkpoint(path)
+        assert loaded["format_version"] == SESSION_CHECKPOINT_VERSION
+        assert loaded["driver"] == "sync"
+        assert loaded["loop"] == {}
+        assert loaded["context"]["telemetry_mode"] == "off"
+        assert loaded["context"]["telemetry_dir"] is None
+
+    def test_v1_document_gains_telemetry_fields_only(self, tmp_path):
+        path = tmp_path / "v1.checkpoint"
+        document = self._minimal(format_version=1, driver="async",
+                                 loop={"queued": []})
+        path.write_text(json.dumps(document))
+        loaded = load_session_checkpoint(path)
+        assert loaded["format_version"] == SESSION_CHECKPOINT_VERSION
+        assert loaded["driver"] == "async"  # v0 migration did not run
+        assert loaded["loop"] == {"queued": []}
+        assert loaded["context"]["telemetry_mode"] == "off"
+
+    def test_migration_preserves_explicit_values(self, tmp_path):
+        path = tmp_path / "explicit.checkpoint"
+        document = self._minimal(format_version=1)
+        document["context"] = {"telemetry_mode": "counters",
+                               "telemetry_dir": "/tmp/t"}
+        path.write_text(json.dumps(document))
+        loaded = load_session_checkpoint(path)
+        assert loaded["context"]["telemetry_mode"] == "counters"
+        assert loaded["context"]["telemetry_dir"] == "/tmp/t"
+
+    def test_future_version_is_refused_with_guidance(self, tmp_path):
+        path = tmp_path / "future.checkpoint"
+        document = self._minimal(format_version=SESSION_CHECKPOINT_VERSION + 1)
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValidationError, match="newer release"):
+            load_session_checkpoint(path)
+
+    def test_save_stamps_the_current_version(self, tmp_path):
+        path = save_session_checkpoint({"context": {}},
+                                       tmp_path / "fresh.checkpoint")
+        raw = json.loads(path.read_text())
+        assert raw["format_version"] == SESSION_CHECKPOINT_VERSION
+        assert raw["kind"] == SESSION_CHECKPOINT_KIND
+
+
+class TestEndToEndResumeFromOlderFormats:
+    """A real checkpoint, downgraded on disk, still resumes bit-for-bit."""
+
+    def _interrupted_checkpoint(self, tmp_path):
+        path = tmp_path / "run.checkpoint"
+        session = SearchSession(
+            _problem(), make_search_algorithm("tpe", random_state=0),
+            on_trial=lambda s, r: s.stop() if len(s.result) == 4 else None,
+        )
+        session.run(max_trials=10)
+        session.checkpoint(path)
+        reference = SearchSession(
+            _problem(), make_search_algorithm("tpe", random_state=0)
+        ).run(max_trials=10)
+        return path, reference
+
+    def _downgrade(self, path, version):
+        document = json.loads(path.read_text())
+        document["format_version"] = version
+        if version < 2:
+            document["context"].pop("telemetry_mode", None)
+            document["context"].pop("telemetry_dir", None)
+        if version < 1:
+            document.pop("format_version")
+            document.pop("driver", None)
+            document.pop("loop", None)
+        path.write_text(json.dumps(document))
+
+    @pytest.mark.parametrize("version", [0, 1])
+    def test_downgraded_checkpoint_finishes_identically(self, tmp_path,
+                                                        version):
+        path, reference = self._interrupted_checkpoint(tmp_path)
+        self._downgrade(path, version)
+        resumed = SearchSession.resume(path, problem=_problem())
+        assert len(resumed.result) == 4
+        assert _trials(resumed.run()) == _trials(reference)
