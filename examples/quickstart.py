@@ -193,6 +193,25 @@ def main() -> None:
           f"{overall['train_pct']:.0f}% of trial time over "
           f"{len(traced)} trials (the paper's Table-5 shape)")
 
+    # 9. Keeping the contracts.  Everything above leans on invariants the
+    #    code can silently lose: seeded generators threaded as parameters
+    #    (else resume stops being bit-for-bit), copy-on-write transforms
+    #    (else the prefix cache hands out corrupted arrays), MetricSet
+    #    counters (else telemetry goes blind), atomic writes (else a
+    #    killed run poisons its own checkpoint).  `repro lint` is an AST
+    #    pass that enforces them statically:
+    #      RPR001 determinism   RPR002 copy-on-write  RPR003 counter dicts
+    #      RPR004 silent except RPR005 lock discipline
+    #      RPR006 atomic writes RPR007 explicit encoding
+    #    Run `repro lint src/repro tests` (or `--json` in CI); suppress a
+    #    justified exception inline with `# repro: lint-ignore[RPR001]`.
+    from repro.lint import lint_paths
+    repo_root = Path(__file__).resolve().parents[1]
+    report = lint_paths([repo_root / "src" / "repro"])
+    print(f"\n[lint] {report.files_checked} library files, "
+          f"{len(report.findings)} findings -> "
+          f"{'clean' if report.clean else 'VIOLATIONS'}")
+
 
 if __name__ == "__main__":
     main()

@@ -20,7 +20,11 @@ driven without writing Python:
 * ``python -m repro metafeatures`` — print the 40 meta-features of a dataset,
 * ``python -m repro trace`` — summarize (``summary``, the paper's Table-5
   per-phase breakdown) or export (``export --chrome``) the telemetry trace
-  a ``--telemetry trace --telemetry-dir DIR`` run wrote.
+  a ``--telemetry trace --telemetry-dir DIR`` run wrote,
+* ``python -m repro lint`` — run the AST contract checks (determinism,
+  copy-on-write, telemetry counters, atomic IO, ... — the ``RPRxxx``
+  rules, see ``repro lint --list-rules``) over source trees; ``--json``
+  emits the machine-readable report CI archives.
 
 Runtime configuration resolves into one
 :class:`~repro.core.context.ExecutionContext` per invocation, layered as
@@ -217,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="N",
                                  help="how many most-recently-used "
                                       "fingerprints to keep")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro static-analysis contract checks (RPR rules)")
+    lint.add_argument("paths", nargs="*", default=["src/repro", "tests"],
+                      metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src/repro tests)")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(default: every registered rule)")
+    lint.add_argument("--json", dest="as_json", action="store_true",
+                      help="emit the version-stamped JSON report instead "
+                           "of text")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="write the report to FILE (atomically) instead "
+                           "of stdout")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue (id, title, "
+                           "rationale) and exit")
 
     metafeatures = subparsers.add_parser(
         "metafeatures", help="print the 40 meta-features of a dataset")
@@ -625,6 +649,56 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        describe_rules,
+        lint_paths,
+        make_rules,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        out.write(describe_rules(make_rules()))
+        return 0
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",")
+                    if part.strip()]
+        make_rules(rule_ids)  # validate ids before walking anything
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        out.write("error: no such lint target(s): "
+                  + ", ".join(missing) + "\n")
+        return 2
+
+    report = lint_paths(args.paths, rules=rule_ids)
+    if args.as_json:
+        document = render_json(report)
+        if args.output:
+            from repro.io.serialization import atomic_write_text
+
+            path = atomic_write_text(args.output, document)
+            out.write(f"wrote {len(report.findings)} finding(s) to {path}\n")
+        else:
+            out.write(document)
+    else:
+        if args.output:
+            import io
+
+            buffer = io.StringIO()
+            render_text(report, buffer)
+            from repro.io.serialization import atomic_write_text
+
+            path = atomic_write_text(args.output, buffer.getvalue())
+            out.write(f"wrote {len(report.findings)} finding(s) to {path}\n")
+        else:
+            render_text(report, out)
+    return 0 if report.clean else 1
+
+
 def _cmd_metafeatures(args, out) -> int:
     from repro.datasets import load_dataset
     from repro.metafeatures import compute_metafeatures
@@ -645,6 +719,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "evalcache": _cmd_evalcache,
+    "lint": _cmd_lint,
     "metafeatures": _cmd_metafeatures,
     "trace": _cmd_trace,
 }

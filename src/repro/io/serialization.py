@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import base64
 import csv
+import io
 import json
 import os
 import pickle
@@ -298,14 +299,14 @@ def write_rows_csv(rows: Sequence[Mapping], path, *,
     if not rows:
         raise ValidationError("write_rows_csv needs at least one row")
     names = list(fieldnames) if fieldnames is not None else list(rows[0].keys())
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=names)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow({name: row.get(name, "") for name in names})
-    return path
+    # Render in memory and go through the atomic writer: summary CSVs sit
+    # in result roots that dashboards read while experiments still run.
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=names)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({name: row.get(name, "") for name in names})
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def read_rows_csv(path) -> list[dict]:

@@ -1,0 +1,69 @@
+"""repro.lint — AST static analysis enforcing the reproduction's contracts.
+
+A zero-dependency lint pass with project-specific rules (``RPR001`` …
+``RPR007``) covering the invariants the runtime test matrices enforce
+the expensive way: determinism, copy-on-write transform inputs,
+centralized telemetry counters, no silent excepts, lock discipline,
+atomic writes and explicit text encodings.  See
+:mod:`repro.lint.rules` for the rule catalogue and
+:mod:`repro.lint.core` for the framework (registry, single-parse
+dispatch, ``# repro: lint-ignore[...]`` pragmas, per-path profiles).
+
+Programmatic use::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src/repro", "tests"])
+    assert report.clean, [f.message for f in report.findings]
+
+Command line::
+
+    python -m repro lint src tests --json
+"""
+
+from repro.lint.core import (
+    DEFAULT_PROFILES,
+    PARSE_ERROR_RULE,
+    FileContext,
+    LintFinding,
+    LintReport,
+    Rule,
+    RuleProfile,
+    all_rule_ids,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    make_rules,
+    register_rule,
+    rule_class,
+)
+from repro.lint import rules as _rules  # noqa: F401  (registers RPR001-007)
+from repro.lint.reporting import (
+    JSON_SCHEMA_VERSION,
+    describe_rules,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "JSON_SCHEMA_VERSION",
+    "PARSE_ERROR_RULE",
+    "FileContext",
+    "LintFinding",
+    "LintReport",
+    "Rule",
+    "RuleProfile",
+    "all_rule_ids",
+    "describe_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "make_rules",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_class",
+]

@@ -1,0 +1,44 @@
+"""Reporters: render a :class:`~repro.lint.core.LintReport` for humans or CI.
+
+The text reporter prints one ``path:line:col RPRxxx message`` line per
+finding (clickable in editors and CI logs) plus a per-rule tally; the
+JSON reporter emits a stable, version-stamped document that CI uploads
+as an artifact and that tooling can diff across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: bump when the ``--json`` document shape changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report, out) -> None:
+    """Write the human-readable report to the ``out`` stream."""
+    for finding in report.findings:
+        out.write(f"{finding.path}:{finding.line}:{finding.col} "
+                  f"{finding.rule} {finding.message}\n")
+        if finding.snippet:
+            out.write(f"    {finding.snippet}\n")
+    if report.clean:
+        out.write(f"clean: {report.files_checked} file(s), 0 findings\n")
+        return
+    tally = ", ".join(f"{rule} x{count}"
+                      for rule, count in report.counts().items())
+    out.write(f"\n{len(report.findings)} finding(s) in "
+              f"{report.files_checked} file(s) checked ({tally})\n")
+
+
+def render_json(report) -> str:
+    """The ``--json`` document (text, trailing newline included)."""
+    return json.dumps(report.to_dict(), indent=2) + "\n"
+
+
+def describe_rules(rules) -> str:
+    """A ``--list-rules`` table of id, title and rationale."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines) + "\n"

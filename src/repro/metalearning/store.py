@@ -139,10 +139,17 @@ class MetaKnowledgeStore:
 
     # ---------------------------------------------------------- persistence
     def save(self, path) -> None:
-        """Serialise the store to a JSON file."""
+        """Serialise the store to a JSON file (atomically).
+
+        At service scale the store is shared training data: a crash
+        mid-save must leave the previous complete document, not a torn
+        one that poisons every later warm start.
+        """
+        from repro.io.serialization import atomic_write_text
+
         payload = {"metafeature_names": list(METAFEATURE_NAMES),
                    "tasks": [task.to_dict() for task in self.tasks]}
-        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2))
 
     @classmethod
     def load(cls, path) -> "MetaKnowledgeStore":

@@ -18,6 +18,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.problem import AutoFPProblem
 from repro.core.result import SearchResult
 from repro.core.search_space import SearchSpace
+from repro.exceptions import SearchSpaceError
 from repro.metalearning.store import MetaKnowledgeStore
 from repro.search.base import SearchAlgorithm
 
@@ -70,7 +71,9 @@ class WarmStartedSearch(SearchAlgorithm):
         for pipeline in self.warm_pipelines_:
             try:
                 problem.space.indices_of(pipeline)
-            except Exception:
+            except SearchSpaceError:
+                # A prior task's pipeline may use preprocessors this
+                # problem's space does not offer; skipping it is the point.
                 continue
             if len(pipeline) <= problem.space.max_length:
                 usable.append(pipeline)

@@ -307,8 +307,10 @@ class SearchSession:
         rng = blob.get("rng")
         if rng is None:
             # Older checkpoints carried only the JSON state (safe for every
-            # algorithm that does not alias the session generator).
-            rng = np.random.default_rng()
+            # algorithm that does not alias the session generator).  The
+            # fresh generator is a shell: its state is overwritten from the
+            # checkpoint on the next line, so resume stays bit-for-bit.
+            rng = np.random.default_rng()  # repro: lint-ignore[RPR001]
             rng.bit_generator.state = document["rng_state"]
         session._rng = rng
         loop = document.get("loop") or {}

@@ -23,7 +23,9 @@ def check_random_state(random_state=None) -> np.random.Generator:
         existing ``numpy.random.Generator`` (returned unchanged).
     """
     if random_state is None:
-        return np.random.default_rng()
+        # The designated construction site for "no seed requested":
+        # callers asked for fresh entropy explicitly by passing None.
+        return np.random.default_rng()  # repro: lint-ignore[RPR001]
     if isinstance(random_state, (int, np.integer)):
         return np.random.default_rng(int(random_state))
     if isinstance(random_state, np.random.Generator):

@@ -85,7 +85,7 @@ class TestSearchCommand:
         assert code == 0
         assert "best pipeline" in output
         assert output_path.exists()
-        data = json.loads(output_path.read_text())
+        data = json.loads(output_path.read_text(encoding="utf-8"))
         assert data["algorithm"] == "rs"
         assert len(data["trials"]) == 8
 
@@ -345,7 +345,7 @@ class TestCheckpointResumeOptions:
         import json
 
         context_file = tmp_path / "run-context.json"
-        context_file.write_text(json.dumps({"n_jobs": 2, "backend": "thread"}))
+        context_file.write_text(json.dumps({"n_jobs": 2, "backend": "thread"}), encoding="utf-8")
         code, output = run_cli(
             "search", "--dataset", "blood", "--algorithm", "rs",
             "--max-trials", "5", "--scale", "0.5",

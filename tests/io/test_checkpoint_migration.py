@@ -46,7 +46,7 @@ class TestDocumentMigration:
     def test_v0_document_gains_every_later_section(self, tmp_path):
         path = tmp_path / "v0.checkpoint"
         document = self._minimal()  # no format_version at all
-        path.write_text(json.dumps(document))
+        path.write_text(json.dumps(document), encoding="utf-8")
         loaded = load_session_checkpoint(path)
         assert loaded["format_version"] == SESSION_CHECKPOINT_VERSION
         assert loaded["driver"] == "sync"
@@ -58,7 +58,7 @@ class TestDocumentMigration:
         path = tmp_path / "v1.checkpoint"
         document = self._minimal(format_version=1, driver="async",
                                  loop={"queued": []})
-        path.write_text(json.dumps(document))
+        path.write_text(json.dumps(document), encoding="utf-8")
         loaded = load_session_checkpoint(path)
         assert loaded["format_version"] == SESSION_CHECKPOINT_VERSION
         assert loaded["driver"] == "async"  # v0 migration did not run
@@ -70,7 +70,7 @@ class TestDocumentMigration:
         document = self._minimal(format_version=1)
         document["context"] = {"telemetry_mode": "counters",
                                "telemetry_dir": "/tmp/t"}
-        path.write_text(json.dumps(document))
+        path.write_text(json.dumps(document), encoding="utf-8")
         loaded = load_session_checkpoint(path)
         assert loaded["context"]["telemetry_mode"] == "counters"
         assert loaded["context"]["telemetry_dir"] == "/tmp/t"
@@ -78,14 +78,14 @@ class TestDocumentMigration:
     def test_future_version_is_refused_with_guidance(self, tmp_path):
         path = tmp_path / "future.checkpoint"
         document = self._minimal(format_version=SESSION_CHECKPOINT_VERSION + 1)
-        path.write_text(json.dumps(document))
+        path.write_text(json.dumps(document), encoding="utf-8")
         with pytest.raises(ValidationError, match="newer release"):
             load_session_checkpoint(path)
 
     def test_save_stamps_the_current_version(self, tmp_path):
         path = save_session_checkpoint({"context": {}},
                                        tmp_path / "fresh.checkpoint")
-        raw = json.loads(path.read_text())
+        raw = json.loads(path.read_text(encoding="utf-8"))
         assert raw["format_version"] == SESSION_CHECKPOINT_VERSION
         assert raw["kind"] == SESSION_CHECKPOINT_KIND
 
@@ -107,7 +107,7 @@ class TestEndToEndResumeFromOlderFormats:
         return path, reference
 
     def _downgrade(self, path, version):
-        document = json.loads(path.read_text())
+        document = json.loads(path.read_text(encoding="utf-8"))
         document["format_version"] = version
         if version < 2:
             document["context"].pop("telemetry_mode", None)
@@ -116,7 +116,7 @@ class TestEndToEndResumeFromOlderFormats:
             document.pop("format_version")
             document.pop("driver", None)
             document.pop("loop", None)
-        path.write_text(json.dumps(document))
+        path.write_text(json.dumps(document), encoding="utf-8")
 
     @pytest.mark.parametrize("version", [0, 1])
     def test_downgraded_checkpoint_finishes_identically(self, tmp_path,

@@ -121,7 +121,7 @@ class TestPersistentEvalCache:
     def test_meta_file_written_once(self, tmp_path):
         cache = PersistentEvalCache(tmp_path, fingerprint=FP)
         cache.put(_key("a"), _entry(0.5))
-        meta = json.loads((tmp_path / FP / "meta.json").read_text())
+        meta = json.loads((tmp_path / FP / "meta.json").read_text(encoding="utf-8"))
         assert meta["fingerprint"] == FP
         assert meta["n_shards"] == cache.n_shards
 
@@ -140,20 +140,20 @@ class TestPersistentEvalCache:
         cache = PersistentEvalCache(tmp_path, fingerprint=FP)
         cache.put(_key("a"), _entry(0.5))
         meta_path = tmp_path / FP / "meta.json"
-        meta = json.loads(meta_path.read_text())
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
         meta["format_version"] = 999
-        meta_path.write_text(json.dumps(meta))
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
         with pytest.raises(ValidationError):
             PersistentEvalCache(tmp_path, fingerprint=FP)
 
     def test_corrupt_meta_falls_back_to_arguments(self, tmp_path):
         (tmp_path / FP).mkdir(parents=True)
-        (tmp_path / FP / "meta.json").write_text("not json{")
+        (tmp_path / FP / "meta.json").write_text("not json{", encoding="utf-8")
         cache = PersistentEvalCache(tmp_path, fingerprint=FP, n_shards=4)
         assert cache.n_shards == 4
         cache.put(_key("a"), _entry(0.5))  # self-heals the meta file
         assert json.loads(
-            (tmp_path / FP / "meta.json").read_text())["n_shards"] == 4
+            (tmp_path / FP / "meta.json").read_text(encoding="utf-8"))["n_shards"] == 4
 
     def test_validation(self, tmp_path):
         with pytest.raises(ValidationError):

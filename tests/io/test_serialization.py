@@ -140,7 +140,7 @@ class TestCSVRoundTrip:
     def test_explicit_fieldnames_control_column_order(self, tmp_path):
         rows = [{"b": 2, "a": 1}]
         path = write_rows_csv(rows, tmp_path / "ordered.csv", fieldnames=["a", "b"])
-        header = path.read_text().splitlines()[0]
+        header = path.read_text(encoding="utf-8").splitlines()[0]
         assert header == "a,b"
 
     def test_missing_keys_become_none_on_read(self, tmp_path):

@@ -1,0 +1,32 @@
+# Intentionally violating fixture for RPR001 (determinism).
+# This directory is skipped by the shipped lint profiles; tests feed these
+# files through lint_source under library-like fake paths.
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stdlib_module_function():
+    return random.random()  # global stdlib RNG
+
+
+def stdlib_shuffle(items):
+    random.shuffle(items)  # global stdlib RNG
+
+
+def argless_stdlib_random_class():
+    return random.Random()  # unseeded
+
+
+def numpy_global_state():
+    np.random.seed(0)  # hidden module-global state
+    return np.random.rand(3)  # hidden module-global state
+
+
+def argless_default_rng():
+    return np.random.default_rng()  # unseeded
+
+
+def argless_imported_default_rng():
+    return default_rng()  # unseeded

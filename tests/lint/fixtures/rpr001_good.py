@@ -1,0 +1,30 @@
+# Compliant counterpart for RPR001: randomness threaded as seeded
+# numpy Generators, the project convention.
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_imported(seed: int):
+    return default_rng(seed)
+
+
+def seeded_stdlib_class(seed: int):
+    # A *seeded* stdlib Random is deterministic (still unidiomatic here,
+    # but not a determinism violation).
+    return random.Random(seed)
+
+
+def generator_methods(rng: np.random.Generator):
+    # Methods on a threaded Generator instance are the convention.
+    return rng.integers(0, 10) + rng.random()
+
+
+def spawned(rng: np.random.Generator):
+    seeds = rng.integers(0, 2**32 - 1, size=4)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,28 @@
+# Intentionally violating fixture for RPR002 (copy-on-write discipline).
+# Linted under a fake repro/preprocessing/ path so the rule applies.
+import numpy as np
+
+
+def augmented_assignment(X):
+    X -= X.mean(axis=0)  # mutates the caller's (possibly cached) array
+    return X
+
+
+def subscript_store(X, fill):
+    X[:, 0] = fill  # mutates in place
+    return X
+
+
+def mutating_method(X):
+    X.sort()  # ndarray.sort is in-place
+    return X
+
+
+def fill_method(X):
+    X.fill(0.0)  # in-place
+    return X
+
+
+def out_kwarg(X, lo, hi):
+    np.clip(X, lo, hi, out=X)  # writes the result into the parameter
+    return X

@@ -1,0 +1,26 @@
+# Compliant counterpart for RPR002: operate on copies, bind return values.
+import numpy as np
+
+
+def copy_then_mutate(X):
+    out = X.astype(np.float64, copy=True)
+    out -= out.mean(axis=0)  # the copy is ours to mutate
+    return out
+
+
+def rebound_parameter(X):
+    X = X.copy()
+    X[:, 0] = 0.0  # rebinding makes X a local copy
+    return X
+
+
+def copying_variants(X, lo, hi):
+    clipped = np.clip(X, lo, hi)  # no out=: allocates a result
+    ordered = np.sort(X, axis=0)  # np.sort copies; X.sort() would not
+    return clipped, ordered
+
+
+def local_sort():
+    scores = [3, 1, 2]
+    scores.sort()  # a local list, not a parameter
+    return scores

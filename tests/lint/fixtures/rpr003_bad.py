@@ -1,0 +1,7 @@
+# Intentionally violating fixture for RPR003 (no private counter dicts).
+
+
+class CacheWithPrivateCounters:
+    def __init__(self) -> None:
+        self._counters = {"hits": 0, "misses": 0}  # ad-hoc counter store
+        self.op_counter: dict = dict()  # same smell, dict() spelling

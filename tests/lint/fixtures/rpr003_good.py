@@ -1,0 +1,14 @@
+# Compliant counterpart for RPR003: counters live on a MetricSet.
+from repro.telemetry.metrics import MetricSet, metric_property
+
+
+class CacheWithMetricSet:
+    COUNTER_NAMES = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.metrics = MetricSet(self.COUNTER_NAMES)
+        # Unrelated dict state is fine; only counter-named dicts are flagged.
+        self._entries: dict = {}
+
+    hits = metric_property("hits")
+    misses = metric_property("misses")

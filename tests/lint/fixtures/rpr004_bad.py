@@ -1,0 +1,25 @@
+# Intentionally violating fixture for RPR004 (no bare/silent excepts).
+
+
+def bare_except(load):
+    try:
+        return load()
+    except:  # catches KeyboardInterrupt/SystemExit too
+        return None
+
+
+def silent_broad_except(load):
+    try:
+        return load()
+    except Exception:
+        pass
+
+
+def silent_broad_continue(items, load):
+    results = []
+    for item in items:
+        try:
+            results.append(load(item))
+        except Exception:
+            continue
+    return results

@@ -1,0 +1,28 @@
+# Compliant counterpart for RPR004: narrow types, observable handlers.
+
+
+def narrow_silent_filter(items, parse):
+    # Narrow exception + skip is a deliberate, reviewable filter.
+    results = []
+    for item in items:
+        try:
+            results.append(parse(item))
+        except ValueError:
+            continue
+    return results
+
+
+def broad_but_observable(load, fallback, log):
+    try:
+        return load()
+    except Exception as error:
+        # Broad is acceptable when the handler *does* something.
+        log.warning("load failed, using fallback: %s", error)
+        return fallback()
+
+
+def broad_reraise(load):
+    try:
+        return load()
+    except Exception as error:
+        raise RuntimeError("load failed") from error

@@ -1,0 +1,25 @@
+# Intentionally violating fixture for RPR005 (lock discipline).
+import threading
+
+
+class RacyCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+        self.hits = 0
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1  # mutation outside the lock: torn counter
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value  # mutation outside the lock entirely
+
+    def reset(self) -> None:
+        try:
+            self.hits = 0  # still unlocked, even nested in try/if blocks
+        finally:
+            pass

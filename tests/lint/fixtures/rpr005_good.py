@@ -1,0 +1,31 @@
+# Compliant counterpart for RPR005: every shared mutation holds the lock.
+import threading
+
+
+class LockedCache:
+    def __init__(self) -> None:
+        # __init__ runs before the object is shared: exempt.
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+        self.hits = 0
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def __setstate__(self, state) -> None:
+        # Unpickling constructs a fresh, unshared object: exempt.
+        self._lock = threading.Lock()
+        self._entries = dict(state)
+        self.hits = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._entries)

@@ -1,0 +1,22 @@
+# Intentionally violating fixture for RPR006 (atomic writes).
+import json
+from pathlib import Path
+
+
+def raw_write(path, text):
+    with open(path, "w", encoding="utf-8") as handle:  # torn on crash
+        handle.write(text)
+
+
+def raw_path_open(path: Path, rows):
+    with path.open("w", encoding="utf-8") as handle:
+        handle.writelines(rows)
+
+
+def raw_write_text(path: Path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def exclusive_create(path):
+    with open(path, "x", encoding="utf-8") as handle:
+        handle.write("claimed")

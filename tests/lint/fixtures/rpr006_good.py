@@ -1,0 +1,27 @@
+# Compliant counterpart for RPR006: atomic replace or O_APPEND sinks.
+import json
+import os
+from pathlib import Path
+
+from repro.io.serialization import atomic_write_text
+
+
+def atomic_document(path, payload):
+    # Temp file + os.replace: readers see old or new, never torn.
+    atomic_write_text(path, json.dumps(payload, indent=2))
+
+
+def append_only_log(path: Path, line: str):
+    # Appends of one short line are the torn-line-tolerant log contract.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def fd_append_sink(path):
+    # O_APPEND file descriptors are the other sanctioned sink shape.
+    return os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+
+def reading_is_unrestricted(path: Path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()

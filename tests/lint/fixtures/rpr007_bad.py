@@ -1,0 +1,25 @@
+# Intentionally violating fixture for RPR007 (explicit encodings).
+import os
+from pathlib import Path
+
+
+def builtin_open_read(path):
+    with open(path) as handle:  # locale-dependent decode
+        return handle.read()
+
+
+def path_open_append(path: Path):
+    with path.open("a") as handle:
+        handle.write("x\n")
+
+
+def path_read_text(path: Path):
+    return path.read_text()
+
+
+def path_write_text(path: Path, text):
+    path.write_text(text)
+
+
+def fd_wrap(descriptor):
+    return os.fdopen(descriptor, "r")

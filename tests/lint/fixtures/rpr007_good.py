@@ -1,0 +1,26 @@
+# Compliant counterpart for RPR007: binary mode, or explicit UTF-8.
+import os
+from pathlib import Path
+
+
+def explicit_keyword(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def explicit_positional(path: Path):
+    # Path.read_text's first positional parameter *is* encoding.
+    return path.read_text("utf-8")
+
+
+def explicit_write(path: Path, text):
+    path.write_text(text, encoding="utf-8")
+
+
+def binary_mode_needs_no_encoding(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def fd_wrap(descriptor):
+    return os.fdopen(descriptor, "w", encoding="utf-8")

@@ -1,0 +1,82 @@
+"""CLI contract for ``repro lint``: exit codes, --json, --rules, --output."""
+
+import io
+import json
+
+from repro.cli import main
+
+DIRTY = (
+    "def dump(p, x):\n"
+    "    with open(p, \"w\") as h:\n"
+    "        h.write(x)\n"
+)
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+def make_tree(tmp_path, *, dirty: bool):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    target = tmp_path / ("dirty.py" if dirty else "clean.py")
+    target.write_text(DIRTY if dirty else "x = 1\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        code, output = run_cli("lint", str(make_tree(tmp_path, dirty=False)))
+        assert code == 0
+        assert "clean" in output
+
+    def test_findings_exit_one(self, tmp_path):
+        code, output = run_cli("lint", str(make_tree(tmp_path, dirty=True)))
+        assert code == 1
+        assert "RPR006" in output and "RPR007" in output
+
+    def test_missing_path_exits_two(self, tmp_path):
+        code, output = run_cli("lint", str(tmp_path / "no-such-dir"))
+        assert code == 2
+        assert "no such lint target" in output
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        code, output = run_cli("lint", "--rules", "RPR999",
+                               str(make_tree(tmp_path, dirty=False)))
+        assert code == 2
+        assert "unknown lint rule" in output
+
+
+class TestOptions:
+    def test_json_document_on_stdout(self, tmp_path):
+        code, output = run_cli(
+            "lint", "--json", str(make_tree(tmp_path, dirty=True)))
+        assert code == 1
+        document = json.loads(output)
+        assert document["tool"] == "repro-lint"
+        assert set(document["counts"]) == {"RPR006", "RPR007"}
+
+    def test_json_output_file_is_written(self, tmp_path):
+        tree = make_tree(tmp_path / "tree", dirty=True)
+        report_path = tmp_path / "lint-report.json"
+        code, output = run_cli("lint", "--json",
+                               "--output", str(report_path), str(tree))
+        assert code == 1
+        assert str(report_path) in output
+        document = json.loads(report_path.read_text(encoding="utf-8"))
+        assert document["clean"] is False
+
+    def test_rules_filter_limits_the_sweep(self, tmp_path):
+        code, output = run_cli("lint", "--rules", "RPR007", "--json",
+                               str(make_tree(tmp_path, dirty=True)))
+        assert code == 1
+        document = json.loads(output)
+        assert set(document["counts"]) == {"RPR007"}
+
+    def test_list_rules_prints_the_catalogue(self):
+        code, output = run_cli("lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004",
+                        "RPR005", "RPR006", "RPR007"):
+            assert rule_id in output

@@ -1,0 +1,75 @@
+"""Reporter contracts: the ``--json`` document schema and the text shape."""
+
+import io
+import json
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+DIRTY = (
+    "def load(fn):\n"
+    "    try:\n"
+    "        return fn()\n"
+    "    except:\n"
+    "        return None\n"
+)
+
+
+def make_report(tmp_path, *, dirty: bool):
+    target = tmp_path / ("dirty.py" if dirty else "clean.py")
+    target.write_text(DIRTY if dirty else "x = 1\n", encoding="utf-8")
+    return lint_paths([tmp_path])
+
+
+class TestJsonReporter:
+    def test_document_schema(self, tmp_path):
+        report = make_report(tmp_path, dirty=True)
+        document = json.loads(render_json(report))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["tool"] == "repro-lint"
+        assert document["files_checked"] == 1
+        assert document["clean"] is False
+        assert document["counts"] == {"RPR004": 1}
+        assert isinstance(document["findings"], list)
+        (finding,) = document["findings"]
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message", "snippet"}
+        assert finding["rule"] == "RPR004"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 4
+        assert isinstance(finding["col"], int)
+        assert finding["snippet"] == "except:"
+
+    def test_clean_document(self, tmp_path):
+        report = make_report(tmp_path, dirty=False)
+        document = json.loads(render_json(report))
+        assert document["clean"] is True
+        assert document["counts"] == {}
+        assert document["findings"] == []
+
+    def test_findings_are_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text(DIRTY, encoding="utf-8")
+        (tmp_path / "a.py").write_text(DIRTY, encoding="utf-8")
+        document = json.loads(render_json(lint_paths([tmp_path])))
+        paths = [finding["path"] for finding in document["findings"]]
+        assert paths == sorted(paths)
+
+
+class TestTextReporter:
+    def test_dirty_output_lists_location_rule_and_tally(self, tmp_path):
+        report = make_report(tmp_path, dirty=True)
+        buffer = io.StringIO()
+        render_text(report, buffer)
+        text = buffer.getvalue()
+        assert ":4:" in text and "RPR004" in text
+        assert "1 finding(s)" in text and "RPR004 x1" in text
+
+    def test_clean_output_is_one_line(self, tmp_path):
+        report = make_report(tmp_path, dirty=False)
+        buffer = io.StringIO()
+        render_text(report, buffer)
+        assert buffer.getvalue() == "clean: 1 file(s), 0 findings\n"

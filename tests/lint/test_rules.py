@@ -1,0 +1,102 @@
+"""Per-rule coverage: every RPR rule fires on its bad fixture and stays
+quiet on the good one.
+
+Fixture files under ``fixtures/`` are intentionally violating code; the
+shipped profiles *skip* that directory, so these tests feed the files
+through :func:`repro.lint.lint_source` under fake library-like paths
+(which also exercises the per-path rule gating, e.g. RPR002 only applies
+inside preprocessing/core transform paths).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rule_ids, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fake path each rule is exercised under (RPR002 is path-gated)
+LIBRARY_PATH = "src/repro/module_under_test.py"
+TRANSFORM_PATH = "src/repro/preprocessing/module_under_test.py"
+
+#: rule id -> (lint path, findings expected from the bad fixture)
+RULE_CASES = {
+    "RPR001": (LIBRARY_PATH, 7),
+    "RPR002": (TRANSFORM_PATH, 5),
+    "RPR003": (LIBRARY_PATH, 2),
+    "RPR004": (LIBRARY_PATH, 3),
+    "RPR005": (LIBRARY_PATH, 3),
+    "RPR006": (LIBRARY_PATH, 4),
+    "RPR007": (LIBRARY_PATH, 5),
+}
+
+
+def run_rule(rule_id: str, fixture: str, path: str):
+    source = (FIXTURES / fixture).read_text(encoding="utf-8")
+    return lint_source(source, path=path, rules=[rule_id])
+
+
+class TestEveryRuleHasFixtureCoverage:
+    def test_case_table_covers_every_registered_rule(self):
+        assert set(RULE_CASES) == set(all_rule_ids())
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_CASES))
+    def test_bad_fixture_fires(self, rule_id):
+        path, expected = RULE_CASES[rule_id]
+        findings = run_rule(rule_id, f"{rule_id.lower()}_bad.py", path)
+        assert len(findings) == expected, [f.message for f in findings]
+        assert {f.rule for f in findings} == {rule_id}
+        for finding in findings:
+            assert finding.path == path
+            assert finding.line > 0
+            assert finding.message
+            assert finding.snippet
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_CASES))
+    def test_good_fixture_is_clean(self, rule_id):
+        path, _ = RULE_CASES[rule_id]
+        findings = run_rule(rule_id, f"{rule_id.lower()}_good.py", path)
+        assert findings == [], [f.message for f in findings]
+
+
+class TestDeterminismRule:
+    def test_flags_aliased_numpy_import(self):
+        findings = lint_source(
+            "import numpy.random as npr\nvalue = npr.rand(3)\n",
+            path=LIBRARY_PATH, rules=["RPR001"],
+        )
+        assert [f.rule for f in findings] == ["RPR001"]
+
+    def test_generator_instances_are_not_flagged(self):
+        findings = lint_source(
+            "def draw(rng):\n    return rng.random() + rng.integers(0, 9)\n",
+            path=LIBRARY_PATH, rules=["RPR001"],
+        )
+        assert findings == []
+
+
+class TestCowRuleIsPathGated:
+    def test_same_code_outside_transform_paths_is_silent(self):
+        source = (FIXTURES / "rpr002_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(source, path="src/repro/search/module.py",
+                               rules=["RPR002"])
+        assert findings == []
+
+    def test_core_paths_are_covered_too(self):
+        findings = lint_source(
+            "def scale(X):\n    X *= 2.0\n    return X\n",
+            path="src/repro/core/module.py", rules=["RPR002"],
+        )
+        assert [f.rule for f in findings] == ["RPR002"]
+
+
+class TestLockRule:
+    def test_class_without_lock_is_exempt(self):
+        findings = lint_source(
+            "class Plain:\n"
+            "    def bump(self):\n"
+            "        self.count = 1\n",
+            path=LIBRARY_PATH, rules=["RPR005"],
+        )
+        assert findings == []

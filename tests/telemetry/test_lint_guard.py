@@ -2,61 +2,26 @@
 
 PR 6 migrated every private counter dict / loose counter attribute bag
 onto :class:`repro.telemetry.metrics.MetricSet` and the process-wide
-registry.  This check walks every module under ``src/repro`` and fails
-if an instance attribute that *names itself a counter store* is assigned
-a dict literal again — the pattern the telemetry subsystem replaced.
+registry, and shipped a bespoke AST walk here to keep it that way.  That
+walk now lives in the lint framework as rule RPR003; this guard invokes
+the one shared implementation so the check cannot drift from what
+``repro lint`` enforces.
 """
 
-import ast
 from pathlib import Path
 
 import repro
+from repro.lint import lint_paths, make_rules
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
-#: attribute-name fragments that mark a counter store
-_COUNTER_FRAGMENTS = ("counter", "counters")
-
-#: the one package allowed to implement counter storage
-_ALLOWED = {"telemetry"}
-
-
-def _is_dict_valued(node: ast.AST) -> bool:
-    return isinstance(node, ast.Dict) or (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id == "dict"
-    )
-
-
-def _offending_assignments(tree: ast.AST):
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets, value = node.targets, node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets, value = [node.target], node.value
-        else:
-            continue
-        if not _is_dict_valued(value):
-            continue
-        for target in targets:
-            if (isinstance(target, ast.Attribute)
-                    and isinstance(target.value, ast.Name)
-                    and target.value.id == "self"
-                    and any(fragment in target.attr.lower()
-                            for fragment in _COUNTER_FRAGMENTS)):
-                yield target.attr, node.lineno
-
 
 def test_no_module_keeps_private_counter_dicts():
-    offenders = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        relative = path.relative_to(SRC_ROOT)
-        if relative.parts[0] in _ALLOWED:
-            continue
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for attribute, lineno in _offending_assignments(tree):
-            offenders.append(f"{relative}:{lineno} self.{attribute} = {{...}}")
+    report = lint_paths([SRC_ROOT], rules=make_rules(["RPR003"]))
+    offenders = [
+        f"{finding.path}:{finding.line} {finding.snippet}"
+        for finding in report.findings
+    ]
     assert not offenders, (
         "ad-hoc counter dicts found — use repro.telemetry.metrics.MetricSet "
         "(instance counters) or get_registry() (process-wide series) "

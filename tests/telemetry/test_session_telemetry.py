@@ -86,7 +86,7 @@ class TestTrialSpans:
 class TestHeartbeat:
     def test_heartbeat_reflects_the_finished_run(self, traced_run):
         _, result, _, tmp_path = traced_run
-        heartbeat = json.loads((tmp_path / HEARTBEAT_FILE_NAME).read_text())
+        heartbeat = json.loads((tmp_path / HEARTBEAT_FILE_NAME).read_text(encoding="utf-8"))
         assert heartbeat["algorithm"] == "rs"
         assert heartbeat["trials"] == len(result)
         assert heartbeat["best_accuracy"] == result.best_accuracy

@@ -80,7 +80,8 @@ class TestReadTrace:
             + '{"name": "train", "ts": 2.0, "du'  # torn mid-write by a kill
             + "\nnot json at all\n"
             + json.dumps({"ts": 3.0, "dur": 0.1}) + "\n"  # no name: dropped
-            + json.dumps({"name": "train", "ts": 4.0, "dur": 0.2}) + "\n"
+            + json.dumps({"name": "train", "ts": 4.0, "dur": 0.2}) + "\n",
+            encoding="utf-8",
         )
         events = read_trace(path)
         assert [(e["name"], e["ts"]) for e in events] == [("prep", 1.0),
