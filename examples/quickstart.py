@@ -212,6 +212,37 @@ def main() -> None:
           f"{len(report.findings)} findings -> "
           f"{'clean' if report.clean else 'VIOLATIONS'}")
 
+    # 10. Serving searches.  Everything above composes into a service:
+    #     `repro serve` runs a SessionManager — many concurrent sessions
+    #     over ONE shared engine and cache root, per-tenant trial quotas
+    #     enforced through Budget.admits() at submission, and a durable
+    #     state directory where every session checkpoints itself.  Kill
+    #     the server mid-search and restart it on the same --state-dir:
+    #     every in-flight session resumes from its checkpoint, bit-for-bit
+    #     identical to a run that was never interrupted.  The substrate
+    #     fixes that make co-tenancy safe: per-session heartbeat files
+    #     (heartbeat-<id>.json), session-labelled metric series (one
+    #     tenant's refunds never bleed into another's snapshot), and
+    #     process-pool reuse keyed by evaluator fingerprint.
+    #       repro serve --port 8642 --state-dir ./serve-state \
+    #           --max-sessions 2 --tenant-quota 200
+    #       repro submit --dataset heart --algorithm pbt --max-trials 40 --wait
+    #       repro status            # all sessions at a glance
+    #       repro events --session <id> --follow   # live trial stream
+    #     The same stack is a library (no sockets needed):
+    from repro.serve import SessionManager
+    manager = SessionManager(state_dir=Path(tempfile.mkdtemp()),
+                             max_sessions=2, tenant_quota=50)
+    session_id = manager.submit({"dataset": "heart", "algorithm": "rs",
+                                 "max_trials": 5, "seed": 0, "scale": 0.5})
+    while manager.status(session_id)["status"] in ("queued", "running"):
+        manager.events(session_id, after=0, timeout=1.0)  # long-poll
+    served = manager.status(session_id)
+    manager.shutdown()
+    print(f"\n[serve] session {session_id}: {served['status']} after "
+          f"{served['trials']} trials, best accuracy "
+          f"{served['result']['best_accuracy']:.4f}")
+
 
 if __name__ == "__main__":
     main()

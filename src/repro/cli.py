@@ -24,7 +24,15 @@ driven without writing Python:
 * ``python -m repro lint`` — run the AST contract checks (determinism,
   copy-on-write, telemetry counters, atomic IO, ... — the ``RPRxxx``
   rules, see ``repro lint --list-rules``) over source trees; ``--json``
-  emits the machine-readable report CI archives.
+  emits the machine-readable report CI archives,
+* ``python -m repro serve`` — run the search-as-a-service HTTP server
+  (:mod:`repro.serve`): concurrent sessions over one shared engine and
+  cache root, per-tenant trial quotas, durable per-session checkpoints
+  (restarting on the same ``--state-dir`` resumes every in-flight
+  session bit-for-bit),
+* ``python -m repro submit`` / ``status`` / ``events`` — thin clients for
+  a running server: submit a search, inspect sessions, stream trial
+  events (``--follow`` long-polls until the session finishes).
 
 Runtime configuration resolves into one
 :class:`~repro.core.context.ExecutionContext` per invocation, layered as
@@ -268,6 +276,81 @@ def build_parser() -> argparse.ArgumentParser:
                                    "about:tracing / perfetto")
     trace_export.add_argument("--output", default=None, metavar="FILE",
                               help="output file (default: stdout)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the search-as-a-service HTTP server (JSON over HTTP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8642)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="root for per-session state (checkpoints, "
+                            "manifests, telemetry); restarting the server "
+                            "on the same directory resumes every in-flight "
+                            "session (default: a fresh temp dir)")
+    serve.add_argument("--max-sessions", type=int, default=2, metavar="N",
+                       help="concurrently running sessions; further "
+                            "submissions queue (default 2)")
+    serve.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                       help="per-tenant trial quota enforced at submission "
+                            "time (default: unlimited)")
+    serve.add_argument("--checkpoint-every", type=int, default=5, metavar="N",
+                       help="trials between automatic per-session "
+                            "checkpoints (default 5)")
+    add_parallel_options(serve, "the shared evaluation engine")
+    add_cache_option(serve)
+    add_prefix_cache_option(serve)
+
+    def add_server_option(command) -> None:
+        command.add_argument("--server", default="http://127.0.0.1:8642",
+                             metavar="URL",
+                             help="base URL of the `repro serve` server "
+                                  "(default http://127.0.0.1:8642)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a search to a running `repro serve` server")
+    add_server_option(submit)
+    submit.add_argument("--dataset", required=True,
+                        help="registry dataset name")
+    submit.add_argument("--model", default="lr",
+                        help="downstream model (default lr)")
+    submit.add_argument("--algorithm", default="rs",
+                        help="search algorithm name (default rs)")
+    submit.add_argument("--max-trials", type=int, default=None,
+                        help="evaluation budget (default: the server's "
+                             "default budget)")
+    submit.add_argument("--seed", type=int, default=0, help="random seed")
+    submit.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name for quota accounting "
+                             "(default: 'default')")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the session finishes and print "
+                             "the final status")
+
+    status = subparsers.add_parser(
+        "status", help="show sessions of a running `repro serve` server")
+    add_server_option(status)
+    status.add_argument("--session", default=None, metavar="ID",
+                        help="one session's detailed status "
+                             "(default: list all sessions)")
+
+    events = subparsers.add_parser(
+        "events", help="stream a serve session's trial events")
+    add_server_option(events)
+    events.add_argument("--session", required=True, metavar="ID",
+                        help="session id to stream")
+    events.add_argument("--after", type=int, default=0, metavar="N",
+                        help="skip the first N events (default 0)")
+    events.add_argument("--follow", action="store_true",
+                        help="long-poll for new events until the session "
+                             "finishes")
+    events.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="per-poll wait in seconds with --follow "
+                             "(default 10)")
     return parser
 
 
@@ -362,7 +445,7 @@ def _resolve_context(args):
     context = ExecutionContext.from_env()
     if getattr(args, "context", None):
         data = json.loads(Path(args.context).read_text(encoding="utf-8"))
-        context = ExecutionContext.from_dict({**context.to_dict(), **data})
+        context = context.layer(data)
     overrides: dict = {}
     if getattr(args, "n_jobs", None) is not None:
         overrides["n_jobs"] = args.n_jobs
@@ -711,6 +794,146 @@ def _cmd_metafeatures(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import signal
+
+    from repro.serve import SessionManager, build_server
+
+    context = _resolve_context(args)
+    manager = SessionManager(
+        base_context=context,
+        state_dir=args.state_dir,
+        max_sessions=args.max_sessions,
+        tenant_quota=args.tenant_quota,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = build_server(manager, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    out.write(f"serving      : http://{host}:{port}\n")
+    out.write(f"state dir    : {manager.state_dir}\n")
+    out.write(f"execution    : {context.describe()}\n")
+    out.write(f"sessions     : max {manager.max_sessions} concurrent"
+              + (f", {manager.tenant_quota} trials/tenant"
+                 if manager.tenant_quota else "") + "\n")
+    if hasattr(out, "flush"):
+        out.flush()  # the port line is what `repro submit` scripts wait for
+
+    def _terminate(signum, frame) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        out.write("interrupt    : checkpointing in-flight sessions\n")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        manager.shutdown()
+    out.write(f"stopped      : state kept under {manager.state_dir} "
+              f"(serve again with --state-dir to resume)\n")
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    spec: dict = {
+        "dataset": args.dataset,
+        "model": args.model,
+        "algorithm": args.algorithm,
+        "seed": args.seed,
+        "scale": args.scale,
+        "tenant": args.tenant,
+    }
+    if args.max_trials is not None:
+        spec["max_trials"] = args.max_trials
+    view = client.submit(spec)
+    out.write(f"session      : {view['session_id']}\n")
+    out.write(f"status       : {view['status']}\n")
+    if not args.wait:
+        out.write(f"follow with  : repro events --server {args.server} "
+                  f"--session {view['session_id']} --follow\n")
+        return 0
+    if hasattr(out, "flush"):
+        out.flush()
+    final = client.wait(view["session_id"])
+    return _write_session_view(final, out)
+
+
+def _write_session_view(view: dict, out) -> int:
+    out.write(f"session      : {view['session_id']}\n")
+    out.write(f"status       : {view['status']}\n")
+    spec = view.get("spec") or {}
+    if spec:
+        out.write(f"spec         : {spec['dataset']}/{spec['model']} "
+                  f"{spec['algorithm']} x{spec['max_trials']} "
+                  f"(seed {spec['seed']}, tenant {spec['tenant']})\n")
+    if view.get("trials") is not None:
+        out.write(f"trials       : {view['trials']}\n")
+    if view.get("best_accuracy") is not None:
+        out.write(f"best acc     : {view['best_accuracy']:.4f}\n")
+    result = view.get("result") or {}
+    if result.get("best_pipeline"):
+        out.write(f"best pipeline: {result['best_pipeline']}\n")
+    if view.get("error"):
+        out.write(f"error        : {view['error']}\n")
+    return 0 if view["status"] != "failed" else 1
+
+
+def _cmd_status(args, out) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    if args.session:
+        return _write_session_view(client.status(args.session), out)
+    health = client.healthz()
+    sessions = client.sessions()
+    out.write(f"server       : {args.server} ({health['status']}, "
+              f"up {health['uptime']:.0f}s)\n")
+    if not sessions:
+        out.write("sessions     : none\n")
+        return 0
+    out.write(f"\n{'session':<34} {'status':<12} {'trials':>6} "
+              f"{'best acc':>9}\n")
+    for view in sessions:
+        best = view.get("best_accuracy")
+        out.write(f"{view['session_id']:<34} {view['status']:<12} "
+                  f"{view.get('trials') or 0:>6} "
+                  f"{best if best is None else format(best, '.4f'):>9}\n")
+    return 0
+
+
+def _cmd_events(args, out) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    after = args.after
+    while True:
+        chunk = client.events(args.session, after=after,
+                              timeout=args.timeout if args.follow else None)
+        for event in chunk["events"]:
+            if event["kind"] == "trial":
+                out.write(f"[{event['seq']:>4}] trial {event['trials_done']}: "
+                          f"acc {event['accuracy']:.4f} "
+                          f"(best {event['best_accuracy']:.4f}) "
+                          f"{event['pipeline']}\n")
+            elif event["kind"] == "checkpoint":
+                out.write(f"[{event['seq']:>4}] checkpoint -> "
+                          f"{event['path']}\n")
+            else:
+                out.write(f"[{event['seq']:>4}] {event['kind']}: "
+                          f"{event.get('status', '')}\n")
+        after = chunk["next"]
+        if not args.follow or chunk["status"] not in ("queued", "running"):
+            out.write(f"status       : {chunk['status']} "
+                      f"({after} event(s))\n")
+            return 0
+        if hasattr(out, "flush"):
+            out.flush()
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "preprocessors": _cmd_preprocessors,
@@ -722,6 +945,10 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "metafeatures": _cmd_metafeatures,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "events": _cmd_events,
 }
 
 

@@ -235,6 +235,25 @@ class ExecutionContext:
         """A copy with ``changes`` applied (contexts are immutable)."""
         return replace(self, **changes)
 
+    def layer(self, overrides) -> "ExecutionContext":
+        """This context with a *partial* dict of fields layered on top.
+
+        The dict-shaped sibling of :meth:`replace`, for overrides that
+        arrive as data rather than keywords — a ``--context FILE``
+        document layered over the environment, or the context fragment a
+        serve client submits over HTTP layered over the server's base
+        context.  Unknown keys are refused exactly like
+        :meth:`from_dict`; an empty/None ``overrides`` returns ``self``.
+        """
+        if not overrides:
+            return self
+        if not isinstance(overrides, dict):
+            raise ValidationError(
+                f"ExecutionContext.layer expects a dict of fields, "
+                f"got {type(overrides).__name__}"
+            )
+        return ExecutionContext.from_dict({**self.to_dict(), **overrides})
+
     # ------------------------------------------------------------ resources
     def backend_name(self) -> str:
         """The effective backend name after ``n_jobs`` defaulting."""

@@ -27,7 +27,8 @@ worker process once via the pool initializer instead of once per task.
 from __future__ import annotations
 
 import os
-import weakref
+import threading
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
@@ -170,6 +171,15 @@ class SerialBackend(ExecutionBackend):
     ordered_completion = True
 
     def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is not None and int(n_workers) != 1:
+            # Historically an explicit worker count was silently ignored
+            # here, so a context asking for serial+parallel quietly ran
+            # everything on one worker.  Misconfiguration fails loudly now.
+            raise ValidationError(
+                f"the serial backend runs exactly one worker; "
+                f"n_workers={n_workers!r} asks for parallelism — pick the "
+                f"'thread' or 'process' backend instead"
+            )
         super().__init__(n_workers=1)
 
     def map(self, fn, items: list) -> list:
@@ -268,15 +278,20 @@ class ProcessBackend(ExecutionBackend):
     """Dispatch tasks to a process pool (true CPU parallelism).
 
     The evaluator is shipped to each worker exactly once through the pool
-    initializer, and the pool is *reused* across batches of the same
-    evaluator (a search submits one batch per iteration — re-forking and
-    re-pickling the training data every generation would dominate the
-    parallel gain).  Per-task traffic is just the ``(pipeline, fidelity)``
+    initializer, and pools are *reused* across batches: they are keyed by
+    the evaluator's :meth:`~repro.core.evaluation.PipelineEvaluator.fingerprint`
+    in a small LRU (``max_eval_pools``), so several sessions alternating
+    on one shared backend each keep their warm pool instead of re-forking
+    and re-pickling the training data every batch (the one-pool-latest-owner
+    scheme this replaced did exactly that the moment two searches shared an
+    engine).  Per-task traffic is just the ``(pipeline, fidelity)``
     pair and the returned cache entry.  The evaluator drops its engine
     reference and cache when pickled (see
     ``PipelineEvaluator.__getstate__``), so workers never recursively
-    spawn pools and the snapshot stays valid for the evaluator's lifetime:
-    workers only ever receive work the parent's cache has never seen.
+    spawn pools and the snapshot stays valid for its fingerprint's
+    lifetime: workers only ever receive work the parent's cache has never
+    seen, and two evaluators with equal fingerprints are bit-for-bit
+    interchangeable by the fingerprint contract.
     When the evaluator enables prefix-transform reuse, each worker rebuilds
     its own :class:`~repro.core.prefixcache.PrefixTransformCache` on
     unpickling; because the pool (and with it the per-process evaluator
@@ -286,10 +301,23 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    #: evaluation pools kept warm at once; the least-recently-used pool
+    #: beyond this is shut down (its worker processes reaped) on demand
+    max_eval_pools = 4
+
+    def __init__(self, n_workers: int | None = None, *,
+                 max_eval_pools: int | None = None) -> None:
         super().__init__(n_workers=n_workers)
-        self._eval_pool: ProcessPoolExecutor | None = None
-        self._eval_pool_owner = None  # weakref to the pool's evaluator
+        if max_eval_pools is not None:
+            max_eval_pools = int(max_eval_pools)
+            if max_eval_pools < 1:
+                raise ValidationError(
+                    f"max_eval_pools must be at least 1, got {max_eval_pools}"
+                )
+            self.max_eval_pools = max_eval_pools
+        self._lock = threading.Lock()
+        #: fingerprint -> initializer-seeded pool, most recently used last
+        self._eval_pools: "OrderedDict[str, ProcessPoolExecutor]" = OrderedDict()
         self._submit_pool: ProcessPoolExecutor | None = None
 
     def map(self, fn, items: list) -> list:
@@ -300,9 +328,13 @@ class ProcessBackend(ExecutionBackend):
             return list(pool.map(fn, items))
 
     def submit(self, fn, item):
-        if self._submit_pool is None:
-            self._submit_pool = ProcessPoolExecutor(max_workers=self.n_workers)
-        return self._submit_pool.submit(fn, item)
+        with self._lock:
+            if self._submit_pool is None:
+                self._submit_pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers
+                )
+            pool = self._submit_pool
+        return pool.submit(fn, item)
 
     def submit_evaluation(self, evaluator, pair):
         # Reuse the initializer-seeded evaluation pool so the evaluator is
@@ -310,16 +342,28 @@ class ProcessBackend(ExecutionBackend):
         return self._evaluation_pool(evaluator).submit(_evaluate_in_worker, pair)
 
     def _evaluation_pool(self, evaluator) -> ProcessPoolExecutor:
-        owner = self._eval_pool_owner() if self._eval_pool_owner else None
-        if self._eval_pool is None or owner is not evaluator:
-            self.close()
-            self._eval_pool = ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                initializer=_init_evaluation_worker,
-                initargs=(evaluator,),
-            )
-            self._eval_pool_owner = weakref.ref(evaluator)
-        return self._eval_pool
+        """The warm pool for ``evaluator``'s fingerprint (LRU, bounded)."""
+        key = evaluator.fingerprint()
+        evicted = None
+        with self._lock:
+            pool = self._eval_pools.get(key)
+            if pool is not None:
+                self._eval_pools.move_to_end(key)
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=_init_evaluation_worker,
+                    initargs=(evaluator,),
+                )
+                self._eval_pools[key] = pool
+                if len(self._eval_pools) > self.max_eval_pools:
+                    _, evicted = self._eval_pools.popitem(last=False)
+        if evicted is not None:
+            # Shut the evicted pool down outside the lock: joining worker
+            # processes can take a while and must not block other sessions
+            # fetching their own pools.
+            evicted.shutdown(wait=True, cancel_futures=True)
+        return pool
 
     def run_evaluations(self, evaluator, work: list) -> list:
         work = list(work)
@@ -337,13 +381,14 @@ class ProcessBackend(ExecutionBackend):
         # the workers promptly instead of draining a dead search's backlog;
         # wait=True then reaps every worker process (no orphans), even when
         # a budget interrupted the owning search mid-flight.
-        if self._eval_pool is not None:
-            self._eval_pool.shutdown(wait=True, cancel_futures=True)
-            self._eval_pool = None
-            self._eval_pool_owner = None
-        if self._submit_pool is not None:
-            self._submit_pool.shutdown(wait=True, cancel_futures=True)
-            self._submit_pool = None
+        with self._lock:
+            pools = list(self._eval_pools.values())
+            self._eval_pools = OrderedDict()
+            submit_pool, self._submit_pool = self._submit_pool, None
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if submit_pool is not None:
+            submit_pool.shutdown(wait=True, cancel_futures=True)
 
 
 #: backends keyed by their registry name

@@ -40,7 +40,10 @@ the trust model.  Checkpoints can also live inside a
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
+import uuid
 from pathlib import Path
 
 import numpy as np
@@ -59,13 +62,33 @@ from repro.io.serialization import (
     trial_from_dict,
     trial_to_dict,
 )
-from repro.telemetry import HEARTBEAT_FILE_NAME
+from repro.telemetry import HEARTBEAT_FILE_NAME, heartbeat_file_name
 from repro.telemetry.metrics import MetricsSnapshot, get_registry
 from repro.telemetry.tracing import make_tracer
 from repro.utils.log import get_logger
 from repro.utils.random import check_random_state
 
 log = get_logger("search.session")
+
+#: telemetry dirs -> ids of the sessions writing heartbeats there (this
+#: process).  Concurrent sessions sharing one dir each own a
+#: ``heartbeat-<session_id>.json``; the legacy ``heartbeat.json`` alias is
+#: refreshed only while a dir has exactly one registered session, so two
+#: tenants can never clobber each other's liveness document.
+_HEARTBEAT_WRITERS: dict = {}
+_HEARTBEAT_WRITERS_LOCK = threading.Lock()
+
+
+def _register_heartbeat_writer(telemetry_dir, session_id: str) -> None:
+    key = os.path.abspath(os.fspath(telemetry_dir))
+    with _HEARTBEAT_WRITERS_LOCK:
+        _HEARTBEAT_WRITERS.setdefault(key, set()).add(session_id)
+
+
+def _sole_heartbeat_writer(telemetry_dir, session_id: str) -> bool:
+    key = os.path.abspath(os.fspath(telemetry_dir))
+    with _HEARTBEAT_WRITERS_LOCK:
+        return _HEARTBEAT_WRITERS.get(key) == {session_id}
 
 
 class SearchSession:
@@ -95,17 +118,31 @@ class SearchSession:
     checkpoint_every:
         With ``checkpoint_path`` set, automatically checkpoint after every
         N observed trials — the knob behind the kill-and-resume story.
+    session_id:
+        Stable identifier of this session, used to label its registry
+        metric series and name its heartbeat file so concurrent sessions
+        in one process (or one telemetry dir) never collide.  Generated
+        when omitted; checkpoints carry it, so a resumed session keeps
+        streaming under the identity it was submitted with.
     """
 
     def __init__(self, problem, algorithm, context: ExecutionContext | None = None,
                  *, on_trial=None, on_batch=None, on_checkpoint=None,
                  on_metrics=None, checkpoint_path=None,
-                 checkpoint_every: int | None = None) -> None:
+                 checkpoint_every: int | None = None,
+                 session_id: str | None = None) -> None:
         self.problem = problem
         self.algorithm = algorithm
         if context is None:
             context = getattr(problem, "context", None) or ExecutionContext()
         self.context = context
+        self.session_id = str(session_id) if session_id \
+            else f"s{uuid.uuid4().hex[:12]}"
+        if context.telemetry_dir is not None and context.telemetry_mode != "off":
+            # Registering at construction (not at first write) makes the
+            # one-session-or-many decision deterministic for sessions
+            # created before either starts running.
+            _register_heartbeat_writer(context.telemetry_dir, self.session_id)
         self.on_trial = on_trial
         self.on_batch = on_batch
         self.on_checkpoint = on_checkpoint
@@ -298,7 +335,11 @@ class SearchSession:
                       checkpoint_path=(checkpoint_path
                                        if checkpoint_path is not None
                                        else path),
-                      checkpoint_every=checkpoint_every)
+                      checkpoint_every=checkpoint_every,
+                      # Keep the interrupted run's identity: its metric
+                      # labels and heartbeat file continue seamlessly
+                      # (older checkpoints without an id get a fresh one).
+                      session_id=document.get("session_id"))
         session._driver = document.get("driver") or "sync"
         budget_info = document["budget"]
         budget = TrialBudget(budget_info["max_trials"])
@@ -431,7 +472,10 @@ class SearchSession:
             # Admitted but never dispatched (time budget expired mid-batch).
             budget.consume(-task.fidelity)
         if refunded:
-            get_registry().counter("budget.refunded_trials").inc(len(refunded))
+            # Labelled per session: without the label one tenant's refunds
+            # would bleed into every other tenant's metrics_snapshot().
+            get_registry().counter("budget.refunded_trials",
+                                   session=self.session_id).inc(len(refunded))
             log.debug("refunded %d undispatched task(s) after budget expiry",
                       len(refunded))
         return stopped
@@ -536,9 +580,11 @@ class SearchSession:
         refunds, ...) with the evaluator's per-instance cache counters,
         namespaced ``evaluator.*`` / ``prefix.*``, plus the session's own
         progress gauges.  This is the payload handed to ``on_metrics`` and
-        written to the heartbeat file.
+        written to the heartbeat file.  Registry series labelled with a
+        session id are filtered to *this* session's, so a multi-tenant
+        process never leaks one tenant's counters into another's snapshot.
         """
-        snapshot = get_registry().snapshot()
+        snapshot = get_registry().snapshot_for(session=self.session_id)
         evaluator = getattr(self.problem, "evaluator", None)
         if evaluator is not None:
             snapshot = snapshot.merge({
@@ -582,13 +628,18 @@ class SearchSession:
             self._write_heartbeat(snapshot)
 
     def _write_heartbeat(self, snapshot: MetricsSnapshot) -> None:
-        """Atomically refresh the heartbeat file (progress + metrics).
+        """Atomically refresh this session's heartbeat file.
 
         Liveness-probe shaped: one small JSON document a supervisor (or a
         human with ``watch cat``) can poll without touching the trace sink.
-        Atomic replace means a reader never sees a torn document.
+        Atomic replace means a reader never sees a torn document.  Each
+        session owns ``heartbeat-<session_id>.json``; the legacy
+        ``heartbeat.json`` is kept as an alias only while this session is
+        the telemetry dir's sole writer, so concurrent sessions can never
+        clobber each other's heartbeat.
         """
         heartbeat = {
+            "session_id": self.session_id,
             "algorithm": self.algorithm.name,
             "trials": len(self.result),
             "iteration": self._iteration,
@@ -598,11 +649,14 @@ class SearchSession:
             "time": time.time(),
             "metrics": snapshot.to_dict(),
         }
+        directory = Path(self.context.telemetry_dir)
+        document = json.dumps(heartbeat, indent=2, default=str)
         try:
             atomic_write_text(
-                Path(self.context.telemetry_dir) / HEARTBEAT_FILE_NAME,
-                json.dumps(heartbeat, indent=2, default=str),
+                directory / heartbeat_file_name(self.session_id), document
             )
+            if _sole_heartbeat_writer(directory, self.session_id):
+                atomic_write_text(directory / HEARTBEAT_FILE_NAME, document)
         except OSError as error:
             # Telemetry must never kill a search: an unwritable heartbeat
             # (full disk, revoked permissions) degrades to a log line.
@@ -640,6 +694,7 @@ class SearchSession:
         problem = self.problem
         document = {
             "algorithm": self.algorithm.name,
+            "session_id": self.session_id,
             "driver": self._driver or "sync",
             "context": self.context.to_dict(),
             "problem": {

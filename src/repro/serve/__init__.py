@@ -1,0 +1,40 @@
+"""Search-as-a-service: run Auto-FP searches behind a JSON/HTTP API.
+
+The serving stack is three thin layers, each usable on its own:
+
+* :mod:`repro.serve.manager` — :class:`SessionManager`, the multi-tenant
+  core: shared execution engine and cache roots, one worker thread per
+  session, per-tenant trial-quota admission, durable per-session state
+  directories, restart recovery that resumes every in-flight session
+  bit-for-bit from its checkpoint.
+* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` translating
+  routes to manager calls (submit, status, long-poll events, pause /
+  resume / cancel / checkpoint, ``/metrics``, ``/healthz``).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the ``urllib`` client
+  the ``repro submit|status|events`` CLI subcommands use.
+
+Everything is stdlib-only; the heavy lifting (checkpoints, telemetry,
+engines) is the substrate the earlier PRs built, reused unchanged.
+"""
+
+from repro.serve.client import ServeAPIError, ServeClient
+from repro.serve.http import ServeServer, build_server
+from repro.serve.manager import (
+    AdmissionError,
+    ManagedSession,
+    SessionManager,
+    UnknownSessionError,
+    normalize_spec,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ManagedSession",
+    "ServeAPIError",
+    "ServeClient",
+    "ServeServer",
+    "SessionManager",
+    "UnknownSessionError",
+    "build_server",
+    "normalize_spec",
+]

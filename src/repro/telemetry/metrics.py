@@ -271,6 +271,26 @@ class MetricsRegistry:
         for name, value in (delta or {}).items():
             self.counter(name).inc(value)
 
+    @staticmethod
+    def _read_series(reading: MetricsSnapshot, name: str, labels: tuple,
+                     series) -> None:
+        """Flatten one series into ``reading`` under its labelled key."""
+        key = name
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{name}{{{inner}}}"
+        if isinstance(series, Histogram):
+            reading[key + ".count"] = series.count
+            reading[key + ".sum"] = series.sum
+            if series.count:
+                reading[key + ".min"] = series.min
+                reading[key + ".max"] = series.max
+        elif isinstance(series, Gauge):
+            reading[key] = series.value
+            reading[key + ".high_water"] = series.high_water
+        else:
+            reading[key] = series.value
+
     def snapshot(self) -> MetricsSnapshot:
         """One flat reading of every series (heartbeat payload shape).
 
@@ -280,21 +300,30 @@ class MetricsRegistry:
         with self._lock:
             reading = MetricsSnapshot()
             for (name, labels), series in self._series.items():
-                key = name
-                if labels:
-                    inner = ",".join(f"{k}={v}" for k, v in labels)
-                    key = f"{name}{{{inner}}}"
-                if isinstance(series, Histogram):
-                    reading[key + ".count"] = series.count
-                    reading[key + ".sum"] = series.sum
-                    if series.count:
-                        reading[key + ".min"] = series.min
-                        reading[key + ".max"] = series.max
-                elif isinstance(series, Gauge):
-                    reading[key] = series.value
-                    reading[key + ".high_water"] = series.high_water
-                else:
-                    reading[key] = series.value
+                self._read_series(reading, name, labels, series)
+            return reading
+
+    def snapshot_for(self, **labels) -> MetricsSnapshot:
+        """A reading restricted to one label owner (e.g. one session).
+
+        A series is included when it either does not carry any of the
+        filtered label keys at all (shared, genuinely process-global
+        series such as the engine's in-flight gauge) or carries matching
+        values for every filtered key it does have.  Matching labels are
+        stripped from the flattened key, so the owner reads its own
+        ``budget.refunded_trials{session=...}`` series back under the
+        plain historical name — and never sees another owner's series.
+        """
+        with self._lock:
+            reading = MetricsSnapshot()
+            for (name, series_labels), series in self._series.items():
+                carried = dict(series_labels)
+                if any(key in carried and carried[key] != value
+                       for key, value in labels.items()):
+                    continue
+                rest = tuple(item for item in series_labels
+                             if item[0] not in labels)
+                self._read_series(reading, name, rest, series)
             return reading
 
     def reset(self) -> None:

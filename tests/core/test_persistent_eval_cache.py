@@ -34,6 +34,11 @@ def _failing_pipeline():
     return Pipeline([Exploding()])
 
 
+def _engine(backend):
+    return ExecutionEngine(backend,
+                           n_workers=None if backend == "serial" else 2)
+
+
 def _evaluator(distorted_data, tmp_path, **kwargs):
     X, y = distorted_data
     return PipelineEvaluator.from_dataset(
@@ -154,7 +159,7 @@ class TestPersistentCacheWithEngine:
         expected = [cold.evaluate(p) for p in PIPELINES]
 
         warm = _evaluator(distorted_data, tmp_path,
-                          engine=ExecutionEngine(backend, n_workers=2))
+                          engine=_engine(backend))
         try:
             records = warm.evaluate_many(PIPELINES)
         finally:
@@ -167,7 +172,7 @@ class TestPersistentCacheWithEngine:
     def test_engine_merge_back_persists_worker_results(self, distorted_data,
                                                        tmp_path, backend):
         cold = _evaluator(distorted_data, tmp_path,
-                          engine=ExecutionEngine(backend, n_workers=2))
+                          engine=_engine(backend))
         try:
             expected = cold.evaluate_many(PIPELINES)
         finally:

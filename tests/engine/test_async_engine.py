@@ -105,7 +105,7 @@ class TestAsCompleted:
         reference = ExecutionEngine("serial").run(_make_evaluator(), tasks)
 
         evaluator = _make_evaluator()
-        engine = ExecutionEngine(name, n_workers=2)
+        engine = ExecutionEngine(name, n_workers=None if name == "serial" else 2)
         records = [None] * len(tasks)
         for index, record in engine.as_completed(
                 evaluator, engine.submit_tasks(evaluator, tasks)):
@@ -229,7 +229,7 @@ class TestCloseCancelsInflight:
         pending = engine.submit_tasks(evaluator, _sample_tasks(6,
                                                                with_duplicate=False))
         engine.close()  # must cancel + join workers, not hang or orphan
-        assert engine.backend._eval_pool is None
+        assert len(engine.backend._eval_pools) == 0
         for item in pending:
             assert item.future.done() or item.future.cancelled()
 

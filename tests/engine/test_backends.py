@@ -66,12 +66,14 @@ class TestBackendRegistry:
 class TestBackendMap:
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_map_preserves_input_order(self, name):
-        backend = make_backend(name, n_workers=2)
+        # serial refuses an explicit parallel worker count (see
+        # TestSerialWorkerValidation); the parallel backends get two.
+        backend = make_backend(name, n_workers=None if name == "serial" else 2)
         assert backend.map(_double, list(range(7))) == [2 * i for i in range(7)]
 
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_map_empty_input(self, name):
-        backend = make_backend(name, n_workers=2)
+        backend = make_backend(name, n_workers=None if name == "serial" else 2)
         assert backend.map(_double, []) == []
 
 
@@ -105,7 +107,8 @@ class TestEngineDispatch:
 
         parallel = PipelineEvaluator.from_dataset(
             X, y, LogisticRegression(max_iter=40), random_state=0,
-            engine=ExecutionEngine(name, n_workers=2))
+            engine=ExecutionEngine(name, n_workers=None if name == "serial"
+                                   else 2))
         records = parallel.evaluate_many(pipelines)
 
         assert [r.accuracy for r in records] == [r.accuracy for r in expected]
@@ -250,3 +253,136 @@ class TestResolveEngine:
         assert clone.engine is None
         assert clone.cache_info()["size"] == 0
         evaluator.set_engine(None)
+
+
+class TestSerialWorkerValidation:
+    """An explicit parallel worker count on the serial backend fails loudly.
+
+    Regression: ``SerialBackend.__init__`` used to drop ``n_workers`` on
+    the floor, so a misconfigured serial+parallel context silently ran
+    everything on one worker.
+    """
+
+    def test_parallel_worker_count_rejected(self):
+        with pytest.raises(ValidationError, match="serial backend"):
+            SerialBackend(n_workers=2)
+        with pytest.raises(ValidationError, match="serial backend"):
+            make_backend("serial", n_workers=4)
+
+    def test_one_worker_and_default_still_accepted(self):
+        assert SerialBackend().n_workers == 1
+        assert SerialBackend(n_workers=1).n_workers == 1
+        assert SerialBackend(n_workers=None).n_workers == 1
+
+
+class _FakePool:
+    """Stands in for a ProcessPoolExecutor in LRU bookkeeping tests."""
+
+    def __init__(self, *args, **kwargs):
+        self.initargs = kwargs.get("initargs")
+        self.shut_down = False
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shut_down = True
+
+
+class _FakeEvaluator:
+    def __init__(self, fingerprint):
+        self._fingerprint = fingerprint
+
+    def fingerprint(self):
+        return self._fingerprint
+
+
+class TestEvaluationPoolLRU:
+    """ProcessBackend keys evaluation pools per evaluator fingerprint.
+
+    Regression: the backend used to keep a single pool owned by the
+    last-seen evaluator, so two searches alternating on one shared
+    backend tore each other's warm pool down every batch.  Pool creation
+    is faked out — these tests exercise only the LRU bookkeeping, without
+    forking real worker processes.
+    """
+
+    @pytest.fixture
+    def backend(self, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", _FakePool)
+        backend = ProcessBackend(n_workers=2, max_eval_pools=2)
+        yield backend
+        backend.close()
+
+    def test_same_fingerprint_reuses_the_pool(self, backend):
+        evaluator = _FakeEvaluator("fp-a")
+        first = backend._evaluation_pool(evaluator)
+        second = backend._evaluation_pool(_FakeEvaluator("fp-a"))
+        assert first is second
+        assert not first.shut_down
+
+    def test_distinct_fingerprints_get_distinct_pools(self, backend):
+        pool_a = backend._evaluation_pool(_FakeEvaluator("fp-a"))
+        pool_b = backend._evaluation_pool(_FakeEvaluator("fp-b"))
+        assert pool_a is not pool_b
+        # Alternating sessions keep both pools warm — the regression case.
+        assert backend._evaluation_pool(_FakeEvaluator("fp-a")) is pool_a
+        assert backend._evaluation_pool(_FakeEvaluator("fp-b")) is pool_b
+        assert not pool_a.shut_down and not pool_b.shut_down
+
+    def test_least_recently_used_pool_evicted_beyond_cap(self, backend):
+        pool_a = backend._evaluation_pool(_FakeEvaluator("fp-a"))
+        pool_b = backend._evaluation_pool(_FakeEvaluator("fp-b"))
+        backend._evaluation_pool(_FakeEvaluator("fp-a"))  # refresh a
+        pool_c = backend._evaluation_pool(_FakeEvaluator("fp-c"))
+        # b was least recently used: evicted and shut down; a and c live.
+        assert pool_b.shut_down
+        assert not pool_a.shut_down and not pool_c.shut_down
+        assert set(backend._eval_pools) == {"fp-a", "fp-c"}
+
+    def test_close_shuts_every_pool_down(self, backend):
+        pools = [backend._evaluation_pool(_FakeEvaluator(fp))
+                 for fp in ("fp-a", "fp-b")]
+        backend.close()
+        assert all(pool.shut_down for pool in pools)
+        assert not backend._eval_pools
+
+    def test_pool_cap_validated(self):
+        with pytest.raises(ValidationError):
+            ProcessBackend(n_workers=2, max_eval_pools=0)
+
+
+class TestSharedProcessBackendResults:
+    """Two evaluators sharing one process backend stay bit-for-bit serial."""
+
+    @pytest.mark.slow
+    def test_alternating_evaluators_match_serial(self, space):
+        datasets = [
+            make_classification(n_samples=100, n_features=5, class_sep=2.0,
+                                random_state=seed)
+            for seed in (1, 2)
+        ]
+        pipelines = space.sample_pipelines(3, np.random.default_rng(0))
+        expected = []
+        for X, y in datasets:
+            reference = PipelineEvaluator.from_dataset(
+                X, y, LogisticRegression(max_iter=40), random_state=0)
+            expected.append([reference.evaluate(p).accuracy
+                             for p in pipelines])
+
+        engine = ExecutionEngine("process", n_workers=2)
+        evaluators = [
+            PipelineEvaluator.from_dataset(
+                X, y, LogisticRegression(max_iter=40), random_state=0,
+                engine=engine)
+            for X, y in datasets
+        ]
+        try:
+            # Alternate batches between the two evaluators: each must hit
+            # its own warm pool and reproduce its serial accuracies.
+            for _ in range(2):
+                for evaluator, accuracies in zip(evaluators, expected):
+                    records = evaluator.evaluate_many(pipelines)
+                    assert [r.accuracy for r in records] == accuracies
+            assert len(engine.backend._eval_pools) == 2
+        finally:
+            engine.close()

@@ -55,7 +55,8 @@ class TestPersistentExperimentCache:
         cold = run_experiment(config)
 
         warm = run_experiment(config, context=ExecutionContext(
-            cache_dir=cache_dir, n_jobs=2, backend=backend))
+            cache_dir=cache_dir, n_jobs=1 if backend == "serial" else 2,
+            backend=backend))
         assert warm.uncached_evaluations == 0
         assert _accuracies(warm) == _accuracies(cold)
 

@@ -80,7 +80,8 @@ class TestTrialBudgetClipping:
         problem = _problem(
             distorted_data,
             engine=None if engine is None
-            else ExecutionEngine(engine, n_workers=2),
+            else ExecutionEngine(engine,
+                                 n_workers=None if engine == "serial" else 2),
         )
         budget = TrialBudget(5)
         result = RandomSearch(batch_size=8).search(problem, budget)

@@ -1,0 +1,150 @@
+"""The serve HTTP API end to end: real server, ephemeral port, real client.
+
+Each fixture boots a :class:`ThreadingHTTPServer` on port 0 and drives it
+through :class:`ServeClient` — the same stack ``repro serve`` /
+``repro submit`` run.  The acceptance test kills the whole server
+mid-search and asserts a restarted server resumes the session to a result
+bit-for-bit identical to an uninterrupted run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.serve import ServeAPIError, ServeClient, SessionManager, build_server
+
+SPEC = {"dataset": "blood", "max_trials": 4, "seed": 3, "scale": 0.5}
+
+
+class _Server:
+    """One manager + HTTP server + client, torn down as a unit."""
+
+    def __init__(self, state_dir, **manager_options):
+        self.manager = SessionManager(state_dir=state_dir, **manager_options)
+        self.server = build_server(self.manager)
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.client = ServeClient(f"http://{host}:{port}")
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.manager.shutdown()
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture
+def served(tmp_path):
+    server = _Server(tmp_path / "state", max_sessions=2, checkpoint_every=2)
+    yield server
+    server.stop()
+
+
+class TestEndpoints:
+    def test_healthz_and_metrics(self, served):
+        health = served.client.healthz()
+        assert health["status"] == "ok"
+        assert health["max_sessions"] == 2
+        assert "registry" in served.client.metrics()
+
+    def test_submit_status_events_roundtrip(self, served):
+        view = served.client.submit(SPEC)
+        session_id = view["session_id"]
+        assert view["status"] in ("queued", "running")
+
+        final = served.client.wait(session_id)
+        assert final["status"] == "done"
+        assert final["trials"] == SPEC["max_trials"]
+
+        chunk = served.client.events(session_id)
+        kinds = [event["kind"] for event in chunk["events"]]
+        assert kinds.count("trial") == SPEC["max_trials"]
+        assert served.client.sessions()[0]["session_id"] == session_id
+
+    def test_long_poll_blocks_until_events_arrive(self, served):
+        session_id = served.client.submit({**SPEC, "max_trials": 6})[
+            "session_id"]
+        seen = 0
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            chunk = served.client.events(session_id, after=seen, timeout=5.0)
+            seen = chunk["next"]
+            if chunk["status"] not in ("queued", "running"):
+                break
+        assert seen >= 6
+
+    def test_checkpoint_pause_resume_cycle(self, served):
+        session_id = served.client.submit({**SPEC, "max_trials": 6})[
+            "session_id"]
+        served.client.wait(session_id)
+        checkpoint = served.client.checkpoint(session_id)
+        assert checkpoint["checkpoint"].endswith("checkpoint.json")
+        # Terminal sessions cannot pause; the error carries the state.
+        with pytest.raises(ServeAPIError) as info:
+            served.client.pause(session_id)
+        assert info.value.status == 400
+        assert "done" in info.value.message
+
+    def test_error_statuses(self, served):
+        with pytest.raises(ServeAPIError) as not_found:
+            served.client.status("no-such-session")
+        assert not_found.value.status == 404
+
+        with pytest.raises(ServeAPIError) as bad_request:
+            served.client.submit({"dataset": "blood", "max_trials": 0})
+        assert bad_request.value.status == 400
+
+        with pytest.raises(ServeAPIError) as bad_route:
+            served.client._call("GET", "/no/such/route")
+        assert bad_route.value.status == 404
+
+    def test_admission_denied_maps_to_429(self, tmp_path):
+        server = _Server(tmp_path / "state", tenant_quota=5)
+        try:
+            server.client.submit({**SPEC, "tenant": "small"})
+            with pytest.raises(ServeAPIError) as info:
+                server.client.submit({**SPEC, "tenant": "small"})
+            assert info.value.status == 429
+            assert "quota" in info.value.message
+        finally:
+            server.stop()
+
+    def test_unreachable_server_raises_repro_error(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=1.0)
+        with pytest.raises(ReproError, match="cannot reach"):
+            client.healthz()
+
+
+class TestServerRestart:
+    def test_kill_and_restart_resumes_bit_for_bit(self, tmp_path):
+        spec = {**SPEC, "max_trials": 8}
+        reference = _Server(tmp_path / "ref", checkpoint_every=2)
+        try:
+            ref_id = reference.client.submit(spec)["session_id"]
+            expected = reference.client.wait(ref_id)["result"]["accuracies"]
+        finally:
+            reference.stop()
+
+        first = _Server(tmp_path / "state", checkpoint_every=2)
+        session_id = first.client.submit(spec)["session_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if (first.client.status(session_id)["trials"] or 0) >= 3:
+                break
+            time.sleep(0.05)
+        first.stop()  # kill the server mid-search
+
+        second = _Server(tmp_path / "state", checkpoint_every=2)
+        try:
+            assert second.client.status(session_id)["status"] in (
+                "queued", "running", "done")
+            final = second.client.wait(session_id)
+            assert final["status"] == "done"
+            assert final["trials"] == spec["max_trials"]
+            assert final["result"]["accuracies"] == expected
+        finally:
+            second.stop()
