@@ -203,6 +203,7 @@ def main() -> None:
     #      RPR001 determinism   RPR002 copy-on-write  RPR003 counter dicts
     #      RPR004 silent except RPR005 lock discipline
     #      RPR006 atomic writes RPR007 explicit encoding
+    #      RPR008 bounded retry loops
     #    Run `repro lint src/repro tests` (or `--json` in CI); suppress a
     #    justified exception inline with `# repro: lint-ignore[RPR001]`.
     from repro.lint import lint_paths
@@ -242,6 +243,46 @@ def main() -> None:
     print(f"\n[serve] session {session_id}: {served['status']} after "
           f"{served['trials']} trials, best accuracy "
           f"{served['result']['best_accuracy']:.4f}")
+
+    # 11. Surviving failures.  Long searches meet infrastructure faults:
+    #     a pool worker OOM-killed mid-evaluation, an evaluation that
+    #     hangs forever, a flaky IPC channel.  The engine recovers from
+    #     all three without changing results: a broken process pool is
+    #     rebuilt and its lost tasks resubmitted under a RetryPolicy
+    #     (bounded attempts, exponential backoff, seeded jitter); a task
+    #     that keeps killing its worker is quarantined as a failed record
+    #     with failure_kind="worker_crash" (innocent co-pending tasks are
+    #     never quarantined — the crash is attributed by re-running the
+    #     round one task at a time); eval_timeout arms a watchdog that
+    #     kills hung evaluations and records failure_kind="timeout".
+    #     Failure records carry zero timings and are never cached, so a
+    #     crash-and-recover run's surviving records are bit-for-bit
+    #     identical to a run that never faulted.  Every recovery path is
+    #     reproducibly testable through the chaos harness — a seeded
+    #     FaultPlan of worker kills / transient errors / hangs injected
+    #     at exact task indices:
+    #       REPRO_EVAL_TIMEOUT=300 REPRO_CHAOS='crash@2,delay@5:30!' \
+    #           repro search --dataset heart --backend process --n-jobs 4 ...
+    #     The same knobs as a library:
+    from repro.engine import RetryPolicy
+    faulty = SearchSession(
+        AutoFPProblem.from_arrays(
+            X, y, model="lr", random_state=0, name="heart/lr",
+            context=ExecutionContext(eval_timeout=300.0,
+                                     chaos="crash@2,error@5"),
+        ),
+        make_search_algorithm("rs", random_state=0),
+    )
+    survived = faulty.run(max_trials=10)
+    print(f"\n[faults] chaos plan crash@2,error@5 -> {len(survived)} trials, "
+          f"quarantined {sum(t.failure_kind is not None for t in survived.trials)}, "
+          f"best accuracy {survived.best_accuracy:.4f} "
+          f"(identical to the no-fault run: transient faults retry clean)")
+    print(f"[faults] RetryPolicy backoff: "
+          f"{[round(RetryPolicy(seed=0).delay(n), 4) for n in (1, 2, 3)]}s")
+    #     Under `repro serve`, a crash degrades /healthz (status
+    #     "degraded" + last_crash details) but sessions keep being
+    #     served; only a pool that cannot be rebuilt fails its session.
 
 
 if __name__ == "__main__":

@@ -87,6 +87,19 @@ class ExecutionContext:
         Directory receiving telemetry artifacts (``trace.jsonl``,
         ``heartbeat.json``).  Required for span tracing; ``None`` keeps
         counters in-memory only.
+    eval_timeout:
+        Optional per-evaluation deadline in seconds.  Enforced by a
+        watchdog on the process backend (a hung worker is killed and its
+        trial recorded with ``failure_kind="timeout"``) and as a soft
+        deadline on serial/thread backends.  Applies to engine-backed
+        runs; ``None`` disables deadlines.
+    chaos:
+        Optional :class:`~repro.engine.chaos.FaultPlan` spec string
+        (e.g. ``"crash@1,delay@4:30"``) — deterministic fault injection
+        for testing recovery paths.  :meth:`build_engine` wraps the
+        backend in a :class:`~repro.engine.chaos.ChaosBackend` (forcing
+        an engine even for serial runs, so faults have an envelope to
+        land in).  ``None`` (the default) injects nothing.
     """
 
     backend: str | None = None
@@ -98,6 +111,8 @@ class ExecutionContext:
     seed: int | None = None
     telemetry_mode: str = "off"
     telemetry_dir: str | None = None
+    eval_timeout: float | None = None
+    chaos: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -149,6 +164,21 @@ class ExecutionContext:
         if self.telemetry_dir is not None:
             object.__setattr__(self, "telemetry_dir",
                                os.fspath(self.telemetry_dir))
+        if self.eval_timeout is not None:
+            eval_timeout = float(self.eval_timeout)
+            if eval_timeout <= 0:
+                raise ValidationError(
+                    f"eval_timeout must be a positive number of seconds or "
+                    f"None, got {self.eval_timeout!r}"
+                )
+            object.__setattr__(self, "eval_timeout", eval_timeout)
+        if self.chaos is not None:
+            from repro.engine.chaos import FaultPlan
+
+            # Validate eagerly and normalise to the canonical spelling so
+            # equal plans compare/hash equal as contexts.
+            object.__setattr__(self, "chaos",
+                               FaultPlan.from_spec(self.chaos).to_spec())
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> dict:
@@ -186,8 +216,9 @@ class ExecutionContext:
         ``REPRO_CACHE_DIR``, ``REPRO_PREFIX_CACHE_MB`` (MiB, converted to
         bytes), ``REPRO_ASYNC`` (``1``/``true``/``yes`` enable),
         ``REPRO_MAX_TRIALS`` (``default_budget``), ``REPRO_SEED``,
-        ``REPRO_TELEMETRY`` (``off``/``counters``/``trace``) and
-        ``REPRO_TELEMETRY_DIR``.
+        ``REPRO_TELEMETRY`` (``off``/``counters``/``trace``),
+        ``REPRO_TELEMETRY_DIR``, ``REPRO_EVAL_TIMEOUT`` (seconds) and
+        ``REPRO_CHAOS`` (fault-plan spec).
         """
         environ = os.environ if environ is None else environ
         overrides: dict = {}
@@ -228,6 +259,17 @@ class ExecutionContext:
             overrides["telemetry_mode"] = read("TELEMETRY").strip().lower()
         if read("TELEMETRY_DIR") is not None:
             overrides["telemetry_dir"] = read("TELEMETRY_DIR").strip()
+        raw = read("EVAL_TIMEOUT")
+        if raw is not None:
+            try:
+                overrides["eval_timeout"] = float(raw)
+            except ValueError:
+                raise ValidationError(
+                    f"{_ENV_PREFIX}EVAL_TIMEOUT must be a number of seconds, "
+                    f"got {raw!r}"
+                ) from None
+        if read("CHAOS") is not None:
+            overrides["chaos"] = read("CHAOS").strip()
         base = base if base is not None else cls()
         return base.replace(**overrides) if overrides else base
 
@@ -268,10 +310,26 @@ class ExecutionContext:
         serial evaluation (no engine overhead) — the same rule as
         :func:`repro.engine.resolve_engine`.  Each call builds a fresh
         engine; the caller owns it (``engine.close()``).
+
+        With ``chaos`` set, the engine's backend is wrapped in a
+        :class:`~repro.engine.chaos.ChaosBackend` carrying this context's
+        fault plan — and an engine is built even for serial contexts, so
+        the injected faults always have a guarded envelope to land in.
         """
         from repro.engine import resolve_engine
 
-        return resolve_engine(self.n_jobs, self.backend)
+        engine = resolve_engine(self.n_jobs, self.backend,
+                                eval_timeout=self.eval_timeout)
+        if self.chaos is not None:
+            from repro.engine import ExecutionEngine
+            from repro.engine.chaos import ChaosBackend, FaultPlan
+
+            if engine is None:
+                engine = ExecutionEngine("serial",
+                                         eval_timeout=self.eval_timeout)
+            engine.backend = ChaosBackend(engine.backend,
+                                          FaultPlan.from_spec(self.chaos))
+        return engine
 
     def evaluator_options(self) -> dict:
         """Constructor options for a :class:`PipelineEvaluator`.
@@ -334,6 +392,10 @@ class ExecutionContext:
             if self.telemetry_dir is not None:
                 telemetry += f":{self.telemetry_dir}"
             parts.append(telemetry)
+        if self.eval_timeout is not None:
+            parts.append(f"eval_timeout={self.eval_timeout:g}s")
+        if self.chaos is not None:
+            parts.append(f"chaos={self.chaos}")
         return " ".join(parts)
 
 

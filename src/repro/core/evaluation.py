@@ -425,8 +425,15 @@ class PipelineEvaluator:
         return None
 
     def cache_store(self, key: tuple, entry: dict) -> None:
-        """Insert ``entry`` under ``key`` in the LRU and the disk cache."""
-        if not self.cache_enabled:
+        """Insert ``entry`` under ``key`` in the LRU and the disk cache.
+
+        Entries carrying a ``failure_kind`` (worker crash, deadline
+        expiry — see :mod:`repro.engine.faults`) are never cached: the
+        fault describes *this run's* infrastructure, not the pipeline,
+        and caching one would replay the fault into warm reruns and
+        break their equivalence with a no-fault run.
+        """
+        if not self.cache_enabled or entry.get("failure_kind") is not None:
             return
         self._memory_store(key, entry)
         if self._disk_cache is not None:
@@ -438,10 +445,13 @@ class PipelineEvaluator:
         The execution engine merges every parallel batch back through this
         method, so results computed by thread or process workers land in the
         persistent cache in a handful of appends instead of one per task.
+        Infrastructure-failure entries are skipped for the same reason as
+        in :meth:`cache_store`.
         """
         if not self.cache_enabled:
             return
-        items = list(items)
+        items = [(key, entry) for key, entry in items
+                 if entry.get("failure_kind") is None]
         for key, entry in items:
             self._memory_store(key, entry)
         if self._disk_cache is not None:
@@ -711,6 +721,7 @@ class PipelineEvaluator:
             fidelity=fidelity,
             iteration=iteration,
             phase_timings=phase_timings,
+            failure_kind=entry.get("failure_kind"),
         )
 
     def record_from_entry(self, task, entry: dict) -> TrialRecord:

@@ -41,6 +41,13 @@ class TrialRecord:
         populated only when telemetry is on.  Derived observability data:
         it never participates in result equality across backends, and
         checkpoints omit it when ``None``.
+    failure_kind:
+        ``None`` for a real evaluation (including pipelines that failed
+        to fit — those simply score 0.0).  ``"worker_crash"`` when the
+        trial was quarantined after repeatedly killing its worker,
+        ``"timeout"`` when it exceeded the evaluation deadline; such
+        records carry accuracy 0.0 and zero timings and are never
+        persisted to the evaluation caches.
     """
 
     pipeline: Pipeline
@@ -51,6 +58,7 @@ class TrialRecord:
     fidelity: float = 1.0
     iteration: int = 0
     phase_timings: dict | None = None
+    failure_kind: str | None = None
 
     @property
     def error(self) -> float:

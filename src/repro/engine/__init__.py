@@ -22,6 +22,14 @@ the substrate of the completion-driven search driver
 (:mod:`repro.search.async_driver`).  See :mod:`repro.engine.engine` for
 the dispatch logic and :func:`resolve_engine` for CLI-style option
 handling.
+
+Execution is fault tolerant: :mod:`repro.engine.faults` defines the
+failure taxonomy and :class:`~repro.engine.faults.RetryPolicy`, the
+backends recover from worker crashes and enforce evaluation deadlines,
+and :mod:`repro.engine.chaos` provides a deterministic fault-injection
+harness (:class:`~repro.engine.chaos.ChaosBackend` +
+:class:`~repro.engine.chaos.FaultPlan`) that makes every recovery path
+reproducibly testable.
 """
 
 from repro.engine.backends import (
@@ -35,11 +43,23 @@ from repro.engine.backends import (
     default_worker_count,
     make_backend,
 )
+from repro.engine.chaos import ChaosBackend, FaultPlan
 from repro.engine.engine import (
     ExecutionEngine,
     PendingTask,
     resolve_backend_name,
     resolve_engine,
+)
+from repro.engine.faults import (
+    FAILURE_KIND_CRASH,
+    FAILURE_KIND_TIMEOUT,
+    EvaluationTimeoutError,
+    InjectedFault,
+    RetryPolicy,
+    TransientEvaluationError,
+    WorkerCrashError,
+    classify_failure,
+    is_transient,
 )
 from repro.engine.tasks import EvalTask
 
@@ -50,6 +70,7 @@ __all__ = [
     "SerialFuture",
     "ThreadBackend",
     "ProcessBackend",
+    "ChaosBackend",
     "PendingTask",
     "BACKEND_CLASSES",
     "BACKEND_NAMES",
@@ -58,4 +79,14 @@ __all__ = [
     "ExecutionEngine",
     "resolve_backend_name",
     "resolve_engine",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "WorkerCrashError",
+    "TransientEvaluationError",
+    "EvaluationTimeoutError",
+    "FAILURE_KIND_CRASH",
+    "FAILURE_KIND_TIMEOUT",
+    "classify_failure",
+    "is_transient",
 ]

@@ -110,11 +110,21 @@ class ExecutionEngine:
     n_workers:
         Worker count for named backends; ``None`` or ``-1`` uses one
         worker per CPU core.
+    eval_timeout:
+        Optional per-evaluation deadline in seconds (see
+        :class:`~repro.engine.backends.ExecutionBackend`).
+    retry_policy:
+        Optional :class:`~repro.engine.faults.RetryPolicy` for transient
+        worker failures.
     """
 
     def __init__(self, backend: str | ExecutionBackend = "serial", *,
-                 n_workers: int | None = None) -> None:
-        self.backend = make_backend(backend, n_workers=n_workers)
+                 n_workers: int | None = None,
+                 eval_timeout: float | None = None,
+                 retry_policy=None) -> None:
+        self.backend = make_backend(backend, n_workers=n_workers,
+                                    eval_timeout=eval_timeout,
+                                    retry_policy=retry_policy)
         #: primaries still computing, keyed by (evaluator id, cache key) so a
         #: duplicate submission aliases the in-flight future instead of
         #: re-dispatching the same work.  Each entry carries a weakref to
@@ -394,19 +404,26 @@ def resolve_backend_name(n_jobs: int | None = None,
 
 
 def resolve_engine(n_jobs: int | None = None,
-                   backend: str | ExecutionBackend | None = None
-                   ) -> ExecutionEngine | None:
+                   backend: str | ExecutionBackend | None = None, *,
+                   eval_timeout: float | None = None,
+                   retry_policy=None) -> ExecutionEngine | None:
     """Build an engine from CLI-style ``n_jobs`` / ``backend`` options.
 
     Returns ``None`` (meaning: plain serial evaluation, no engine overhead)
     when the options resolve to single-worker serial execution (see
     :func:`resolve_backend_name`).  ``n_jobs=-1`` means one worker per CPU
-    core.
+    core.  ``eval_timeout`` / ``retry_policy`` configure the backend's
+    fault tolerance (ignored on the engineless serial path, which has no
+    pool to watch — use ``ExecutionContext.build_engine`` to force an
+    engine when a deadline matters).
     """
     if isinstance(backend, ExecutionBackend):
-        return ExecutionEngine(backend)
+        return ExecutionEngine(backend, eval_timeout=eval_timeout,
+                               retry_policy=retry_policy)
     name = resolve_backend_name(n_jobs, backend)
     if name == "serial":
         return None
     n_workers = None if n_jobs in (None, -1) else n_jobs
-    return ExecutionEngine(name, n_workers=n_workers)
+    return ExecutionEngine(name, n_workers=n_workers,
+                           eval_timeout=eval_timeout,
+                           retry_policy=retry_policy)

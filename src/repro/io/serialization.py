@@ -82,6 +82,8 @@ def trial_to_dict(trial: TrialRecord) -> dict:
     }
     if trial.phase_timings is not None:
         data["phase_timings"] = dict(trial.phase_timings)
+    if trial.failure_kind is not None:
+        data["failure_kind"] = trial.failure_kind
     return data
 
 
@@ -97,6 +99,7 @@ def trial_from_dict(data: Mapping) -> TrialRecord:
         fidelity=float(data.get("fidelity", 1.0)),
         iteration=int(data.get("iteration", 0)),
         phase_timings=dict(phase_timings) if phase_timings else None,
+        failure_kind=data.get("failure_kind"),
     )
 
 

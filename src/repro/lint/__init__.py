@@ -1,10 +1,10 @@
 """repro.lint — AST static analysis enforcing the reproduction's contracts.
 
 A zero-dependency lint pass with project-specific rules (``RPR001`` …
-``RPR007``) covering the invariants the runtime test matrices enforce
+``RPR008``) covering the invariants the runtime test matrices enforce
 the expensive way: determinism, copy-on-write transform inputs,
 centralized telemetry counters, no silent excepts, lock discipline,
-atomic writes and explicit text encodings.  See
+atomic writes, explicit text encodings and bounded retry loops.  See
 :mod:`repro.lint.rules` for the rule catalogue and
 :mod:`repro.lint.core` for the framework (registry, single-parse
 dispatch, ``# repro: lint-ignore[...]`` pragmas, per-path profiles).

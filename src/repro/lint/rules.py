@@ -1,4 +1,4 @@
-"""The project's invariant rules (RPR001–RPR007).
+"""The project's invariant rules (RPR001–RPR008).
 
 Each rule encodes one of the contracts the runtime test matrices enforce
 the expensive way, so violations surface at commit time instead of as
@@ -21,6 +21,9 @@ scale:
   files.
 * RPR007 — explicit text encodings: ``open()`` / ``read_text()`` /
   ``write_text()`` without ``encoding=`` depend on the host locale.
+* RPR008 — bounded retries: retry/poll loops that sleep must be bounded
+  by attempts or a deadline, and retry backoff routes through
+  ``repro.engine.faults.RetryPolicy`` rather than ad-hoc ``time.sleep``.
 """
 
 from __future__ import annotations
@@ -601,3 +604,80 @@ class ExplicitEncodingRule(Rule):
             ctx.report(self, node,
                        f"{label}() in text mode without encoding= depends "
                        "on the host locale — pass encoding=\"utf-8\"")
+
+
+# ------------------------------------------------------------------- RPR008
+@register_rule
+class BoundedRetryRule(Rule):
+    """Retry/poll loops must be bounded by attempts or a deadline."""
+
+    rule_id = "RPR008"
+    title = "bounded retries: no unbounded sleep loops"
+    rationale = (
+        "an unbounded retry loop turns one dead worker into a search that "
+        "hangs forever with nothing to diagnose; library retry loops are "
+        "bounded by attempts or a deadline, and backoff delays route "
+        "through repro.engine.faults.RetryPolicy (seeded jitter, capped "
+        "sleeps) instead of ad-hoc time.sleep"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.While, ast.ExceptHandler)
+    #: library code only: tests and benchmarks may poll at their leisure
+    path_fragments = ("repro/",)
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._sleep_names: set = set()   # names bound to time.sleep
+        self._time_modules: set = set()  # names bound to the time module
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    self._time_modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        self._sleep_names.add(alias.asname or "sleep")
+        elif isinstance(node, ast.While):
+            self._visit_while(node, ctx)
+        else:
+            self._visit_handler(node, ctx)
+
+    def _is_sleep_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self._sleep_names
+        parts = _dotted(func)
+        return (parts is not None and len(parts) == 2
+                and parts[0] in self._time_modules and parts[1] == "sleep")
+
+    def _visit_while(self, node: ast.While, ctx: FileContext) -> None:
+        # Only constant-true loops (`while True:` / `while 1:`): a real
+        # condition is itself the bound.
+        test = node.test
+        if not (isinstance(test, ast.Constant) and test.value):
+            return
+        sleeps = False
+        exits = False
+        for child in _scoped_walk(node):
+            if self._is_sleep_call(child):
+                sleeps = True
+            elif isinstance(child, (ast.Break, ast.Return, ast.Raise)):
+                exits = True
+        if sleeps and not exits:
+            ctx.report(self, node,
+                       "`while True` sleep loop with no break/return/raise "
+                       "— bound it by attempts or a deadline (see "
+                       "repro.engine.faults.RetryPolicy)")
+
+    def _visit_handler(self, node: ast.ExceptHandler,
+                       ctx: FileContext) -> None:
+        for child in _scoped_walk(node):
+            if self._is_sleep_call(child):
+                ctx.report(self, child,
+                           "ad-hoc retry backoff: time.sleep inside an "
+                           "except handler — route the delay through "
+                           "repro.engine.faults.RetryPolicy.sleep so it "
+                           "stays bounded, capped and seeded")

@@ -623,19 +623,37 @@ class SessionManager:
             return None  # not written yet, or mid-rotation
 
     def healthz(self) -> dict:
-        """Liveness summary: per-state session counts and capacity."""
+        """Liveness summary: per-state session counts and capacity.
+
+        ``status`` is ``"degraded"`` (with ``last_crash`` details) once
+        the shared engine's backend has lost a worker pool to a crash or
+        a blown evaluation deadline — deliberately sticky, so a scrape
+        between crash and recovery still reports that recovery happened;
+        sessions keep being served while degraded (the pool was rebuilt).
+        """
+        last_crash = (getattr(self.engine.backend, "last_crash", None)
+                      if self.engine is not None else None)
         with self._lock:
             counts: dict = {}
             for record in self._sessions.values():
                 counts[record.status] = counts.get(record.status, 0) + 1
-            return {
-                "status": "ok" if not self._closed else "shutdown",
+            if self._closed:
+                status = "shutdown"
+            elif last_crash is not None:
+                status = "degraded"
+            else:
+                status = "ok"
+            payload = {
+                "status": status,
                 "uptime": time.time() - self.started,
                 "sessions": counts,
                 "max_sessions": self.max_sessions,
                 "tenant_quota": self.tenant_quota,
                 "state_dir": str(self.state_dir),
             }
+            if last_crash is not None:
+                payload["last_crash"] = dict(last_crash)
+            return payload
 
     # ------------------------------------------------------------ durability
     def _save_manifest(self, record: ManagedSession) -> None:

@@ -1,0 +1,29 @@
+"""Intentionally violating fixture for RPR008 (bounded retries)."""
+
+import time
+from time import sleep as snooze
+
+
+def poll_forever(server):
+    # 1: `while True` sleep loop with no break/return/raise
+    while True:
+        if server.ready():
+            server.touch()
+        time.sleep(0.5)
+
+
+def poll_aliased(server):
+    # 2: `while 1:` with an aliased from-import sleep, still no exit
+    while 1:
+        snooze(0.1)
+        server.refresh()
+
+
+def ad_hoc_backoff(fetch):
+    # 3: time.sleep in an except handler — ad-hoc retry backoff
+    for attempt in range(3):
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(2 ** attempt)
+    return None

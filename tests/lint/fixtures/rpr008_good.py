@@ -1,0 +1,30 @@
+"""Clean counterpart fixture for RPR008 (bounded retries)."""
+
+import time
+
+from repro.engine.faults import RetryPolicy
+
+
+def poll_with_deadline(server, deadline):
+    # A sleep loop is fine when it can exit: this one breaks on a deadline.
+    while True:
+        if server.ready() or time.monotonic() > deadline:
+            break
+        time.sleep(0.5)
+
+
+def drain_until_empty(queue):
+    # A real loop condition is itself the bound; sleeping inside is fine.
+    while queue.pending():
+        time.sleep(0.1)
+
+
+def bounded_retry(fetch):
+    # Backoff routed through RetryPolicy: bounded, capped and seeded.
+    policy = RetryPolicy(max_attempts=3)
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fetch()
+        except OSError:
+            policy.sleep(attempt)
+    return None

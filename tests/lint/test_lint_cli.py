@@ -78,5 +78,5 @@ class TestOptions:
         code, output = run_cli("lint", "--list-rules")
         assert code == 0
         for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004",
-                        "RPR005", "RPR006", "RPR007"):
+                        "RPR005", "RPR006", "RPR007", "RPR008"):
             assert rule_id in output

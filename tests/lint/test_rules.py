@@ -29,6 +29,7 @@ RULE_CASES = {
     "RPR005": (LIBRARY_PATH, 3),
     "RPR006": (LIBRARY_PATH, 4),
     "RPR007": (LIBRARY_PATH, 5),
+    "RPR008": (LIBRARY_PATH, 3),
 }
 
 

@@ -181,8 +181,14 @@ class TestDurability:
         finally:
             reference.shutdown()
 
-        first = SessionManager(state_dir=tmp_path / "state",
-                               checkpoint_every=2)
+        # A chaos delay pins the fourth evaluation for a few seconds so the
+        # kill deterministically lands mid-search (cached repeat trials can
+        # otherwise finish the whole run before shutdown takes effect).
+        # Delays change timing only, never results.
+        first = SessionManager(
+            state_dir=tmp_path / "state", checkpoint_every=2,
+            base_context=ExecutionContext(chaos="delay@3:2.5"),
+        )
         session_id = first.submit(spec)
         _wait_for(lambda: (first.status(session_id)["trials"] or 0) >= 3,
                   message="a few trials before the kill")
