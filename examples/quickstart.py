@@ -284,6 +284,46 @@ def main() -> None:
     #     "degraded" + last_crash details) but sessions keep being
     #     served; only a pool that cannot be rebuilt fails its session.
 
+    # 12. Scaling out.  The "remote" backend distributes evaluations over
+    #     worker daemons on any machines that can reach the coordinator.
+    #     The search process binds a coordinator socket and prints its
+    #     address; `repro worker` daemons dial it, register their core
+    #     counts, lease evaluations and stream results back while
+    #     heartbeating.  Membership is elastic (workers may join or leave
+    #     mid-search), a worker that dies is detected by heartbeat
+    #     silence and its in-flight evaluations are resubmitted to
+    #     survivors under the §11 RetryPolicy, and workers pointed at a
+    #     shared --cache-dir deduplicate results across machines through
+    #     the persistent eval cache.  On real machines:
+    #       # terminal 1 — the search binds the coordinator:
+    #       repro search --dataset heart --backend remote \
+    #           --remote-coordinator 0.0.0.0:8643 --max-trials 40
+    #       # terminals 2+3 (any reachable host) — two workers:
+    #       repro worker --coordinator <host>:8643 --cores 4
+    #       repro worker --coordinator <host>:8643 --cores 4
+    #       # now `kill` one worker mid-run: the search finishes on the
+    #       # survivor with results identical to an undisturbed run.
+    #     The same fleet in-process (what the tests and CI smoke use),
+    #     with a chaos fault that drops one of the two workers at
+    #     dispatch index 5 — mid-search, with leases in flight:
+    from repro.engine import ChaosBackend, ExecutionEngine
+    from repro.engine.remote import start_loopback
+
+    remote_backend, remote_workers = start_loopback(2)
+    remote_problem = AutoFPProblem.from_arrays(
+        X, y, model="lr", random_state=0, name="heart/lr")
+    remote_problem.evaluator.set_engine(
+        ExecutionEngine(ChaosBackend(remote_backend, "drop_worker@5")))
+    distributed = make_search_algorithm("pbt", random_state=0).search(
+        remote_problem, max_trials=40)
+    remote_problem.evaluator.engine.close()
+    for remote_worker in remote_workers:
+        remote_worker.stop()
+    print(f"\n[remote] 2-worker fleet, one dropped mid-search: "
+          f"{len(distributed)} trials, best accuracy "
+          f"{distributed.best_accuracy:.4f} — identical to serial: "
+          f"{distributed.best_accuracy == best.best_accuracy}")
+
 
 if __name__ == "__main__":
     main()

@@ -25,6 +25,10 @@ driven without writing Python:
   copy-on-write, telemetry counters, atomic IO, ... — the ``RPRxxx``
   rules, see ``repro lint --list-rules``) over source trees; ``--json``
   emits the machine-readable report CI archives,
+* ``python -m repro worker`` — run one distributed-execution worker
+  daemon: it registers with a ``--backend remote`` search's coordinator,
+  leases evaluations, heartbeats, and shares the persistent eval cache
+  (point ``--cache-dir`` at shared storage for cross-machine dedup),
 * ``python -m repro serve`` — run the search-as-a-service HTTP server
   (:mod:`repro.serve`): concurrent sessions over one shared engine and
   cache root, per-tenant trial quotas, durable per-session checkpoints
@@ -103,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--backend", choices=BACKEND_NAMES, default=None,
                              help="execution backend (default: process when "
                                   "--n-jobs asks for parallelism)")
+        command.add_argument("--remote-coordinator", default=None,
+                             metavar="HOST:PORT",
+                             help="with --backend remote: the address the "
+                                  "coordinator binds and workers dial "
+                                  "(default 127.0.0.1:0, an ephemeral "
+                                  "loopback port printed at startup)")
+        command.add_argument("--worker-timeout", type=float, default=None,
+                             metavar="S",
+                             help="with --backend remote: seconds without a "
+                                  "heartbeat before a worker is declared "
+                                  "dead (default 10)")
 
     def add_async_option(command) -> None:
         command.add_argument("--async", dest="async_mode", action="store_true",
@@ -296,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tenant-quota", type=int, default=None, metavar="N",
                        help="per-tenant trial quota enforced at submission "
                             "time (default: unlimited)")
+    serve.add_argument("--tenant-weight", action="append", default=None,
+                       metavar="TENANT=W", dest="tenant_weights",
+                       help="fair-share weight for a tenant's queued "
+                            "sessions (repeatable; unlisted tenants get "
+                            "weight 1; higher = more of the session slots)")
     serve.add_argument("--checkpoint-every", type=int, default=5, metavar="N",
                        help="trials between automatic per-session "
                             "checkpoints (default 5)")
@@ -351,6 +371,23 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--timeout", type=float, default=10.0, metavar="S",
                         help="per-poll wait in seconds with --follow "
                              "(default 10)")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run one distributed-execution worker daemon "
+             "(pairs with a --backend remote search)")
+    worker.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                        help="address of the search's remote coordinator "
+                             "(printed by a --backend remote run, or fixed "
+                             "via --remote-coordinator)")
+    worker.add_argument("--cores", type=int, default=None, metavar="N",
+                        help="concurrent evaluations this worker leases "
+                             "(default: all cores)")
+    worker.add_argument("--connect-timeout", type=float, default=10.0,
+                        metavar="S",
+                        help="seconds to keep retrying the initial "
+                             "connection, so workers may start before the "
+                             "coordinator (default 10)")
     return parser
 
 
@@ -462,7 +499,18 @@ def _resolve_context(args):
         overrides["telemetry_mode"] = args.telemetry
     if getattr(args, "telemetry_dir", None):
         overrides["telemetry_dir"] = args.telemetry_dir
+    if getattr(args, "remote_coordinator", None):
+        overrides["remote_coordinator"] = args.remote_coordinator
+    if getattr(args, "worker_timeout", None) is not None:
+        overrides["worker_timeout"] = args.worker_timeout
     return context.replace(**overrides) if overrides else context
+
+
+def _remote_address(engine) -> str | None:
+    """The coordinator address of a remote-backed engine, else ``None``."""
+    backend = getattr(engine, "backend", None)
+    backend = getattr(backend, "inner", backend)  # unwrap ChaosBackend
+    return getattr(backend, "coordinator_address", None)
 
 
 def _cmd_search(args, out) -> int:
@@ -522,6 +570,13 @@ def _cmd_search(args, out) -> int:
             checkpoint_every=(args.checkpoint_every if checkpoint else None),
         )
         session.result.baseline_accuracy = baseline
+        address = _remote_address(problem.evaluator.engine)
+        if address is not None:
+            # Workers need this line to dial in; flush before blocking.
+            out.write(f"coordinator  : {address} (join with "
+                      f"`repro worker --coordinator {address}`)\n")
+            if hasattr(out, "flush"):
+                out.flush()
         result = session.run(max_trials=args.max_trials)
 
     if problem.evaluator.engine is not None:
@@ -800,12 +855,26 @@ def _cmd_serve(args, out) -> int:
     from repro.serve import SessionManager, build_server
 
     context = _resolve_context(args)
+    tenant_weights: dict = {}
+    for item in args.tenant_weights or ():
+        tenant, sep, weight = item.partition("=")
+        if not sep or not tenant:
+            out.write(f"error: bad --tenant-weight {item!r}: "
+                      f"expected TENANT=WEIGHT\n")
+            return 2
+        try:
+            tenant_weights[tenant] = float(weight)
+        except ValueError:
+            out.write(f"error: bad --tenant-weight {item!r}: "
+                      f"{weight!r} is not a number\n")
+            return 2
     manager = SessionManager(
         base_context=context,
         state_dir=args.state_dir,
         max_sessions=args.max_sessions,
         tenant_quota=args.tenant_quota,
         checkpoint_every=args.checkpoint_every,
+        tenant_weights=tenant_weights or None,
     )
     server = build_server(manager, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -833,6 +902,25 @@ def _cmd_serve(args, out) -> int:
     out.write(f"stopped      : state kept under {manager.state_dir} "
               f"(serve again with --state-dir to resume)\n")
     return 0
+
+
+def _cmd_worker(args, out) -> int:
+    from repro.engine import default_worker_count
+    from repro.engine.remote import RemoteWorker
+
+    cores = args.cores if args.cores is not None else default_worker_count()
+    worker = RemoteWorker(args.coordinator, cores=cores,
+                          connect_timeout=args.connect_timeout)
+    out.write(f"worker       : dialing {args.coordinator} "
+              f"({cores} core(s))\n")
+    if hasattr(out, "flush"):
+        out.flush()
+    # No SIGTERM handler on purpose: a killed worker dies *ungracefully*,
+    # which is exactly the failure the coordinator's heartbeat detection
+    # and crash recovery exist for (and what the CI smoke asserts).
+    code = worker.run()
+    out.write("worker       : coordinator shut down, exiting\n")
+    return code
 
 
 def _cmd_submit(args, out) -> int:
@@ -946,6 +1034,7 @@ _COMMANDS = {
     "metafeatures": _cmd_metafeatures,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "events": _cmd_events,

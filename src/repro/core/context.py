@@ -53,9 +53,10 @@ class ExecutionContext:
     Attributes
     ----------
     backend:
-        Execution backend name (``"serial"``/``"thread"``/``"process"``)
-        or ``None`` to auto-select from ``n_jobs`` (process when parallel,
-        serial otherwise — see :func:`repro.engine.resolve_backend_name`).
+        Execution backend name (``"serial"``/``"thread"``/``"process"``/
+        ``"remote"``) or ``None`` to auto-select from ``n_jobs`` (process
+        when parallel, serial otherwise — see
+        :func:`repro.engine.resolve_backend_name`).
     n_jobs:
         Parallel workers (``-1`` = one per CPU core, ``None``/``1`` =
         serial).
@@ -100,6 +101,16 @@ class ExecutionContext:
         backend in a :class:`~repro.engine.chaos.ChaosBackend` (forcing
         an engine even for serial runs, so faults have an envelope to
         land in).  ``None`` (the default) injects nothing.
+    remote_coordinator:
+        ``"host:port"`` the ``"remote"`` backend binds its coordinator
+        on (workers connect there with ``repro worker``).  ``None``
+        binds loopback on an ephemeral port.  Only meaningful with
+        ``backend="remote"``; ignored otherwise, so the env var can be
+        exported fleet-wide.
+    worker_timeout:
+        Seconds of heartbeat silence before the remote coordinator
+        declares a worker dead and recovers its in-flight tasks.
+        ``None`` uses the coordinator default (10s).
     """
 
     backend: str | None = None
@@ -113,6 +124,8 @@ class ExecutionContext:
     telemetry_dir: str | None = None
     eval_timeout: float | None = None
     chaos: str | None = None
+    remote_coordinator: str | None = None
+    worker_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -179,6 +192,22 @@ class ExecutionContext:
             # equal plans compare/hash equal as contexts.
             object.__setattr__(self, "chaos",
                                FaultPlan.from_spec(self.chaos).to_spec())
+        if self.remote_coordinator is not None:
+            from repro.engine.remote import format_address, parse_address
+
+            # Validate eagerly and normalise ("8125" -> "127.0.0.1:8125")
+            # so equal addresses compare/hash equal as contexts.
+            object.__setattr__(
+                self, "remote_coordinator",
+                format_address(parse_address(self.remote_coordinator)))
+        if self.worker_timeout is not None:
+            worker_timeout = float(self.worker_timeout)
+            if worker_timeout <= 0:
+                raise ValidationError(
+                    f"worker_timeout must be a positive number of seconds "
+                    f"or None, got {self.worker_timeout!r}"
+                )
+            object.__setattr__(self, "worker_timeout", worker_timeout)
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> dict:
@@ -217,8 +246,9 @@ class ExecutionContext:
         bytes), ``REPRO_ASYNC`` (``1``/``true``/``yes`` enable),
         ``REPRO_MAX_TRIALS`` (``default_budget``), ``REPRO_SEED``,
         ``REPRO_TELEMETRY`` (``off``/``counters``/``trace``),
-        ``REPRO_TELEMETRY_DIR``, ``REPRO_EVAL_TIMEOUT`` (seconds) and
-        ``REPRO_CHAOS`` (fault-plan spec).
+        ``REPRO_TELEMETRY_DIR``, ``REPRO_EVAL_TIMEOUT`` (seconds),
+        ``REPRO_CHAOS`` (fault-plan spec), ``REPRO_REMOTE_COORDINATOR``
+        (``host:port``) and ``REPRO_WORKER_TIMEOUT`` (seconds).
         """
         environ = os.environ if environ is None else environ
         overrides: dict = {}
@@ -270,6 +300,17 @@ class ExecutionContext:
                 ) from None
         if read("CHAOS") is not None:
             overrides["chaos"] = read("CHAOS").strip()
+        if read("REMOTE_COORDINATOR") is not None:
+            overrides["remote_coordinator"] = read("REMOTE_COORDINATOR").strip()
+        raw = read("WORKER_TIMEOUT")
+        if raw is not None:
+            try:
+                overrides["worker_timeout"] = float(raw)
+            except ValueError:
+                raise ValidationError(
+                    f"{_ENV_PREFIX}WORKER_TIMEOUT must be a number of "
+                    f"seconds, got {raw!r}"
+                ) from None
         base = base if base is not None else cls()
         return base.replace(**overrides) if overrides else base
 
@@ -319,7 +360,9 @@ class ExecutionContext:
         from repro.engine import resolve_engine
 
         engine = resolve_engine(self.n_jobs, self.backend,
-                                eval_timeout=self.eval_timeout)
+                                eval_timeout=self.eval_timeout,
+                                remote_coordinator=self.remote_coordinator,
+                                worker_timeout=self.worker_timeout)
         if self.chaos is not None:
             from repro.engine import ExecutionEngine
             from repro.engine.chaos import ChaosBackend, FaultPlan
@@ -396,6 +439,10 @@ class ExecutionContext:
             parts.append(f"eval_timeout={self.eval_timeout:g}s")
         if self.chaos is not None:
             parts.append(f"chaos={self.chaos}")
+        if self.remote_coordinator is not None:
+            parts.append(f"coordinator={self.remote_coordinator}")
+        if self.worker_timeout is not None:
+            parts.append(f"worker_timeout={self.worker_timeout:g}s")
         return " ".join(parts)
 
 

@@ -11,7 +11,11 @@ experiment grids — on a pluggable backend:
 * :class:`~repro.engine.backends.ThreadBackend` — a thread pool, sharing
   the evaluator's memory;
 * :class:`~repro.engine.backends.ProcessBackend` — a process pool for true
-  CPU parallelism.
+  CPU parallelism;
+* :class:`~repro.engine.remote.RemoteBackend` — a coordinator serving
+  registered ``repro worker`` daemons, possibly on other machines, with
+  heartbeat failure detection and the shared persistent eval cache as
+  the cross-machine result substrate.
 
 All backends preserve task order and the engine merges results back into
 the evaluator's memoization cache, so every backend produces bit-for-bit
@@ -50,6 +54,12 @@ from repro.engine.engine import (
     resolve_backend_name,
     resolve_engine,
 )
+from repro.engine.remote import (
+    Coordinator,
+    RemoteBackend,
+    RemoteWorker,
+    start_loopback,
+)
 from repro.engine.faults import (
     FAILURE_KIND_CRASH,
     FAILURE_KIND_TIMEOUT,
@@ -70,6 +80,10 @@ __all__ = [
     "SerialFuture",
     "ThreadBackend",
     "ProcessBackend",
+    "RemoteBackend",
+    "RemoteWorker",
+    "Coordinator",
+    "start_loopback",
     "ChaosBackend",
     "PendingTask",
     "BACKEND_CLASSES",

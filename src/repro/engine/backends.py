@@ -899,24 +899,31 @@ class ProcessBackend(ExecutionBackend):
             submit_pool.shutdown(wait=True, cancel_futures=True)
 
 
-#: backends keyed by their registry name
+#: backends keyed by their registry name; "remote" lives in
+#: :mod:`repro.engine.remote` and is resolved lazily by make_backend
+#: (that package imports this module, so eager registration would be a
+#: circular import)
 BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
 }
 
-BACKEND_NAMES: tuple[str, ...] = tuple(BACKEND_CLASSES)
+BACKEND_NAMES: tuple[str, ...] = tuple(BACKEND_CLASSES) + ("remote",)
 
 
 def make_backend(backend, *, n_workers: int | None = None,
                  eval_timeout: float | None = None,
-                 retry_policy: RetryPolicy | None = None) -> ExecutionBackend:
+                 retry_policy: RetryPolicy | None = None,
+                 remote_coordinator: str | None = None,
+                 worker_timeout: float | None = None) -> ExecutionBackend:
     """Resolve a backend name (or pass through an instance).
 
     On an instance pass-through, ``eval_timeout`` / ``retry_policy`` are
     applied only when given explicitly, so a pre-configured backend keeps
-    its settings.
+    its settings.  ``remote_coordinator`` / ``worker_timeout`` configure
+    the ``"remote"`` backend and are rejected for any other name —
+    silently ignoring them would hide a misconfigured deployment.
     """
     if isinstance(backend, ExecutionBackend):
         if eval_timeout is not None:
@@ -924,10 +931,22 @@ def make_backend(backend, *, n_workers: int | None = None,
         if retry_policy is not None:
             backend.retry_policy = retry_policy
         return backend
+    if backend == "remote":
+        from repro.engine.remote import RemoteBackend
+
+        return RemoteBackend(n_workers=n_workers, eval_timeout=eval_timeout,
+                             retry_policy=retry_policy,
+                             coordinator=remote_coordinator,
+                             worker_timeout=worker_timeout)
+    if remote_coordinator is not None or worker_timeout is not None:
+        raise ValidationError(
+            f"remote_coordinator/worker_timeout only apply to the "
+            f"'remote' backend, not {backend!r}"
+        )
     if backend not in BACKEND_CLASSES:
         raise UnknownComponentError(
             f"Unknown execution backend {backend!r}. "
-            f"Known backends: {sorted(BACKEND_CLASSES)}"
+            f"Known backends: {sorted(BACKEND_NAMES)}"
         )
     return BACKEND_CLASSES[backend](n_workers=n_workers,
                                     eval_timeout=eval_timeout,

@@ -20,6 +20,11 @@ Wired through :class:`~repro.core.context.ExecutionContext` via the
 ``kind@index``, with ``:seconds`` for delay duration and a trailing ``!``
 marking the fault sticky (it follows the task through every retry, which
 is how quarantine is exercised).
+
+``drop_worker@index`` is the membership fault for the remote backend:
+when dispatch reaches that index, a live worker is forcibly
+disconnected (lowest worker id, so the victim is deterministic) and the
+task itself ships clean — replaying a machine loss mid-search.
 """
 
 from __future__ import annotations
@@ -244,6 +249,19 @@ class ChaosBackend(ExecutionBackend):
     def _wrap(self, item):
         fault = self.plan.fault_at(self._next_index())
         if fault is None:
+            return item
+        if fault.kind == "drop_worker":
+            # A membership fault: disconnect a live worker *now*, at this
+            # deterministic dispatch index, and ship the item clean — the
+            # inner backend's heartbeat/crash machinery owns the fallout.
+            drop = getattr(self.inner, "drop_worker", None)
+            if drop is None:
+                raise ValidationError(
+                    f"drop_worker faults need a backend with worker "
+                    f"membership (the 'remote' backend); "
+                    f"{type(self.inner).__name__} has none"
+                )
+            drop()
             return item
         return FaultInjection(item, fault)
 

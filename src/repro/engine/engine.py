@@ -121,10 +121,14 @@ class ExecutionEngine:
     def __init__(self, backend: str | ExecutionBackend = "serial", *,
                  n_workers: int | None = None,
                  eval_timeout: float | None = None,
-                 retry_policy=None) -> None:
+                 retry_policy=None,
+                 remote_coordinator: str | None = None,
+                 worker_timeout: float | None = None) -> None:
         self.backend = make_backend(backend, n_workers=n_workers,
                                     eval_timeout=eval_timeout,
-                                    retry_policy=retry_policy)
+                                    retry_policy=retry_policy,
+                                    remote_coordinator=remote_coordinator,
+                                    worker_timeout=worker_timeout)
         #: primaries still computing, keyed by (evaluator id, cache key) so a
         #: duplicate submission aliases the in-flight future instead of
         #: re-dispatching the same work.  Each entry carries a weakref to
@@ -406,7 +410,10 @@ def resolve_backend_name(n_jobs: int | None = None,
 def resolve_engine(n_jobs: int | None = None,
                    backend: str | ExecutionBackend | None = None, *,
                    eval_timeout: float | None = None,
-                   retry_policy=None) -> ExecutionEngine | None:
+                   retry_policy=None,
+                   remote_coordinator: str | None = None,
+                   worker_timeout: float | None = None
+                   ) -> ExecutionEngine | None:
     """Build an engine from CLI-style ``n_jobs`` / ``backend`` options.
 
     Returns ``None`` (meaning: plain serial evaluation, no engine overhead)
@@ -415,7 +422,10 @@ def resolve_engine(n_jobs: int | None = None,
     core.  ``eval_timeout`` / ``retry_policy`` configure the backend's
     fault tolerance (ignored on the engineless serial path, which has no
     pool to watch — use ``ExecutionContext.build_engine`` to force an
-    engine when a deadline matters).
+    engine when a deadline matters).  ``remote_coordinator`` /
+    ``worker_timeout`` are forwarded only when the resolved backend is
+    ``"remote"``: a globally exported ``REPRO_REMOTE_COORDINATOR`` must
+    not break contexts that run serial or process backends.
     """
     if isinstance(backend, ExecutionBackend):
         return ExecutionEngine(backend, eval_timeout=eval_timeout,
@@ -424,6 +434,11 @@ def resolve_engine(n_jobs: int | None = None,
     if name == "serial":
         return None
     n_workers = None if n_jobs in (None, -1) else n_jobs
+    if name != "remote":
+        remote_coordinator = None
+        worker_timeout = None
     return ExecutionEngine(name, n_workers=n_workers,
                            eval_timeout=eval_timeout,
-                           retry_policy=retry_policy)
+                           retry_policy=retry_policy,
+                           remote_coordinator=remote_coordinator,
+                           worker_timeout=worker_timeout)

@@ -189,8 +189,12 @@ class RetryPolicy:
 
 
 # ----------------------------------------------------------- fault injection
-#: the fault kinds a chaos plan can schedule
-CHAOS_FAULT_KINDS = ("crash", "error", "delay")
+#: the fault kinds a chaos plan can schedule.  ``drop_worker`` is a
+#: *membership* fault — it disconnects a live remote worker instead of
+#: sabotaging the task itself — and is intercepted by the chaos backend
+#: before the work item ships (see ``ChaosBackend._wrap``); it must
+#: never reach the per-task apply functions below.
+CHAOS_FAULT_KINDS = ("crash", "error", "delay", "drop_worker")
 
 
 @dataclass(frozen=True)
@@ -269,6 +273,11 @@ def apply_fault_in_worker(fault: InjectedFault) -> None:
     OOM kill or segfault looks like to the parent (``BrokenProcessPool``
     on every in-flight future of the pool).
     """
+    if fault.kind == "drop_worker":
+        raise ValidationError(
+            "drop_worker is a membership fault handled by the chaos "
+            "backend before dispatch; it cannot be applied to a task"
+        )
     if fault.kind == "crash":
         os._exit(CRASH_EXIT_CODE)
     if fault.kind == "delay":
@@ -287,6 +296,11 @@ def apply_fault_inline(fault: InjectedFault) -> None:
     envelope to catch, simulating the recovery path the process backend
     takes for real.
     """
+    if fault.kind == "drop_worker":
+        raise ValidationError(
+            "drop_worker is a membership fault handled by the chaos "
+            "backend before dispatch; it cannot be applied to a task"
+        )
     if fault.kind == "crash":
         raise WorkerCrashError("chaos: injected worker crash")
     if fault.kind == "delay":

@@ -1,0 +1,65 @@
+"""Distributed execution: the ``"remote"`` backend and its worker daemon.
+
+Select it like any other backend — ``backend="remote"`` /
+``REPRO_BACKEND=remote`` / ``--backend remote`` — then point one or more
+``repro worker`` daemons at the coordinator address it binds
+(``remote_coordinator`` on the context, ``REPRO_REMOTE_COORDINATOR``).
+See :mod:`repro.engine.remote.protocol` for the wire format and trust
+model, :mod:`repro.engine.remote.coordinator` for membership/liveness
+and :mod:`repro.engine.remote.backend` for the recovery semantics.
+"""
+
+from __future__ import annotations
+
+from repro.engine.remote.backend import DEFAULT_COORDINATOR, RemoteBackend
+from repro.engine.remote.coordinator import (
+    DEFAULT_WORKER_TIMEOUT,
+    Coordinator,
+    RemoteTaskError,
+)
+from repro.engine.remote.protocol import (
+    RemoteProtocolError,
+    format_address,
+    parse_address,
+)
+from repro.engine.remote.worker import RemoteWorker
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_COORDINATOR",
+    "DEFAULT_WORKER_TIMEOUT",
+    "RemoteBackend",
+    "RemoteProtocolError",
+    "RemoteTaskError",
+    "RemoteWorker",
+    "format_address",
+    "parse_address",
+    "start_loopback",
+]
+
+
+def start_loopback(size: int = 2, *, cores_each: int = 1,
+                   timeout: float = 30.0, **backend_options):
+    """A :class:`RemoteBackend` plus ``size`` in-thread workers.
+
+    The test/bench harness for the remote path: workers run as daemon
+    threads in this process (``crash_mode="disconnect"``), connected
+    over real loopback sockets on an ephemeral port.  Returns
+    ``(backend, workers)``; closing the backend shuts the workers down.
+    ``backend_options`` pass through to :class:`RemoteBackend` — note
+    the capacity *cap* there is also named ``n_workers``, which is why
+    the fleet headcount here is ``size``.
+    """
+    backend = RemoteBackend(**backend_options)
+    workers = []
+    for _ in range(size):
+        worker = RemoteWorker(backend.coordinator_address, cores=cores_each,
+                              crash_mode="disconnect")
+        worker.start()
+        workers.append(worker)
+    if not backend.wait_for_workers(size, timeout=timeout):
+        backend.close()
+        raise TimeoutError(
+            f"only {backend.worker_count}/{size} loopback workers "
+            f"registered within {timeout}s")
+    return backend, workers

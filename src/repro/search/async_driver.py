@@ -124,7 +124,6 @@ class AsyncSearchDriver:
             # No engine attached: completion-driven execution degenerates to
             # the serial reference via a private lazy-futures engine.
             engine = ExecutionEngine("serial")
-        n_workers = self.n_workers or engine.n_workers
         interruptible = budget.can_interrupt()
 
         iteration = int(state.get("iteration", 0))
@@ -211,6 +210,13 @@ class AsyncSearchDriver:
         paused = False
         try:
             while True:
+                # Re-read capacity every cycle: an elastic backend (the
+                # remote fleet) grows and shrinks as workers join and
+                # leave, and the in-flight depth must track it.  Fixed
+                # backends return a constant, so this changes nothing
+                # for them.
+                n_workers = self.n_workers or engine.n_workers
+
                 # Fill free worker slots from the admitted backlog.
                 while queue and len(inflight) < n_workers:
                     task, key, charge = queue.popleft()

@@ -14,9 +14,13 @@ Responsibilities:
   quotas checked through the budget protocol's ``admits()`` at submit
   time (a tenant over quota is refused with
   :class:`AdmissionError`), plus a ``max_sessions`` cap on concurrently
-  *running* sessions: excess submissions queue FIFO and start as slots
-  free up.  Cancelling a session refunds its unused trial remainder to
-  the tenant's quota, mirroring the engine's budget-refund semantics.
+  *running* sessions: excess submissions queue and start as slots free
+  up under weighted fair scheduling (:class:`_FairScheduler`) — each
+  tenant's queue drains in submission order, but *which* tenant gets the
+  next free slot is the one with the smallest virtual finish time, so a
+  tenant flooding the queue cannot starve the others.  Cancelling a
+  session refunds its unused trial remainder to the tenant's quota,
+  mirroring the engine's budget-refund semantics.
 * **lifecycle** — submit / pause / resume / cancel / checkpoint, all at
   trial boundaries via the session's own machinery.  Trial, batch and
   checkpoint callbacks append to a per-session event log that
@@ -200,6 +204,76 @@ class ManagedSession:
         }
 
 
+class _FairScheduler:
+    """Weighted fair queueing over tenants for free session slots.
+
+    Fair queueing on a virtual clock: tenant ``t`` with weight ``w``
+    starting a session of cost ``c`` (its ``max_trials``) is stamped
+    with a virtual start tag ``max(V, vft(t))`` and finish tag
+    ``start + c / w``, and whenever a slot frees up the earliest-queued
+    session of the tenant with the *smallest* finish tag starts.  Finish
+    ties go to the smaller start tag — the tenant that has effectively
+    waited longer — and only then to the earlier submission; without the
+    start-tag tie-break, equal-cost backlogged tenants tie on every pick
+    and insertion order alone would starve the later one.  ``V``
+    advances to the start tag of each started session, so an idle tenant
+    cannot bank unbounded credit.  Heavier weights mean proportionally
+    more of the slots; a tenant that floods the queue only raises its
+    own finish tags and cannot starve a light tenant, whose single
+    queued session keeps the smallest stamp.
+
+    Purely deterministic — no wall clock, no randomness — so a given
+    submission sequence always starts in the same order.  Not
+    thread-safe: the manager calls it with its lock held.
+    """
+
+    __slots__ = ("weights", "virtual_time", "finish_times")
+
+    def __init__(self, weights=None) -> None:
+        validated: dict = {}
+        for tenant, weight in dict(weights or {}).items():
+            weight = float(weight)
+            if weight <= 0:
+                raise ValidationError(
+                    f"tenant weights must be > 0, got {weight:g} for "
+                    f"tenant {str(tenant)!r}"
+                )
+            validated[str(tenant)] = weight
+        self.weights = validated
+        self.virtual_time = 0.0
+        self.finish_times: dict = {}  # tenant -> last virtual finish time
+
+    def weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, 1.0)
+
+    def take(self, queued) -> "ManagedSession | None":
+        """Pick (and charge for) the next session to start.
+
+        ``queued`` is the queued sessions in submission order; only the
+        first session of each tenant is eligible, so a tenant's own queue
+        stays FIFO.
+        """
+        heads: dict = {}
+        for record in queued:
+            heads.setdefault(record.spec["tenant"], record)
+        choice = None
+        choice_start = choice_finish = 0.0
+        for tenant, record in heads.items():
+            start = max(self.virtual_time, self.finish_times.get(tenant, 0.0))
+            finish = start + record.spec["max_trials"] / self.weight(tenant)
+            # strict <: insertion order of `heads` is submission order, so
+            # full ties keep the earliest-submitted head.  Finish ties
+            # break on the smaller start tag first (the longer-waiting
+            # tenant), or equal-cost floods would win every tie forever.
+            if choice is None or (finish, start) < (choice_finish,
+                                                    choice_start):
+                choice, choice_start, choice_finish = record, start, finish
+        if choice is not None:
+            self.finish_times[choice.spec["tenant"]] = choice_finish
+            self.virtual_time = choice_start
+        return choice
+
+
 class SessionManager:
     """Run many concurrent search sessions over shared execution resources.
 
@@ -216,19 +290,26 @@ class SessionManager:
         recovers every in-flight session.  Defaults to a fresh temp dir
         (no cross-restart durability).
     max_sessions:
-        Concurrently *running* sessions; excess submissions queue FIFO.
+        Concurrently *running* sessions; excess submissions queue and
+        start under weighted fair scheduling (see :class:`_FairScheduler`).
     tenant_quota:
         Per-tenant trial quota enforced through ``TrialBudget.admits()``
         at submission time; ``None`` disables per-tenant admission.
     checkpoint_every:
         Trials between automatic checkpoints for every managed session —
         the restart-resume granularity.
+    tenant_weights:
+        Fair-share weights for queued-session scheduling, e.g.
+        ``{"paid": 4.0}``; unlisted tenants weigh 1.  ``None`` means
+        every tenant weighs the same (which is still fair scheduling,
+        not FIFO: one tenant's backlog cannot starve another's).
     """
 
     def __init__(self, *, base_context: ExecutionContext | None = None,
                  state_dir=None, max_sessions: int = 2,
                  tenant_quota: int | None = None,
-                 checkpoint_every: int = 5) -> None:
+                 checkpoint_every: int = 5,
+                 tenant_weights: dict | None = None) -> None:
         max_sessions = int(max_sessions)
         if max_sessions < 1:
             raise ValidationError(
@@ -254,6 +335,8 @@ class SessionManager:
         self.max_sessions = max_sessions
         self.tenant_quota = tenant_quota
         self.checkpoint_every = checkpoint_every
+        self._scheduler = _FairScheduler(tenant_weights)
+        self.tenant_weights = dict(self._scheduler.weights)
         #: the one engine every session's evaluator shares (None = serial)
         self.engine = self.base_context.build_engine()
         self.started = time.time()
@@ -327,16 +410,22 @@ class SessionManager:
 
     # ------------------------------------------------------------ lifecycle
     def _maybe_start_locked(self) -> None:
-        """Start queued sessions while running slots are free (lock held)."""
+        """Start queued sessions while running slots are free (lock held).
+
+        Slot assignment is weighted-fair across tenants, not FIFO: the
+        scheduler picks the tenant with the smallest virtual finish time
+        and starts that tenant's earliest-queued session.
+        """
         if self._closed:
             return
         running = sum(1 for r in self._sessions.values()
                       if r.status == "running")
-        for record in self._sessions.values():
-            if running >= self.max_sessions:
+        while running < self.max_sessions:
+            queued = [r for r in self._sessions.values()
+                      if r.status == "queued"]
+            record = self._scheduler.take(queued)
+            if record is None:
                 break
-            if record.status != "queued":
-                continue
             record.status = "running"
             record.updated = time.time()
             self._save_manifest(record)
@@ -599,6 +688,28 @@ class SessionManager:
                             "next": after, "status": record.status}
                 self._wakeup.wait(remaining)
 
+    def engine_view(self) -> dict:
+        """The shared engine's capacity: backend, workers, in-flight depth.
+
+        ``workers`` is *live* membership where the backend has such a
+        notion (the remote backend's registered worker count — it moves
+        as machines join and die); ``n_workers`` is the dispatch
+        parallelism the engine plans around.  ``inflight`` is the
+        process-wide ``engine.inflight`` gauge: evaluation groups
+        currently running or queued on the backend.
+        """
+        if self.engine is None:
+            view = {"backend": "serial", "n_workers": 1}
+        else:
+            backend = self.engine.backend
+            inner = getattr(backend, "inner", backend)  # unwrap chaos
+            view = {"backend": inner.name, "n_workers": inner.n_workers}
+            workers = getattr(inner, "worker_count", None)
+            if workers is not None:
+                view["workers"] = workers
+        view["inflight"] = get_registry().gauge("engine.inflight").value
+        return view
+
     def metrics(self) -> dict:
         """The process metrics registry plus every session's heartbeat."""
         per_session = {}
@@ -612,6 +723,7 @@ class SessionManager:
             per_session[record.session_id] = entry
         return {
             "registry": get_registry().snapshot().to_dict(),
+            "engine": self.engine_view(),
             "sessions": per_session,
         }
 
@@ -633,6 +745,7 @@ class SessionManager:
         """
         last_crash = (getattr(self.engine.backend, "last_crash", None)
                       if self.engine is not None else None)
+        engine_view = self.engine_view()
         with self._lock:
             counts: dict = {}
             for record in self._sessions.values():
@@ -650,6 +763,7 @@ class SessionManager:
                 "max_sessions": self.max_sessions,
                 "tenant_quota": self.tenant_quota,
                 "state_dir": str(self.state_dir),
+                "engine": engine_view,
             }
             if last_crash is not None:
                 payload["last_crash"] = dict(last_crash)

@@ -73,3 +73,42 @@ def lr_evaluator(distorted_data):
     return PipelineEvaluator.from_dataset(
         X, y, LogisticRegression(max_iter=60), random_state=0
     )
+
+
+@pytest.fixture
+def live_engine():
+    """Factory: a ready-to-run ExecutionEngine for any ``BACKEND_NAMES`` name.
+
+    Tests that parametrize over every backend need more than
+    ``ExecutionEngine(name)`` for ``"remote"``: a coordinator with no
+    registered workers leases nothing, so the first evaluation would block
+    forever.  This factory boots a 2-worker loopback fleet for the remote
+    case and tears everything down (engine, then workers) at test exit.
+    """
+    from repro.engine import ExecutionEngine
+
+    cleanups = []
+
+    def factory(name, n_workers=2):
+        if name == "remote":
+            from repro.engine.remote import start_loopback
+
+            backend, workers = start_loopback(n_workers)
+            engine = ExecutionEngine(backend)
+
+            def shutdown(engine=engine, workers=workers):
+                engine.close()
+                for worker in workers:
+                    worker.stop()
+
+            cleanups.append(shutdown)
+        else:
+            engine = ExecutionEngine(
+                name, n_workers=None if name == "serial" else n_workers
+            )
+            cleanups.append(engine.close)
+        return engine
+
+    yield factory
+    for cleanup in reversed(cleanups):
+        cleanup()

@@ -5,7 +5,7 @@ import pickle
 import pytest
 
 from repro.core import Pipeline, PipelineEvaluator
-from repro.engine import BACKEND_NAMES, ExecutionEngine
+from repro.engine import BACKEND_NAMES
 from repro.models import LogisticRegression
 
 PIPELINES = [
@@ -32,11 +32,6 @@ def _failing_pipeline():
             return X
 
     return Pipeline([Exploding()])
-
-
-def _engine(backend):
-    return ExecutionEngine(backend,
-                           n_workers=None if backend == "serial" else 2)
 
 
 def _evaluator(distorted_data, tmp_path, **kwargs):
@@ -154,12 +149,13 @@ class TestPersistentEvaluatorCache:
 class TestPersistentCacheWithEngine:
     @pytest.mark.parametrize("backend", BACKEND_NAMES)
     def test_warm_engine_batch_skips_every_backend(self, distorted_data,
-                                                   tmp_path, backend):
+                                                   tmp_path, backend,
+                                                   live_engine):
         cold = _evaluator(distorted_data, tmp_path)
         expected = [cold.evaluate(p) for p in PIPELINES]
 
         warm = _evaluator(distorted_data, tmp_path,
-                          engine=_engine(backend))
+                          engine=live_engine(backend))
         try:
             records = warm.evaluate_many(PIPELINES)
         finally:
@@ -170,9 +166,10 @@ class TestPersistentCacheWithEngine:
 
     @pytest.mark.parametrize("backend", BACKEND_NAMES)
     def test_engine_merge_back_persists_worker_results(self, distorted_data,
-                                                       tmp_path, backend):
+                                                       tmp_path, backend,
+                                                       live_engine):
         cold = _evaluator(distorted_data, tmp_path,
-                          engine=_engine(backend))
+                          engine=live_engine(backend))
         try:
             expected = cold.evaluate_many(PIPELINES)
         finally:

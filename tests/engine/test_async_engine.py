@@ -100,12 +100,12 @@ class TestAsCompleted:
             [record.pipeline.spec() for record in reference]
 
     @pytest.mark.parametrize("name", BACKEND_NAMES)
-    def test_every_backend_matches_run_values(self, name):
+    def test_every_backend_matches_run_values(self, name, live_engine):
         tasks = _sample_tasks()
         reference = ExecutionEngine("serial").run(_make_evaluator(), tasks)
 
         evaluator = _make_evaluator()
-        engine = ExecutionEngine(name, n_workers=None if name == "serial" else 2)
+        engine = live_engine(name)
         records = [None] * len(tasks)
         for index, record in engine.as_completed(
                 evaluator, engine.submit_tasks(evaluator, tasks)):

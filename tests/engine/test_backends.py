@@ -39,8 +39,8 @@ def space():
 
 
 class TestBackendRegistry:
-    def test_all_three_backends_registered(self):
-        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+    def test_all_backends_registered(self):
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process", "remote"}
 
     def test_make_backend_by_name(self):
         assert isinstance(make_backend("serial"), SerialBackend)
@@ -64,17 +64,27 @@ class TestBackendRegistry:
 
 
 class TestBackendMap:
+    # map() needs no workers even on "remote" (generic fan-out stays
+    # inline there), but the coordinator's listener must be reaped, so
+    # every backend is closed explicitly.
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_map_preserves_input_order(self, name):
         # serial refuses an explicit parallel worker count (see
         # TestSerialWorkerValidation); the parallel backends get two.
         backend = make_backend(name, n_workers=None if name == "serial" else 2)
-        assert backend.map(_double, list(range(7))) == [2 * i for i in range(7)]
+        try:
+            assert backend.map(_double, list(range(7))) == \
+                [2 * i for i in range(7)]
+        finally:
+            backend.close()
 
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_map_empty_input(self, name):
         backend = make_backend(name, n_workers=None if name == "serial" else 2)
-        assert backend.map(_double, []) == []
+        try:
+            assert backend.map(_double, []) == []
+        finally:
+            backend.close()
 
 
 class TestEvalTask:
@@ -96,7 +106,7 @@ class TestEvalTask:
 
 class TestEngineDispatch:
     @pytest.mark.parametrize("name", BACKEND_NAMES)
-    def test_batch_matches_serial_evaluate(self, name, space):
+    def test_batch_matches_serial_evaluate(self, name, space, live_engine):
         X, y = make_classification(n_samples=100, n_features=5, class_sep=2.0,
                                    random_state=1)
         pipelines = space.sample_pipelines(5, np.random.default_rng(0))
@@ -107,8 +117,7 @@ class TestEngineDispatch:
 
         parallel = PipelineEvaluator.from_dataset(
             X, y, LogisticRegression(max_iter=40), random_state=0,
-            engine=ExecutionEngine(name, n_workers=None if name == "serial"
-                                   else 2))
+            engine=live_engine(name))
         records = parallel.evaluate_many(pipelines)
 
         assert [r.accuracy for r in records] == [r.accuracy for r in expected]

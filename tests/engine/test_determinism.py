@@ -4,7 +4,8 @@ This is the core guarantee of the execution engine (and of the
 order-independent subsample seeding in the evaluator): running the same
 searcher on the same problem must yield the same ``best_accuracy`` and the
 same trial set whether the evaluation batches run serially, on a thread
-pool or on a process pool.
+pool, on a process pool or on registered remote workers — even when one
+of those workers dies mid-search.
 
 The cross-backend determinism *matrix* extends the guarantee to the
 completion-driven driver: for **every** registry algorithm (the paper's 15
@@ -147,6 +148,84 @@ class TestCrossBackendDeterminismMatrix:
             expected = reference.evaluate(trial.pipeline,
                                           fidelity=trial.fidelity)
             assert trial.accuracy == expected.accuracy
+
+
+#: (algorithm, kwargs) cells of the remote-backend column: evolution and
+#: TPE cover batch dispatch and surrogate-driven sequential proposal.
+REMOTE_SEARCHERS = [
+    ("tevo_h", {}),
+    ("tpe", {}),
+]
+
+
+class TestRemoteBackendDeterminism:
+    """The distributed backend is bit-for-bit identical to serial.
+
+    Two loopback workers on an ephemeral port lease every evaluation over
+    the wire (pickled tasks, JSON-line protocol) — and the trial set must
+    still equal the serial run's, under both drivers.  Async cells drive
+    the completion loop with in-flight depth 1: that fixes the completion
+    order (the same configuration the async matrix above declares
+    reproducible) while every evaluation still round-trips through the
+    worker fleet.  The chaos cell kills a live worker mid-search
+    (``drop_worker``): membership shrinks, its leases (if any) retry on
+    the survivor, and the surviving records still converge to the
+    no-fault run.
+    """
+
+    def _search(self, algorithm, kwargs, problem, driver):
+        searcher = make_search_algorithm(algorithm, random_state=0, **kwargs)
+        if driver == "async":
+            from repro.search.async_driver import AsyncSearchDriver
+
+            return AsyncSearchDriver(searcher, n_workers=1).search(
+                problem, max_trials=14)
+        return searcher.search(problem, max_trials=14)
+
+    def _run_remote(self, algorithm, kwargs, driver, chaos=None):
+        from repro.engine.chaos import ChaosBackend
+        from repro.engine.faults import RetryPolicy
+        from repro.engine.remote import start_loopback
+
+        backend, workers = start_loopback(
+            2, retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0,
+                                        jitter=0.0),
+        )
+        if chaos is not None:
+            backend = ChaosBackend(backend, chaos)
+        engine = ExecutionEngine(backend)
+        try:
+            result = self._search(algorithm, kwargs, _make_problem(engine),
+                                  driver)
+        finally:
+            engine.close()
+            for worker in workers:
+                worker.stop()
+        return result
+
+    @pytest.mark.parametrize("algorithm,kwargs", REMOTE_SEARCHERS)
+    @pytest.mark.parametrize("driver", ["sync", "async"])
+    def test_remote_bit_for_bit_identical_to_serial(self, algorithm, kwargs,
+                                                    driver):
+        serial = self._search(algorithm, kwargs, _make_problem(None), driver)
+        remote = self._run_remote(algorithm, kwargs, driver)
+        assert _trial_set(remote) == _trial_set(serial)
+        assert remote.best_accuracy == serial.best_accuracy
+
+    @pytest.mark.parametrize("driver", ["sync", "async"])
+    def test_drop_worker_mid_search_converges_identically(self, driver):
+        from repro.telemetry.metrics import get_registry
+
+        serial = self._search("tevo_h", {}, _make_problem(None), driver)
+        misses_before = get_registry().counter(
+            "engine.worker_heartbeat_misses").value
+        chaotic = self._run_remote("tevo_h", {}, driver,
+                                   chaos="drop_worker@3")
+        assert _trial_set(chaotic) == _trial_set(serial)
+        assert chaotic.best_accuracy == serial.best_accuracy
+        # The fault really fired: the coordinator recorded the death.
+        assert get_registry().counter(
+            "engine.worker_heartbeat_misses").value > misses_before
 
 
 #: (backend, n_workers, driver) cells of the prefix-cache matrix.  Sync

@@ -283,3 +283,130 @@ class TestObservability:
         }
         assert accuracies[first] == expected
         assert accuracies[second] != expected  # different seed, own stream
+
+
+class TestFairScheduling:
+    """Weighted fair queueing replaces FIFO for free session slots."""
+
+    @staticmethod
+    def _record(tenant, max_trials=4):
+        from types import SimpleNamespace
+        return SimpleNamespace(spec={"tenant": tenant,
+                                     "max_trials": max_trials})
+
+    @classmethod
+    def _drain(cls, scheduler, queued):
+        queued = list(queued)
+        order = []
+        while queued:
+            choice = scheduler.take(queued)
+            queued.remove(choice)
+            order.append(choice.spec["tenant"])
+        return order
+
+    def test_weights_must_be_positive(self):
+        from repro.serve.manager import _FairScheduler
+        with pytest.raises(ValidationError, match="> 0"):
+            _FairScheduler({"acme": 0})
+        with pytest.raises(ValidationError, match="> 0"):
+            _FairScheduler({"acme": -1.5})
+
+    def test_flooding_tenant_cannot_starve_a_light_one(self):
+        from repro.serve.manager import _FairScheduler
+        scheduler = _FairScheduler()
+        queued = [self._record("heavy") for _ in range(10)]
+        queued.append(self._record("light"))
+        order = self._drain(scheduler, queued)
+        # equal weights: the light tenant's single session starts after
+        # at most one of the flooder's, not behind all ten
+        assert "light" in order[:2]
+
+    def test_weights_scale_the_share(self):
+        from repro.serve.manager import _FairScheduler
+        scheduler = _FairScheduler({"gold": 2.0, "bronze": 1.0})
+        queued = ([self._record("gold", 1) for _ in range(12)]
+                  + [self._record("bronze", 1) for _ in range(12)])
+        order = self._drain(scheduler, queued)
+        # over any early window, gold gets ~2x the starts
+        window = order[:9]
+        assert window.count("gold") == 6
+        assert window.count("bronze") == 3
+
+    def test_schedule_is_deterministic(self):
+        from repro.serve.manager import _FairScheduler
+        queued = [self._record(tenant, cost)
+                  for tenant, cost in (("a", 4), ("b", 2), ("a", 1),
+                                       ("c", 8), ("b", 3), ("c", 1))]
+        first = self._drain(_FairScheduler({"b": 1.5}), list(queued))
+        second = self._drain(_FairScheduler({"b": 1.5}), list(queued))
+        assert first == second
+
+    def test_per_tenant_queue_stays_fifo(self):
+        from repro.serve.manager import _FairScheduler
+        scheduler = _FairScheduler()
+        cheap_later = self._record("acme", 1)
+        pricey_first = self._record("acme", 9)
+        # only the head of a tenant's queue is eligible: the cheap later
+        # submission must not jump its own tenant's earlier one
+        assert scheduler.take([pricey_first, cheap_later]) is pricey_first
+
+    def test_manager_weighted_no_starvation(self, tmp_path):
+        manager = SessionManager(state_dir=tmp_path / "state",
+                                 max_sessions=1,
+                                 tenant_weights={"light": 2.0})
+        try:
+            assert manager.tenant_weights == {"light": 2.0}
+            blocker = manager.submit({**SPEC, "max_trials": 6,
+                                      "tenant": "heavy"})
+            flood = [manager.submit({**SPEC, "tenant": "heavy"})
+                     for _ in range(3)]
+            light = manager.submit({**SPEC, "tenant": "light"})
+            assert _wait_settled(manager, light)["status"] == "done"
+            # the light session finished while the flood still waits:
+            # under FIFO it would have been last
+            statuses = [manager.status(session_id)["status"]
+                        for session_id in flood]
+            assert statuses.count("queued") >= 2
+            for session_id in [blocker, *flood]:
+                assert _wait_settled(manager, session_id)["status"] == "done"
+        finally:
+            manager.shutdown()
+
+
+class TestEngineView:
+    def test_engineless_manager_reports_serial(self, manager):
+        view = manager.engine_view()
+        assert view["backend"] == "serial"
+        assert view["n_workers"] == 1
+        assert view["inflight"] == 0
+        assert manager.healthz()["engine"] == view
+        assert manager.metrics()["engine"] == view
+
+    def test_pooled_backend_reports_capacity(self, tmp_path):
+        manager = SessionManager(
+            state_dir=tmp_path / "state",
+            base_context=ExecutionContext(backend="thread", n_jobs=2),
+        )
+        try:
+            view = manager.engine_view()
+            assert view["backend"] == "thread"
+            assert view["n_workers"] == 2
+            assert "workers" not in view  # no membership notion
+        finally:
+            manager.shutdown()
+
+    def test_remote_backend_reports_live_membership(self, tmp_path):
+        manager = SessionManager(
+            state_dir=tmp_path / "state",
+            base_context=ExecutionContext(backend="remote"),
+        )
+        try:
+            view = manager.engine_view()
+            assert view["backend"] == "remote"
+            # a fleet nobody joined yet: operators see 0 live workers
+            # well before throughput would reveal it
+            assert view["workers"] == 0
+            assert view["n_workers"] == 1  # dispatch-heuristic floor
+            assert manager.healthz()["engine"]["workers"] == 0
+        finally:
+            manager.shutdown()
